@@ -1,0 +1,77 @@
+"""Ablation A5 — bulk kernels vs straightforward per-node loops.
+
+The paper stresses that its implementations are "straightforward,
+sequential algorithm[s] with a few OpenMP statements". Here the bulk
+(numpy) kernel plays the OpenMP role; this bench quantifies what the
+bulk-execution layer buys over honest per-node Python for PageRank, and
+what sketching (ANF) buys over exact BFS for the effective diameter.
+"""
+
+import pytest
+
+from benchmarks.util import record, reset
+from repro.algorithms.anf import anf_effective_diameter
+from repro.algorithms.diameter import effective_diameter
+from repro.algorithms.pagerank import pagerank, pagerank_sequential
+
+_times: dict[str, float] = {}
+
+
+def test_a5_pagerank_bulk_kernel(benchmark, lj_graph):
+    ranks = benchmark.pedantic(
+        pagerank, args=(lj_graph,), kwargs={"iterations": 10}, rounds=3, iterations=1
+    )
+
+    _times["bulk"] = benchmark.stats.stats.mean
+    _times["bulk_top"] = max(ranks, key=ranks.get)
+    reset("ablation_a5", "A5: bulk kernels vs per-node loops (lj-scaled)")
+    record("ablation_a5", f"{'Kernel':<30} {'seconds':>9}")
+    record("ablation_a5", f"{'PageRank (numpy bulk)':<30} {_times['bulk']:>9.3f}")
+
+
+def test_a5_pagerank_sequential_loop(benchmark, lj_graph):
+    ranks = benchmark.pedantic(
+        pagerank_sequential, args=(lj_graph,), kwargs={"iterations": 10},
+        rounds=1, iterations=1,
+    )
+
+    _times["loop"] = benchmark.stats.stats.mean
+    record("ablation_a5", f"{'PageRank (per-node Python)':<30} {_times['loop']:>9.3f}")
+    # Identical answers, very different costs.
+    assert max(ranks, key=ranks.get) == _times["bulk_top"]
+    assert _times["bulk"] < _times["loop"]
+    record(
+        "ablation_a5",
+        f"bulk-kernel speedup: {_times['loop'] / _times['bulk']:.0f}x "
+        "(the role OpenMP plays in the paper)",
+    )
+
+
+def test_a5_effective_diameter_exact_sampled(benchmark, lj_graph):
+    value = benchmark.pedantic(
+        effective_diameter, args=(lj_graph,),
+        kwargs={"samples": 32, "seed": 1}, rounds=1, iterations=1,
+    )
+
+    _times["exact_sampled"] = benchmark.stats.stats.mean
+    _times["exact_value"] = value
+    record(
+        "ablation_a5",
+        f"{'eff. diameter (32 BFS)':<30} {_times['exact_sampled']:>9.3f}"
+        f"  -> {value:.2f}",
+    )
+
+
+def test_a5_effective_diameter_anf(benchmark, lj_graph):
+    value = benchmark.pedantic(
+        anf_effective_diameter, args=(lj_graph,),
+        kwargs={"approximations": 32, "seed": 1}, rounds=1, iterations=1,
+    )
+
+    elapsed = benchmark.stats.stats.mean
+    record(
+        "ablation_a5",
+        f"{'eff. diameter (ANF sketch)':<30} {elapsed:>9.3f}  -> {value:.2f}",
+    )
+    # The sketch must land near the BFS estimate.
+    assert abs(value - _times["exact_value"]) <= 2.0

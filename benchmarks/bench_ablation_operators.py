@@ -1,0 +1,125 @@
+"""Ablation A4 — the Ringo-specific construction operators (paper §2.3).
+
+SimJoin and NextK are the paper's "advanced operations unique to Ringo".
+This bench measures the engineered implementations against their naive
+formulations:
+
+* SimJoin's 1-D sorted-window probe vs an O(n^2) all-pairs scan, and
+* NextK's vectorised shift-pairing vs a per-row Python scan.
+
+Asserted shape: the engineered versions win by a growing margin, which
+is what makes the operators usable interactively.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.util import record, reset
+from repro.tables.nextk import next_k_indices
+from repro.tables.simjoin import sim_join_indices
+
+N_POINTS = 4000
+THRESHOLD = 0.01
+N_EVENTS = 30_000
+K = 3
+
+_times: dict[str, float] = {}
+
+
+def naive_sim_join(left: np.ndarray, right: np.ndarray, threshold: float):
+    pairs = []
+    for i, lv in enumerate(left[:, 0].tolist()):
+        for j, rv in enumerate(right[:, 0].tolist()):
+            if abs(lv - rv) < threshold:
+                pairs.append((i, j))
+    return pairs
+
+
+def naive_next_k(order_values: np.ndarray, k: int):
+    order = np.argsort(order_values, kind="stable").tolist()
+    pairs = []
+    for position, pred in enumerate(order):
+        for step in range(1, k + 1):
+            if position + step < len(order):
+                pairs.append((pred, order[position + step]))
+    return pairs
+
+
+@pytest.fixture(scope="module")
+def points():
+    rng = np.random.default_rng(17)
+    return rng.uniform(0, 10, size=(N_POINTS, 1)), rng.uniform(0, 10, size=(N_POINTS, 1))
+
+
+@pytest.fixture(scope="module")
+def events():
+    rng = np.random.default_rng(18)
+    return rng.integers(0, 10**9, size=N_EVENTS)
+
+
+def test_a4_simjoin_sorted_window(benchmark, points):
+    left, right = points
+
+    li, ri, _ = benchmark.pedantic(
+        sim_join_indices, args=(left, right, THRESHOLD), rounds=3, iterations=1
+    )
+
+    _times["simjoin_fast"] = benchmark.stats.stats.mean
+    _times["simjoin_pairs"] = len(li)
+    reset("ablation_a4", "A4: construction operators vs naive formulations")
+    record("ablation_a4", f"{'Operator':<28} {'seconds':>10}")
+    record(
+        "ablation_a4",
+        f"{'SimJoin (sorted window)':<28} {_times['simjoin_fast']:>10.4f}",
+    )
+
+
+def test_a4_simjoin_naive(benchmark, points):
+    left, right = points
+
+    pairs = benchmark.pedantic(
+        naive_sim_join, args=(left, right, THRESHOLD), rounds=1, iterations=1
+    )
+
+    _times["simjoin_naive"] = benchmark.stats.stats.mean
+    record(
+        "ablation_a4",
+        f"{'SimJoin (all pairs)':<28} {_times['simjoin_naive']:>10.4f}",
+    )
+    assert len(pairs) == _times["simjoin_pairs"]
+    assert _times["simjoin_fast"] < _times["simjoin_naive"]
+    record(
+        "ablation_a4",
+        f"sorted-window speedup: "
+        f"{_times['simjoin_naive'] / _times['simjoin_fast']:.0f}x",
+    )
+
+
+def test_a4_nextk_vectorised(benchmark, events):
+    pred, succ, _ = benchmark.pedantic(
+        next_k_indices, args=(events, K), rounds=3, iterations=1
+    )
+
+    _times["nextk_fast"] = benchmark.stats.stats.mean
+    _times["nextk_pairs"] = len(pred)
+    record(
+        "ablation_a4",
+        f"{'NextK (vectorised shifts)':<28} {_times['nextk_fast']:>10.4f}",
+    )
+    assert len(pred) == len(succ)
+
+
+def test_a4_nextk_naive(benchmark, events):
+    pairs = benchmark.pedantic(naive_next_k, args=(events, K), rounds=1, iterations=1)
+
+    _times["nextk_naive"] = benchmark.stats.stats.mean
+    record(
+        "ablation_a4",
+        f"{'NextK (per-row scan)':<28} {_times['nextk_naive']:>10.4f}",
+    )
+    assert len(pairs) == _times["nextk_pairs"]
+    assert _times["nextk_fast"] < _times["nextk_naive"]
+    record(
+        "ablation_a4",
+        f"vectorised speedup: {_times['nextk_naive'] / _times['nextk_fast']:.0f}x",
+    )

@@ -1,0 +1,98 @@
+"""§4.2 — data input/output performance.
+
+"Several types of operations are critical for graph analytics: graph
+operations, table operations, conversions between tables and graphs,
+and data input/output." This bench covers the fourth: TSV parse/write
+rates for the edge tables, and the binary snapshot path that makes
+reloading a prepared dataset cheap.
+
+Asserted shape: binary reload is much faster than re-parsing text —
+the reason Ringo keeps binary snapshots of prepared data.
+"""
+
+import pytest
+
+from benchmarks.util import rate_m_per_s, record, reset
+from repro.tables.io_npz import load_table_npz, save_table_npz
+from repro.tables.io_tsv import load_table_tsv, save_table_tsv
+from repro.tables.schema import Schema
+from repro.workflows.datasets import LJ_SCALED, make_edge_table
+
+EDGE_SCHEMA = Schema([("SrcId", "int"), ("DstId", "int")])
+
+_times: dict[str, float] = {}
+
+
+@pytest.fixture(scope="module")
+def table():
+    return make_edge_table(LJ_SCALED)
+
+
+@pytest.fixture(scope="module")
+def tsv_path(table, tmp_path_factory):
+    path = tmp_path_factory.mktemp("io") / "edges.tsv"
+    save_table_tsv(table, path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def npz_path(table, tmp_path_factory):
+    path = tmp_path_factory.mktemp("io") / "edges.npz"
+    save_table_npz(table, path)
+    return path
+
+
+def test_io_save_tsv(benchmark, table, tmp_path):
+    path = tmp_path / "out.tsv"
+
+    rows = benchmark.pedantic(save_table_tsv, args=(table, path), rounds=3, iterations=1)
+
+    elapsed = benchmark.stats.stats.mean
+    reset("io", "Section 4.2: data input/output (lj-scaled edge table)")
+    record("io", f"{'Operation':<18} {'seconds':>9} {'Mrows/s':>9}")
+    record("io", f"{'save TSV':<18} {elapsed:>9.3f} {rate_m_per_s(rows, elapsed):>9.2f}")
+
+
+def test_io_load_tsv(benchmark, tsv_path, table):
+    loaded = benchmark.pedantic(
+        load_table_tsv, args=(EDGE_SCHEMA, tsv_path), rounds=3, iterations=1
+    )
+
+    assert loaded.num_rows == table.num_rows
+    _times["load_tsv"] = benchmark.stats.stats.mean
+    record(
+        "io",
+        f"{'load TSV':<18} {_times['load_tsv']:>9.3f} "
+        f"{rate_m_per_s(loaded.num_rows, _times['load_tsv']):>9.2f}",
+    )
+
+
+def test_io_save_npz(benchmark, table, tmp_path):
+    path = tmp_path / "out.npz"
+
+    benchmark.pedantic(save_table_npz, args=(table, path), rounds=3, iterations=1)
+
+    elapsed = benchmark.stats.stats.mean
+    record(
+        "io",
+        f"{'save binary':<18} {elapsed:>9.3f} "
+        f"{rate_m_per_s(table.num_rows, elapsed):>9.2f}",
+    )
+
+
+def test_io_load_npz(benchmark, npz_path, table):
+    loaded = benchmark.pedantic(load_table_npz, args=(npz_path,), rounds=3, iterations=1)
+
+    assert loaded.num_rows == table.num_rows
+    elapsed = benchmark.stats.stats.mean
+    record(
+        "io",
+        f"{'load binary':<18} {elapsed:>9.3f} "
+        f"{rate_m_per_s(loaded.num_rows, elapsed):>9.2f}",
+    )
+    # Shape: binary reload beats TSV re-parsing decisively.
+    assert elapsed < _times["load_tsv"] / 5
+    record(
+        "io",
+        f"binary reload speedup over TSV parse: {_times['load_tsv'] / elapsed:.0f}x",
+    )

@@ -1,0 +1,74 @@
+"""Scaling sweep — conversion and PageRank rates across dataset sizes.
+
+Table 5's accompanying claim is that "the conversion scales well as the
+processing rate does not degrade for large graphs". The two-dataset
+table gives two points; this sweep adds a size series (R-MAT graphs from
+25K to 800K edges) and asserts the rate stays within a constant factor
+across the whole range, for both the sort-first conversion and the
+PageRank kernel.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.util import rate_m_per_s, record, reset, timed
+from repro.algorithms.generators import DEFAULT_RMAT, rmat_edges
+from repro.algorithms.pagerank import pagerank_array
+from repro.convert.table_to_graph import sort_first_directed
+from repro.graphs.csr import CSRGraph
+
+SIZES = (25_000, 100_000, 400_000, 800_000)
+
+_rates: dict[str, dict[int, float]] = {"convert": {}, "pagerank": {}}
+
+
+def _edges(num_edges: int):
+    scale = max(int(np.ceil(np.log2(num_edges / 12))), 4)
+    return rmat_edges(scale, num_edges, DEFAULT_RMAT, seed=7)
+
+
+@pytest.mark.parametrize("num_edges", SIZES)
+def test_scaling_sort_first(benchmark, num_edges):
+    sources, targets = _edges(num_edges)
+
+    graph = benchmark.pedantic(
+        sort_first_directed, args=(sources, targets), rounds=1, iterations=1
+    )
+
+    elapsed = benchmark.stats.stats.mean
+    rate = rate_m_per_s(num_edges, elapsed)
+    _rates["convert"][num_edges] = rate
+    if num_edges == SIZES[0]:
+        reset("scaling", "Scaling sweep: rates across dataset sizes (R-MAT)")
+        record("scaling", f"{'Operation':<16} {'edges':>8} {'seconds':>9} {'Medges/s':>9}")
+    record(
+        "scaling",
+        f"{'sort-first':<16} {num_edges:>8} {elapsed:>9.3f} {rate:>9.2f}",
+    )
+    assert graph.num_edges > 0
+    if num_edges == SIZES[-1]:
+        rates = list(_rates["convert"].values())
+        assert max(rates) < 4 * min(rates)
+        record("scaling", "sort-first rate spread < 4x across 32x size range")
+
+
+@pytest.mark.parametrize("num_edges", SIZES)
+def test_scaling_pagerank(benchmark, num_edges):
+    sources, targets = _edges(num_edges)
+    csr = CSRGraph.from_edges(sources, targets)
+
+    benchmark.pedantic(
+        pagerank_array, args=(csr,), kwargs={"iterations": 10}, rounds=1, iterations=1
+    )
+
+    elapsed = benchmark.stats.stats.mean
+    rate = rate_m_per_s(csr.num_edges * 10, elapsed)
+    _rates["pagerank"][num_edges] = rate
+    record(
+        "scaling",
+        f"{'PageRank(10 it)':<16} {num_edges:>8} {elapsed:>9.3f} {rate:>9.2f}",
+    )
+    if num_edges == SIZES[-1]:
+        rates = list(_rates["pagerank"].values())
+        assert max(rates) < 4 * min(rates)
+        record("scaling", "PageRank edge-rate spread < 4x across 32x size range")

@@ -1,0 +1,55 @@
+"""Table 1 — graph-size statistics of the 71-graph collection.
+
+Paper rows (edge-count buckets → graph counts):
+    <0.1M: 16, 0.1M-1M: 25, 1M-10M: 17, 10M-100M: 7, 100M-1B: 5, >1B: 1
+
+The bench regenerates the catalog, recomputes the histogram, and times
+the classification step. The histogram must match the paper exactly
+(the catalog is constructed to the published bucket counts; the bench
+verifies the recomputation path reproduces them).
+"""
+
+from benchmarks.util import record, reset
+from repro.workflows.catalog import (
+    BUCKET_LABELS,
+    PAPER_BUCKET_COUNTS,
+    catalog_histogram,
+    catalog_table,
+    fraction_fitting_in_ram,
+    generate_catalog,
+)
+
+ONE_TB = 1 << 40
+
+
+def test_table1_bucket_histogram(benchmark):
+    entries = generate_catalog(seed=0)
+
+    histogram = benchmark(catalog_histogram, entries)
+
+    assert histogram == PAPER_BUCKET_COUNTS
+    reset("table1", "Table 1: graph size statistics (71 graphs)")
+    record("table1", f"{'Number of Edges':<14} {'Graphs (paper)':>14} {'Graphs (ours)':>14}")
+    for label, paper, ours in zip(BUCKET_LABELS, PAPER_BUCKET_COUNTS, histogram):
+        record("table1", f"{label:<14} {paper:>14} {ours:>14}")
+    small = sum(histogram[:4]) / sum(histogram)
+    record("table1", f"graphs under 100M edges: {small:.0%} (paper: 90%)")
+
+
+def test_table1_all_fit_one_tb_machine(benchmark):
+    entries = generate_catalog(seed=0)
+
+    fraction = benchmark(fraction_fitting_in_ram, entries, ONE_TB)
+
+    # The paper's point: even the largest public graph fits in 1TB RAM
+    # at 20 bytes/edge.
+    assert fraction == 1.0
+    record("table1", f"graphs fitting a 1TB machine at 20B/edge: {fraction:.0%}")
+
+
+def test_table1_catalog_as_ringo_table(benchmark):
+    entries = generate_catalog(seed=0)
+
+    table = benchmark(catalog_table, entries)
+
+    assert table.num_rows == 71

@@ -1,0 +1,165 @@
+"""Table 4 — Select and Join performance on tables.
+
+Paper rows (times and M rows/s):
+    Dataset                LiveJournal   Twitter2010
+    Select 10K, in place         <0.2s          1.6s
+    Select all-10K, in place     <0.1s          1.6s
+    Join 10K                      0.6s          4.2s
+    Join all-10K                  3.1s         29.7s
+
+Setup mirrors the paper: selects compare a column against a constant
+chosen so the output is either 10,000 rows or all-but-10,000 rows, in
+place; joins pair the edge table with a single-column table whose values
+select either 10,000 or all-but-10,000 matches, always producing a new
+table. Join rates count both input tables' rows, as the paper does.
+
+Shape claims asserted: selects are (much) faster than joins, small-output
+join beats large-output join, and the larger dataset takes longer.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.util import rate_m_per_s, record, reset
+from repro.tables.join import join
+from repro.tables.schema import ColumnType, Schema
+from repro.tables.select import select
+from repro.tables.table import Table
+
+SMALL = 10_000
+
+PAPER = {
+    ("lj-scaled", "select_small"): "<0.2s",
+    ("lj-scaled", "select_large"): "<0.1s",
+    ("lj-scaled", "join_small"): "0.6s",
+    ("lj-scaled", "join_large"): "3.1s",
+    ("tw-scaled", "select_small"): "1.6s",
+    ("tw-scaled", "select_large"): "1.6s",
+    ("tw-scaled", "join_small"): "4.2s",
+    ("tw-scaled", "join_large"): "29.7s",
+}
+
+_times: dict[tuple[str, str], float] = {}
+
+
+def bench_table(base: Table) -> Table:
+    """The dataset's edge table plus a unique ``Val`` column.
+
+    A permutation column gives exact constant-comparison selectivity:
+    ``Val < 10000`` keeps exactly 10,000 rows.
+    """
+    rng = np.random.default_rng(99)
+    values = rng.permutation(base.num_rows).astype(np.int64)
+    table = base.clone()
+    table.add_column("Val", values, ColumnType.INT)
+    return table
+
+
+@pytest.fixture(scope="module")
+def lj_bench(lj_table):
+    return bench_table(lj_table)
+
+
+@pytest.fixture(scope="module")
+def tw_bench(tw_table):
+    return bench_table(tw_table)
+
+
+def single_column(values: np.ndarray) -> Table:
+    schema = Schema([("Key", ColumnType.INT)])
+    return Table(schema, {"Key": values})
+
+
+def _record_header_once():
+    if not _times:
+        reset("table4", "Table 4: Select and Join performance")
+        record(
+            "table4",
+            f"{'Operation':<26} {'dataset':<10} {'paper':>8} {'ours':>10} {'Mrows/s':>9}",
+        )
+
+
+@pytest.mark.parametrize("name", ["lj-scaled", "tw-scaled"])
+def test_table4_select_10k_in_place(benchmark, name, lj_bench, tw_bench):
+    table = lj_bench if name == "lj-scaled" else tw_bench
+
+    def run():
+        work = table.clone()
+        select(work, f"Val < {SMALL}", in_place=True)
+        return work
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+
+    assert result.num_rows == SMALL
+    elapsed = benchmark.stats.stats.mean
+    _record_header_once()
+    _times[(name, "select_small")] = elapsed
+    record(
+        "table4",
+        f"{'Select 10K, in place':<26} {name:<10} {PAPER[(name, 'select_small')]:>8} "
+        f"{elapsed:>9.3f}s {rate_m_per_s(table.num_rows, elapsed):>9.1f}",
+    )
+
+
+@pytest.mark.parametrize("name", ["lj-scaled", "tw-scaled"])
+def test_table4_select_all_minus_10k_in_place(benchmark, name, lj_bench, tw_bench):
+    table = lj_bench if name == "lj-scaled" else tw_bench
+
+    def run():
+        work = table.clone()
+        select(work, f"Val >= {SMALL}", in_place=True)
+        return work
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+
+    assert result.num_rows == table.num_rows - SMALL
+    elapsed = benchmark.stats.stats.mean
+    _times[(name, "select_large")] = elapsed
+    record(
+        "table4",
+        f"{'Select all-10K, in place':<26} {name:<10} {PAPER[(name, 'select_large')]:>8} "
+        f"{elapsed:>9.3f}s {rate_m_per_s(table.num_rows, elapsed):>9.1f}",
+    )
+
+
+@pytest.mark.parametrize("name", ["lj-scaled", "tw-scaled"])
+def test_table4_join_10k(benchmark, name, lj_bench, tw_bench):
+    table = lj_bench if name == "lj-scaled" else tw_bench
+    probe = single_column(np.arange(SMALL, dtype=np.int64))
+
+    result = benchmark.pedantic(
+        join, args=(table, probe, "Val", "Key"), rounds=3, iterations=1
+    )
+
+    assert result.num_rows == SMALL
+    elapsed = benchmark.stats.stats.mean
+    _times[(name, "join_small")] = elapsed
+    both = table.num_rows + probe.num_rows
+    record(
+        "table4",
+        f"{'Join 10K':<26} {name:<10} {PAPER[(name, 'join_small')]:>8} "
+        f"{elapsed:>9.3f}s {rate_m_per_s(both, elapsed):>9.1f}",
+    )
+    # Shape: select is faster than join on the same dataset.
+    assert elapsed > _times[(name, "select_small")]
+
+
+@pytest.mark.parametrize("name", ["lj-scaled", "tw-scaled"])
+def test_table4_join_all_minus_10k(benchmark, name, lj_bench, tw_bench):
+    table = lj_bench if name == "lj-scaled" else tw_bench
+    probe = single_column(np.arange(SMALL, table.num_rows, dtype=np.int64))
+
+    result = benchmark.pedantic(
+        join, args=(table, probe, "Val", "Key"), rounds=3, iterations=1
+    )
+
+    assert result.num_rows == table.num_rows - SMALL
+    elapsed = benchmark.stats.stats.mean
+    both = table.num_rows + probe.num_rows
+    record(
+        "table4",
+        f"{'Join all-10K':<26} {name:<10} {PAPER[(name, 'join_large')]:>8} "
+        f"{elapsed:>9.3f}s {rate_m_per_s(both, elapsed):>9.1f}",
+    )
+    # Shape: producing the big output costs more than the small one.
+    assert elapsed > _times[(name, "join_small")]

@@ -1,0 +1,46 @@
+"""Session-scoped dataset fixtures shared by all benchmark modules."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.algorithms.common import as_csr  # noqa: E402
+from repro.workflows.datasets import (  # noqa: E402
+    LJ_SCALED,
+    TW_SCALED,
+    make_edge_table,
+    make_graph,
+)
+
+
+@pytest.fixture(scope="session")
+def lj_table():
+    return make_edge_table(LJ_SCALED)
+
+
+@pytest.fixture(scope="session")
+def tw_table():
+    return make_edge_table(TW_SCALED)
+
+
+@pytest.fixture(scope="session")
+def lj_graph():
+    return make_graph(LJ_SCALED)
+
+
+@pytest.fixture(scope="session")
+def tw_graph():
+    return make_graph(TW_SCALED)
+
+
+@pytest.fixture(scope="session")
+def lj_csr(lj_graph):
+    return as_csr(lj_graph)
+
+
+@pytest.fixture(scope="session")
+def tw_csr(tw_graph):
+    return as_csr(tw_graph)

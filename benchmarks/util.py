@@ -1,0 +1,41 @@
+"""Shared benchmark plumbing.
+
+Each bench regenerates one paper table/figure. Besides pytest-benchmark's
+own timing report, every bench appends its paper-style rows to
+``benchmarks/results/<artifact>.txt`` so the regenerated tables survive
+output capture and can be diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def record(artifact: str, line: str) -> None:
+    """Append one formatted row to the artifact's results file."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / f"{artifact}.txt", "a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+
+
+def reset(artifact: str, header: str) -> None:
+    """Start the artifact's results file fresh with a header line."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    stamp = time.strftime("%Y-%m-%d %H:%M:%S")
+    with open(RESULTS_DIR / f"{artifact}.txt", "w", encoding="utf-8") as handle:
+        handle.write(f"# {header} (generated {stamp})\n")
+
+
+def rate_m_per_s(items: int, seconds: float) -> float:
+    """Throughput in millions of items per second."""
+    return items / max(seconds, 1e-12) / 1e6
+
+
+def timed(func, *args, **kwargs) -> tuple[object, float]:
+    """Run ``func`` once, returning ``(result, seconds)``."""
+    start = time.perf_counter()
+    result = func(*args, **kwargs)
+    return result, time.perf_counter() - start

@@ -1,0 +1,14 @@
+"""Root conftest: make the package importable even without installation.
+
+The execution environment has no network and no `wheel` package, so
+``pip install -e .`` (PEP 660) cannot build editable metadata there;
+``python setup.py develop`` works and is what CI uses. This shim keeps
+``pytest tests/`` / ``pytest benchmarks/`` working from a bare checkout.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

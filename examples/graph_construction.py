@@ -1,0 +1,81 @@
+"""Advanced graph construction with SimJoin and NextK (paper §2.3).
+
+Two scenarios from the paper's introduction:
+
+1. **Information propagation** — an event log of users sharing a story.
+   ``NextK`` connects each share to the next shares of the *same story*,
+   giving a plausible propagation graph whose components are cascades.
+2. **Internet topology from traceroutes** — routers emit probe
+   timestamps and coordinates; ``SimJoin`` links probes that are close
+   in RTT space, approximating co-located routers.
+
+Run:  python examples/graph_construction.py
+"""
+
+import numpy as np
+
+from repro import Ringo
+from repro.algorithms.components import component_sizes, weakly_connected_components
+
+
+def propagation_cascades(ringo: Ringo) -> None:
+    print("=== Scenario 1: information-propagation cascades (NextK) ===")
+    rng = np.random.default_rng(7)
+    num_events = 400
+    stories = rng.integers(0, 12, size=num_events)
+    shares = ringo.TableFromColumns(
+        {
+            "Time": np.sort(rng.integers(0, 100_000, size=num_events)),
+            "Story": stories,
+            "UserId": rng.integers(0, 150, size=num_events),
+        }
+    )
+    # Connect each share to the next 2 shares of the same story.
+    pairs = ringo.NextK(shares, "Time", k=2, group_col="Story")
+    print(f"share events: {shares.num_rows}, propagation edges: {pairs.num_rows}")
+
+    graph = ringo.ToGraph(pairs, "UserId-1", "UserId-2")
+    labels = weakly_connected_components(graph)
+    sizes = sorted(component_sizes(labels).values(), reverse=True)
+    print(f"propagation graph: {graph.num_nodes} users, {graph.num_edges} edges")
+    print(f"largest cascades (weak components): {sizes[:5]}")
+
+
+def traceroute_topology(ringo: Ringo) -> None:
+    print("\n=== Scenario 2: router co-location from probes (SimJoin) ===")
+    rng = np.random.default_rng(13)
+    num_routers = 60
+    probes_per_router = 5
+    # Routers live at latent positions; probes observe them with jitter.
+    latent = rng.uniform(0, 100, size=num_routers)
+    probe_router = np.repeat(np.arange(num_routers), probes_per_router)
+    probe_rtt = latent[probe_router] + rng.normal(0, 0.05, size=len(probe_router))
+    probes = ringo.TableFromColumns(
+        {
+            "ProbeId": np.arange(len(probe_router)),
+            "RouterId": probe_router,
+            "Rtt": probe_rtt,
+        }
+    )
+    close = ringo.SimJoin(probes, probes, "Rtt", threshold=0.3)
+    # Drop self-pairs, then build the co-location graph on router ids.
+    distinct = ringo.Select(
+        close, close.column("ProbeId-1") != close.column("ProbeId-2")
+    )
+    graph = ringo.ToGraph(distinct, "RouterId-1", "RouterId-2", directed=False)
+    labels = weakly_connected_components(graph)
+    print(f"probes: {probes.num_rows}, close pairs: {distinct.num_rows}")
+    print(
+        f"co-location graph: {graph.num_nodes} routers, "
+        f"{graph.num_edges} edges, {len(set(labels.values()))} clusters"
+    )
+
+
+def main() -> None:
+    with Ringo() as ringo:
+        propagation_cascades(ringo)
+        traceroute_topology(ringo)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,231 @@
+"""The graph algorithm suite (paper §2.2: SNAP's "more than two hundred
+out-of-the-box graph constructs and algorithms").
+
+Every public function here is registered in
+:mod:`repro.core.registry`, which is how the engine exposes and counts
+its analytics surface.
+"""
+
+from repro.algorithms.bfs import (
+    bfs_edges,
+    bfs_levels,
+    dfs_preorder,
+    reachable_set,
+    shortest_path,
+    shortest_path_length,
+)
+from repro.algorithms.centrality import (
+    betweenness_centrality,
+    closeness_centrality,
+    degree_centrality,
+    eigenvector_centrality,
+)
+from repro.algorithms.community import (
+    community_sizes,
+    label_propagation,
+    modularity,
+)
+from repro.algorithms.components import (
+    component_sizes,
+    condensation,
+    count_components,
+    is_weakly_connected,
+    largest_component_nodes,
+    strongly_connected_components,
+    weakly_connected_components,
+)
+from repro.algorithms.cores import core_numbers, degeneracy, k_core
+from repro.algorithms.diameter import (
+    diameter,
+    double_sweep_lower_bound,
+    effective_diameter,
+)
+from repro.algorithms.generators import (
+    balanced_tree,
+    barabasi_albert,
+    complete_graph,
+    erdos_renyi_gnm,
+    erdos_renyi_gnp,
+    configuration_model,
+    grid_graph,
+    planted_partition,
+    rewire,
+    ring_graph,
+    rmat,
+    rmat_edges,
+    star_graph,
+    watts_strogatz,
+)
+from repro.algorithms.anf import anf_effective_diameter, neighbourhood_function
+from repro.algorithms.coloring import (
+    bipartite_sides,
+    chromatic_upper_bound,
+    greedy_coloring,
+    is_bipartite,
+)
+from repro.algorithms.connectivity import (
+    articulation_points,
+    biconnected_components,
+    bridges,
+    is_biconnected,
+)
+from repro.algorithms.spectral import (
+    algebraic_connectivity,
+    fiedler_vector,
+    laplacian_matrix,
+    spectral_bisection,
+)
+from repro.algorithms.cycles import find_cycle, girth, has_cycle
+from repro.algorithms.flow import max_flow, min_cut_partition, min_cut_value
+from repro.algorithms.hits import hits
+from repro.algorithms.katz import katz_centrality
+from repro.algorithms.matching import (
+    greedy_maximal_matching,
+    hopcroft_karp,
+    matching_size,
+)
+from repro.algorithms.linkpred import (
+    adamic_adar,
+    candidate_pairs,
+    common_neighbors,
+    jaccard_coefficient,
+    preferential_attachment,
+    resource_allocation,
+    top_predicted_links,
+)
+from repro.algorithms.motifs import (
+    TRIAD_NAMES,
+    closed_triads,
+    transitive_triads,
+    triad_census,
+)
+from repro.algorithms.mst import (
+    UnionFind,
+    minimum_spanning_forest,
+    spanning_forest_from_edges,
+)
+from repro.algorithms.ordering import is_dag, longest_path_length, topological_sort
+from repro.algorithms.pagerank import pagerank, pagerank_sequential, pagerank_weighted
+from repro.algorithms.randomwalk import approximate_ppr, random_walk, sample_nodes
+from repro.algorithms.sssp import bellman_ford, dijkstra, dijkstra_path
+from repro.algorithms.statistics import (
+    GraphSummary,
+    degree_assortativity,
+    degree_distribution,
+    reciprocity,
+    summarize,
+)
+from repro.algorithms.truss import edge_trussness, k_truss, max_trussness
+from repro.algorithms.triangles import (
+    average_clustering,
+    clustering_coefficients,
+    global_clustering,
+    total_triangles,
+    triangle_counts,
+)
+
+__all__ = [
+    "GraphSummary",
+    "TRIAD_NAMES",
+    "UnionFind",
+    "adamic_adar",
+    "anf_effective_diameter",
+    "approximate_ppr",
+    "algebraic_connectivity",
+    "articulation_points",
+    "average_clustering",
+    "biconnected_components",
+    "bipartite_sides",
+    "bridges",
+    "candidate_pairs",
+    "chromatic_upper_bound",
+    "closed_triads",
+    "common_neighbors",
+    "greedy_coloring",
+    "greedy_maximal_matching",
+    "hopcroft_karp",
+    "is_biconnected",
+    "is_bipartite",
+    "jaccard_coefficient",
+    "katz_centrality",
+    "preferential_attachment",
+    "resource_allocation",
+    "top_predicted_links",
+    "transitive_triads",
+    "triad_census",
+    "balanced_tree",
+    "barabasi_albert",
+    "bellman_ford",
+    "betweenness_centrality",
+    "bfs_edges",
+    "bfs_levels",
+    "dfs_preorder",
+    "closeness_centrality",
+    "clustering_coefficients",
+    "community_sizes",
+    "complete_graph",
+    "component_sizes",
+    "condensation",
+    "configuration_model",
+    "core_numbers",
+    "count_components",
+    "degeneracy",
+    "degree_assortativity",
+    "degree_centrality",
+    "degree_distribution",
+    "diameter",
+    "dijkstra",
+    "double_sweep_lower_bound",
+    "dijkstra_path",
+    "effective_diameter",
+    "edge_trussness",
+    "eigenvector_centrality",
+    "erdos_renyi_gnm",
+    "erdos_renyi_gnp",
+    "fiedler_vector",
+    "find_cycle",
+    "girth",
+    "has_cycle",
+    "global_clustering",
+    "grid_graph",
+    "hits",
+    "is_dag",
+    "is_weakly_connected",
+    "k_core",
+    "k_truss",
+    "label_propagation",
+    "laplacian_matrix",
+    "largest_component_nodes",
+    "longest_path_length",
+    "matching_size",
+    "max_flow",
+    "max_trussness",
+    "min_cut_partition",
+    "min_cut_value",
+    "minimum_spanning_forest",
+    "modularity",
+    "neighbourhood_function",
+    "pagerank",
+    "pagerank_sequential",
+    "pagerank_weighted",
+    "planted_partition",
+    "random_walk",
+    "reachable_set",
+    "reciprocity",
+    "rewire",
+    "ring_graph",
+    "rmat",
+    "rmat_edges",
+    "sample_nodes",
+    "shortest_path",
+    "shortest_path_length",
+    "spectral_bisection",
+    "spanning_forest_from_edges",
+    "star_graph",
+    "strongly_connected_components",
+    "summarize",
+    "topological_sort",
+    "total_triangles",
+    "triangle_counts",
+    "watts_strogatz",
+]

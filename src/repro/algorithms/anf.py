@@ -1,0 +1,117 @@
+"""Approximate Neighbourhood Function (SNAP's ``GetAnf``).
+
+ANF estimates, for each distance h, how many node pairs are within h
+hops — without running a BFS per node. Each node keeps a small set of
+Flajolet–Martin bitstrings; one synchronous round ORs every node's
+strings with its neighbours', so after h rounds a node's strings sketch
+its h-hop neighbourhood. Cardinalities come from the classic
+``2^(mean lowest-zero-bit) / 0.77351`` estimator.
+
+This is how SNAP computes effective diameters of billion-edge graphs;
+here it complements :mod:`repro.algorithms.diameter`'s exact/sampled
+estimators and is validated against them in the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.common import as_csr
+from repro.util.validation import check_fraction, check_positive
+
+_PHI = 0.77351
+_BITS = 64
+
+
+def _fm_sketches(count: int, approximations: int, rng: np.random.Generator) -> np.ndarray:
+    """Initial one-bit-per-node sketches, geometric bit positions."""
+    # P(bit i) = 2^-(i+1), the Flajolet-Martin initialisation.
+    uniform = rng.random((count, approximations))
+    positions = np.minimum(
+        np.floor(-np.log2(np.maximum(uniform, 1e-18))).astype(np.int64), _BITS - 2
+    )
+    return np.left_shift(np.uint64(1), positions.astype(np.uint64))
+
+
+def _estimate(sketches: np.ndarray) -> np.ndarray:
+    """Per-node cardinality estimates from the OR-ed sketches."""
+    # Lowest zero bit per sketch (== lowest set bit of the inverse),
+    # averaged over the approximations.
+    inverted = ~sketches
+    saturated = inverted == 0
+    isolated = inverted & (~inverted + np.uint64(1))
+    isolated = np.where(saturated, np.uint64(1), isolated)
+    lowest_zero = np.log2(isolated.astype(np.float64))
+    lowest_zero[saturated] = _BITS
+    mean_bits = lowest_zero.mean(axis=1)
+    return np.power(2.0, mean_bits) / _PHI
+
+
+def neighbourhood_function(
+    graph,
+    max_distance: int = 32,
+    approximations: int = 32,
+    seed: int = 0,
+) -> list[float]:
+    """Estimated number of reachable pairs within h hops, h = 0..H.
+
+    Index h holds the estimate of ``sum_v |{u : dist(v,u) <= h}|``.
+    Iteration stops early once the estimate plateaus (the sketches stop
+    changing), so H may be below ``max_distance``.
+
+    >>> from repro.graphs.undirected import UndirectedGraph
+    >>> g = UndirectedGraph()
+    >>> for u, v in [(0, 1), (1, 2)]:
+    ...     _ = g.add_edge(u, v)
+    >>> anf = neighbourhood_function(g, seed=1)
+    >>> anf[-1] >= anf[0]
+    True
+    """
+    check_positive(max_distance, "max_distance")
+    check_positive(approximations, "approximations")
+    csr = as_csr(graph)
+    count = csr.num_nodes
+    if count == 0:
+        return [0.0]
+    rng = np.random.default_rng(seed)
+    sketches = _fm_sketches(count, approximations, rng)
+    edge_src = np.repeat(np.arange(count, dtype=np.int64), csr.out_degrees())
+    edge_dst = csr.out_indices
+    totals = [float(_estimate(sketches).sum())]
+    for _ in range(max_distance):
+        updated = sketches.copy()
+        # OR every source's sketch into its targets (message round).
+        np.bitwise_or.at(updated, edge_dst, sketches[edge_src])
+        if np.array_equal(updated, sketches):
+            break
+        sketches = updated
+        totals.append(float(_estimate(sketches).sum()))
+    return totals
+
+
+def anf_effective_diameter(
+    graph,
+    percentile: float = 0.9,
+    approximations: int = 64,
+    seed: int = 0,
+) -> float:
+    """Effective diameter estimated from the neighbourhood function.
+
+    The smallest h (linearly interpolated) at which the neighbourhood
+    function reaches ``percentile`` of its final value.
+    """
+    check_fraction(percentile, "percentile")
+    totals = neighbourhood_function(graph, approximations=approximations, seed=seed)
+    final = totals[-1]
+    if final <= 0:
+        return 0.0
+    target = percentile * final
+    for h, value in enumerate(totals):
+        if value >= target:
+            if h == 0:
+                return 0.0
+            prev = totals[h - 1]
+            span = value - prev
+            fraction = (target - prev) / span if span > 0 else 0.0
+            return (h - 1) + fraction
+    return float(len(totals) - 1)

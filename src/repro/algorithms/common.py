@@ -1,0 +1,43 @@
+"""Shared plumbing for the algorithm suite.
+
+Algorithms accept any of the dynamic graph classes or a pre-built
+:class:`~repro.graphs.csr.CSRGraph`. Bulk (vectorised) kernels snapshot
+to CSR first — the same pattern as Ringo, whose C++ loops stream over
+contiguous adjacency while the Python surface holds the dynamic object.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import AlgorithmError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.directed import DirectedGraph
+from repro.graphs.undirected import UndirectedGraph
+
+AnyGraph = "DirectedGraph | UndirectedGraph | CSRGraph"
+
+
+def as_csr(graph: "DirectedGraph | UndirectedGraph | CSRGraph") -> CSRGraph:
+    """Snapshot ``graph`` to CSR (no-op if it already is one)."""
+    if isinstance(graph, CSRGraph):
+        return graph
+    if isinstance(graph, (DirectedGraph, UndirectedGraph)):
+        return CSRGraph.from_graph(graph)
+    raise AlgorithmError(f"expected a graph, got {type(graph).__name__}")
+
+
+def scores_to_dict(csr: CSRGraph, values: np.ndarray) -> dict[int, float]:
+    """Map a dense result vector back to ``{original_node_id: value}``."""
+    return dict(zip(csr.node_ids.tolist(), values.tolist()))
+
+
+def counts_to_dict(csr: CSRGraph, values: np.ndarray) -> dict[int, int]:
+    """Integer-valued variant of :func:`scores_to_dict`."""
+    return dict(zip(csr.node_ids.tolist(), (int(v) for v in values)))
+
+
+def require_nodes(csr: CSRGraph, context: str) -> None:
+    """Raise for the empty graph, which most algorithms cannot define."""
+    if csr.num_nodes == 0:
+        raise AlgorithmError(f"{context} is undefined on an empty graph")

@@ -1,0 +1,188 @@
+"""Articulation points and bridges (undirected connectivity structure).
+
+Iterative Hopcroft–Tarjan lowlink computation over the undirected
+projection — recursion-free, like the SCC implementation, so deep
+graphs don't hit Python's stack limit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.triangles import _undirected_csr
+
+
+def _lowlink_dfs(csr):
+    """Shared DFS skeleton: discovery times, lowlinks, parents, children.
+
+    Returns ``(disc, low, parent, root_children, tree_edges)`` where
+    ``tree_edges`` maps child → parent for each DFS tree edge.
+    """
+    count = csr.num_nodes
+    indptr = csr.out_indptr
+    indices = csr.out_indices
+    disc = np.full(count, -1, dtype=np.int64)
+    low = np.zeros(count, dtype=np.int64)
+    parent = np.full(count, -1, dtype=np.int64)
+    root_children = np.zeros(count, dtype=np.int64)
+    articulation = np.zeros(count, dtype=bool)
+    bridges: list[tuple[int, int]] = []
+    clock = 0
+    for root in range(count):
+        if disc[root] != -1:
+            continue
+        stack = [(root, int(indptr[root]))]
+        disc[root] = low[root] = clock
+        clock += 1
+        while stack:
+            node, cursor = stack[-1]
+            if cursor < indptr[node + 1]:
+                stack[-1] = (node, cursor + 1)
+                child = int(indices[cursor])
+                if child == node:
+                    continue  # self-loop
+                if disc[child] == -1:
+                    parent[child] = node
+                    if node == root:
+                        root_children[root] += 1
+                    disc[child] = low[child] = clock
+                    clock += 1
+                    stack.append((child, int(indptr[child])))
+                elif child != parent[node]:
+                    if disc[child] < low[node]:
+                        low[node] = disc[child]
+            else:
+                stack.pop()
+                if stack:
+                    up = stack[-1][0]
+                    if low[node] < low[up]:
+                        low[up] = low[node]
+                    if up != root and low[node] >= disc[up]:
+                        articulation[up] = True
+                    if low[node] > disc[up]:
+                        bridges.append((up, node))
+        if root_children[root] > 1:
+            articulation[root] = True
+    return articulation, bridges
+
+
+def articulation_points(graph) -> set[int]:
+    """Nodes whose removal disconnects their component (original ids).
+
+    >>> from repro.graphs.undirected import UndirectedGraph
+    >>> g = UndirectedGraph()
+    >>> for u, v in [(1, 2), (2, 3)]:
+    ...     _ = g.add_edge(u, v)
+    >>> articulation_points(g)
+    {2}
+    """
+    csr = _undirected_csr(graph)
+    flags, _ = _lowlink_dfs(csr)
+    return {int(csr.node_ids[dense]) for dense in np.flatnonzero(flags)}
+
+
+def bridges(graph) -> set[tuple[int, int]]:
+    """Edges whose removal disconnects their component.
+
+    Returned as ``(min, max)`` original-id pairs. Parallel-path edges
+    (inside any cycle) are never bridges.
+    """
+    csr = _undirected_csr(graph)
+    _, tree_bridges = _lowlink_dfs(csr)
+    result = set()
+    for up, node in tree_bridges:
+        u = int(csr.node_ids[up])
+        v = int(csr.node_ids[node])
+        result.add((min(u, v), max(u, v)))
+    return result
+
+
+def biconnected_components(graph) -> list[set[tuple[int, int]]]:
+    """Edge partition into biconnected components (undirected projection).
+
+    Each component is a set of ``(min, max)`` edges; bridges form
+    singleton components. Iterative Hopcroft–Tarjan with an edge stack.
+
+    >>> from repro.graphs.undirected import UndirectedGraph
+    >>> g = UndirectedGraph()
+    >>> for u, v in [(1, 2), (2, 3), (3, 1), (3, 4)]:
+    ...     _ = g.add_edge(u, v)
+    >>> sorted(len(c) for c in biconnected_components(g))
+    [1, 3]
+    """
+    csr = _undirected_csr(graph)
+    count = csr.num_nodes
+    indptr = csr.out_indptr
+    indices = csr.out_indices
+    node_ids = csr.node_ids
+    disc = np.full(count, -1, dtype=np.int64)
+    low = np.zeros(count, dtype=np.int64)
+    parent = np.full(count, -1, dtype=np.int64)
+    components: list[set[tuple[int, int]]] = []
+    edge_stack: list[tuple[int, int]] = []
+    clock = 0
+
+    def canonical(u: int, v: int) -> tuple[int, int]:
+        a = int(node_ids[u])
+        b = int(node_ids[v])
+        return (a, b) if a < b else (b, a)
+
+    for root in range(count):
+        if disc[root] != -1:
+            continue
+        stack = [(root, int(indptr[root]))]
+        disc[root] = low[root] = clock
+        clock += 1
+        while stack:
+            node, cursor = stack[-1]
+            if cursor < indptr[node + 1]:
+                stack[-1] = (node, cursor + 1)
+                child = int(indices[cursor])
+                if child == node:
+                    continue
+                if disc[child] == -1:
+                    parent[child] = node
+                    edge_stack.append((node, child))
+                    disc[child] = low[child] = clock
+                    clock += 1
+                    stack.append((child, int(indptr[child])))
+                elif child != parent[node] and disc[child] < disc[node]:
+                    # Back edge to an ancestor, recorded once.
+                    edge_stack.append((node, child))
+                    if disc[child] < low[node]:
+                        low[node] = disc[child]
+            else:
+                stack.pop()
+                if stack:
+                    up = stack[-1][0]
+                    if low[node] < low[up]:
+                        low[up] = low[node]
+                    if low[node] >= disc[up]:
+                        # up is a cut vertex (or the root): pop one
+                        # biconnected component off the edge stack.
+                        component: set[tuple[int, int]] = set()
+                        while edge_stack:
+                            edge = edge_stack.pop()
+                            component.add(canonical(*edge))
+                            if edge == (up, node):
+                                break
+                        if component:
+                            components.append(component)
+    return components
+
+
+def is_biconnected(graph) -> bool:
+    """Whether the graph is connected with no articulation points.
+
+    Follows the usual convention: graphs with fewer than three nodes are
+    biconnected iff they are connected (a single edge counts).
+    """
+    from repro.algorithms.components import is_weakly_connected
+
+    if not is_weakly_connected(graph):
+        return False
+    csr = _undirected_csr(graph)
+    if csr.num_nodes < 3:
+        return True
+    flags, _ = _lowlink_dfs(csr)
+    return not bool(flags.any())

@@ -1,0 +1,95 @@
+"""k-core decomposition (paper §3, Table 6 — "3-core" benchmark).
+
+Linear-time peeling (Batagelj–Zaveršnik bucket algorithm) over the
+undirected projection: repeatedly remove the minimum-degree node and
+record the largest k at which each node survives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.common import as_csr, counts_to_dict
+from repro.algorithms.triangles import _undirected_csr
+from repro.graphs.directed import DirectedGraph
+from repro.graphs.ops import subgraph
+from repro.graphs.undirected import UndirectedGraph
+from repro.util.validation import check_positive
+
+
+def core_numbers(graph) -> dict[int, int]:
+    """Core number per node (max k such that the node is in the k-core).
+
+    >>> from repro.graphs.undirected import UndirectedGraph
+    >>> g = UndirectedGraph()
+    >>> for u, v in [(1, 2), (2, 3), (3, 1), (3, 4)]:
+    ...     _ = g.add_edge(u, v)
+    >>> core_numbers(g)[1], core_numbers(g)[4]
+    (2, 1)
+    """
+    sym = _undirected_csr(graph)
+    cores = _core_number_array(sym)
+    return counts_to_dict(sym, cores)
+
+
+def _core_number_array(sym) -> np.ndarray:
+    count = sym.num_nodes
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+    indptr = sym.out_indptr
+    indices = sym.out_indices
+    degrees = sym.out_degrees().copy()
+    max_degree = int(degrees.max()) if count else 0
+
+    # Bucket sort nodes by degree: pos[v] is v's slot in `order`,
+    # bucket_start[d] the first slot of degree-d nodes.
+    bucket_start = np.zeros(max_degree + 2, dtype=np.int64)
+    np.add.at(bucket_start, degrees + 1, 1)
+    bucket_start = np.cumsum(bucket_start)
+    cursor = bucket_start[:-1].copy()
+    order = np.empty(count, dtype=np.int64)
+    pos = np.empty(count, dtype=np.int64)
+    for node in range(count):
+        slot = cursor[degrees[node]]
+        order[slot] = node
+        pos[node] = slot
+        cursor[degrees[node]] += 1
+    bucket_start = bucket_start[:-1]
+
+    cores = degrees.copy()
+    for index in range(count):
+        node = order[index]
+        node_degree = cores[node]
+        for nbr in indices[indptr[node]:indptr[node + 1]].tolist():
+            if cores[nbr] > node_degree:
+                # Move nbr one bucket down: swap it with the first node
+                # of its current bucket, then shrink the bucket.
+                deg_nbr = cores[nbr]
+                first_slot = bucket_start[deg_nbr]
+                first_node = order[first_slot]
+                if first_node != nbr:
+                    slot_nbr = pos[nbr]
+                    order[first_slot], order[slot_nbr] = nbr, first_node
+                    pos[nbr], pos[first_node] = first_slot, slot_nbr
+                bucket_start[deg_nbr] += 1
+                cores[nbr] -= 1
+    return cores
+
+
+def k_core(graph, k: int) -> "DirectedGraph | UndirectedGraph":
+    """The maximal induced subgraph whose nodes all have core number >= k.
+
+    The paper's Table 6 benchmarks ``3-core``; that is ``k_core(g, 3)``.
+    """
+    check_positive(k, "k")
+    numbers = core_numbers(graph)
+    keep = [node for node, core in numbers.items() if core >= k]
+    return subgraph(graph, keep)
+
+
+def degeneracy(graph) -> int:
+    """The graph's degeneracy: the largest k with a non-empty k-core."""
+    numbers = core_numbers(graph)
+    if not numbers:
+        return 0
+    return max(numbers.values())

@@ -1,0 +1,369 @@
+"""Graph generators (SNAP's generator family).
+
+These supply every synthetic workload in the benchmark harness; in
+particular :func:`rmat` generates the scaled stand-ins for LiveJournal
+and Twitter2010 (see DESIGN.md substitutions) with the skewed degree
+distributions that drive the paper's measured behaviour.
+
+All generators are deterministic for a fixed ``seed``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.convert.table_to_graph import graph_from_edge_arrays
+from repro.exceptions import AlgorithmError
+from repro.graphs.directed import DirectedGraph
+from repro.graphs.undirected import UndirectedGraph
+from repro.util.validation import check_fraction, check_non_negative, check_positive
+
+DEFAULT_RMAT = (0.57, 0.19, 0.19, 0.05)
+"""The standard Graph500 R-MAT partition probabilities (a, b, c, d)."""
+
+
+def complete_graph(num_nodes: int, directed: bool = False):
+    """Every ordered (directed) or unordered (undirected) pair is an edge."""
+    check_non_negative(num_nodes, "num_nodes")
+    graph = DirectedGraph() if directed else UndirectedGraph()
+    for node in range(num_nodes):
+        graph.add_node(node)
+    for u in range(num_nodes):
+        for v in range(num_nodes):
+            if u != v and (directed or u < v):
+                graph.add_edge(u, v)
+    return graph
+
+
+def star_graph(num_leaves: int) -> UndirectedGraph:
+    """Node 0 connected to ``num_leaves`` leaves."""
+    check_non_negative(num_leaves, "num_leaves")
+    graph = UndirectedGraph()
+    graph.add_node(0)
+    for leaf in range(1, num_leaves + 1):
+        graph.add_edge(0, leaf)
+    return graph
+
+
+def ring_graph(num_nodes: int) -> UndirectedGraph:
+    """A cycle of ``num_nodes`` nodes (a path for n=2, an edgeless dot for n=1)."""
+    check_non_negative(num_nodes, "num_nodes")
+    graph = UndirectedGraph()
+    for node in range(num_nodes):
+        graph.add_node(node)
+    if num_nodes >= 2:
+        for node in range(num_nodes):
+            graph.add_edge(node, (node + 1) % num_nodes)
+    return graph
+
+
+def grid_graph(rows: int, cols: int) -> UndirectedGraph:
+    """A rows × cols lattice (4-neighbour)."""
+    check_positive(rows, "rows")
+    check_positive(cols, "cols")
+    graph = UndirectedGraph()
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            graph.add_node(node)
+            if c + 1 < cols:
+                graph.add_edge(node, node + 1)
+            if r + 1 < rows:
+                graph.add_edge(node, node + cols)
+    return graph
+
+
+def balanced_tree(branching: int, depth: int) -> UndirectedGraph:
+    """A complete ``branching``-ary tree of the given depth."""
+    check_positive(branching, "branching")
+    check_non_negative(depth, "depth")
+    graph = UndirectedGraph()
+    graph.add_node(0)
+    frontier = [0]
+    next_id = 1
+    for _ in range(depth):
+        new_frontier = []
+        for parent in frontier:
+            for _ in range(branching):
+                graph.add_edge(parent, next_id)
+                new_frontier.append(next_id)
+                next_id += 1
+        frontier = new_frontier
+    return graph
+
+
+def erdos_renyi_gnm(
+    num_nodes: int, num_edges: int, directed: bool = False, seed: int = 0
+):
+    """G(n, m): ``num_edges`` distinct edges chosen uniformly (no loops)."""
+    check_positive(num_nodes, "num_nodes")
+    check_non_negative(num_edges, "num_edges")
+    max_edges = num_nodes * (num_nodes - 1)
+    if not directed:
+        max_edges //= 2
+    if num_edges > max_edges:
+        raise AlgorithmError(
+            f"cannot place {num_edges} edges in a {num_nodes}-node "
+            f"{'directed' if directed else 'undirected'} simple graph"
+        )
+    rng = np.random.default_rng(seed)
+    chosen: set[tuple[int, int]] = set()
+    while len(chosen) < num_edges:
+        need = num_edges - len(chosen)
+        src = rng.integers(0, num_nodes, size=2 * need + 8)
+        dst = rng.integers(0, num_nodes, size=2 * need + 8)
+        for u, v in zip(src.tolist(), dst.tolist()):
+            if u == v:
+                continue
+            key = (u, v) if directed or u < v else (v, u)
+            if key not in chosen:
+                chosen.add(key)
+                if len(chosen) == num_edges:
+                    break
+    graph = DirectedGraph() if directed else UndirectedGraph()
+    for node in range(num_nodes):
+        graph.add_node(node)
+    for u, v in chosen:
+        graph.add_edge(u, v)
+    return graph
+
+
+def erdos_renyi_gnp(
+    num_nodes: int, probability: float, directed: bool = False, seed: int = 0
+):
+    """G(n, p): each possible edge present independently with ``probability``."""
+    check_positive(num_nodes, "num_nodes")
+    check_fraction(probability, "probability")
+    rng = np.random.default_rng(seed)
+    graph = DirectedGraph() if directed else UndirectedGraph()
+    for node in range(num_nodes):
+        graph.add_node(node)
+    mask = rng.random((num_nodes, num_nodes)) < probability
+    np.fill_diagonal(mask, False)
+    if not directed:
+        mask = np.triu(mask)
+    src, dst = np.nonzero(mask)
+    for u, v in zip(src.tolist(), dst.tolist()):
+        graph.add_edge(u, v)
+    return graph
+
+
+def barabasi_albert(num_nodes: int, edges_per_node: int, seed: int = 0) -> UndirectedGraph:
+    """Preferential attachment: each new node attaches to ``edges_per_node``
+    existing nodes sampled proportionally to degree."""
+    check_positive(num_nodes, "num_nodes")
+    check_positive(edges_per_node, "edges_per_node")
+    if num_nodes <= edges_per_node:
+        raise AlgorithmError("num_nodes must exceed edges_per_node")
+    rng = np.random.default_rng(seed)
+    graph = UndirectedGraph()
+    # Seed clique keeps early attachment well-defined.
+    for node in range(edges_per_node + 1):
+        graph.add_node(node)
+    for u in range(edges_per_node + 1):
+        for v in range(u + 1, edges_per_node + 1):
+            graph.add_edge(u, v)
+    # Repeated-endpoint list implements degree-proportional sampling.
+    endpoint_pool: list[int] = []
+    for u, v in graph.edges():
+        endpoint_pool.extend((u, v))
+    for node in range(edges_per_node + 1, num_nodes):
+        targets: set[int] = set()
+        while len(targets) < edges_per_node:
+            targets.add(endpoint_pool[rng.integers(0, len(endpoint_pool))])
+        for target in targets:
+            graph.add_edge(node, target)
+            endpoint_pool.extend((node, target))
+    return graph
+
+
+def watts_strogatz(
+    num_nodes: int, nearest: int, rewire_probability: float, seed: int = 0
+) -> UndirectedGraph:
+    """Small-world model: ring lattice with random rewiring."""
+    check_positive(num_nodes, "num_nodes")
+    check_positive(nearest, "nearest")
+    check_fraction(rewire_probability, "rewire_probability")
+    if nearest % 2 != 0:
+        raise AlgorithmError("nearest must be even (k/2 links each side)")
+    if nearest >= num_nodes:
+        raise AlgorithmError("nearest must be below num_nodes")
+    rng = np.random.default_rng(seed)
+    graph = UndirectedGraph()
+    for node in range(num_nodes):
+        graph.add_node(node)
+    half = nearest // 2
+    for node in range(num_nodes):
+        for offset in range(1, half + 1):
+            graph.add_edge(node, (node + offset) % num_nodes)
+    for node in range(num_nodes):
+        for offset in range(1, half + 1):
+            if rng.random() < rewire_probability:
+                old = (node + offset) % num_nodes
+                if not graph.has_edge(node, old):
+                    continue
+                candidates = rng.integers(0, num_nodes, size=16).tolist()
+                for candidate in candidates:
+                    if candidate != node and not graph.has_edge(node, candidate):
+                        graph.del_edge(node, old)
+                        graph.add_edge(node, candidate)
+                        break
+    return graph
+
+
+def configuration_model(
+    degrees: "list[int] | np.ndarray", seed: int = 0
+) -> UndirectedGraph:
+    """Random simple graph approximating a target degree sequence.
+
+    Stub matching with rejection of self-loops and duplicate edges, so
+    realised degrees are <= the targets (equal for most nodes on sparse
+    sequences). The degree sum must be even.
+
+    >>> graph = configuration_model([2, 2, 2, 2], seed=1)
+    >>> all(graph.degree(n) <= 2 for n in graph.nodes())
+    True
+    """
+    degrees = np.asarray(degrees, dtype=np.int64)
+    if len(degrees) == 0:
+        return UndirectedGraph()
+    if degrees.min() < 0:
+        raise AlgorithmError("degrees must be non-negative")
+    if int(degrees.sum()) % 2 != 0:
+        raise AlgorithmError("degree sequence must have an even sum")
+    rng = np.random.default_rng(seed)
+    stubs = np.repeat(np.arange(len(degrees), dtype=np.int64), degrees)
+    rng.shuffle(stubs)
+    graph = UndirectedGraph()
+    for node in range(len(degrees)):
+        graph.add_node(node)
+    for u, v in zip(stubs[0::2].tolist(), stubs[1::2].tolist()):
+        if u != v:
+            graph.add_edge(u, v)
+    return graph
+
+
+def rewire(
+    graph: UndirectedGraph, swaps: int | None = None, seed: int = 0
+) -> UndirectedGraph:
+    """Degree-preserving randomisation by double-edge swaps.
+
+    The standard null model for motif/community significance: repeatedly
+    pick two edges (a, b) and (c, d) and exchange endpoints to (a, d),
+    (c, b), rejecting swaps that would create loops or duplicates. The
+    degree sequence is exactly preserved. ``swaps`` defaults to 10 x the
+    edge count.
+
+    >>> from repro.algorithms.generators import ring_graph
+    >>> original = ring_graph(12)
+    >>> shuffled = rewire(original, seed=2)
+    >>> sorted(shuffled.degree(n) for n in shuffled.nodes()) == [2] * 12
+    True
+    """
+    if graph.is_directed:
+        raise AlgorithmError("rewire operates on undirected graphs")
+    result = graph.copy()
+    edges = [list(edge) for edge in result.edges() if edge[0] != edge[1]]
+    if len(edges) < 2:
+        return result
+    if swaps is None:
+        swaps = 10 * len(edges)
+    check_non_negative(swaps, "swaps")
+    rng = np.random.default_rng(seed)
+    for _ in range(swaps):
+        i, j = rng.integers(0, len(edges), size=2)
+        if i == j:
+            continue
+        a, b = edges[i]
+        c, d = edges[j]
+        if len({a, b, c, d}) < 4:
+            continue
+        if result.has_edge(a, d) or result.has_edge(c, b):
+            continue
+        result.del_edge(a, b)
+        result.del_edge(c, d)
+        result.add_edge(a, d)
+        result.add_edge(c, b)
+        edges[i] = [a, d]
+        edges[j] = [c, b]
+    return result
+
+
+def planted_partition(
+    num_communities: int,
+    community_size: int,
+    p_in: float,
+    p_out: float,
+    seed: int = 0,
+) -> UndirectedGraph:
+    """Planted-partition model: dense blocks, sparse cross-block edges.
+
+    Node ``i`` belongs to community ``i // community_size``. Within a
+    community each pair is connected with probability ``p_in``, across
+    communities with ``p_out``. The standard testbed for community
+    detection (``p_in >> p_out`` makes the planted blocks recoverable).
+    """
+    check_positive(num_communities, "num_communities")
+    check_positive(community_size, "community_size")
+    check_fraction(p_in, "p_in")
+    check_fraction(p_out, "p_out")
+    rng = np.random.default_rng(seed)
+    total = num_communities * community_size
+    graph = UndirectedGraph()
+    for node in range(total):
+        graph.add_node(node)
+    community = np.arange(total) // community_size
+    draws = rng.random((total, total))
+    same = community[:, None] == community[None, :]
+    mask = np.where(same, draws < p_in, draws < p_out)
+    np.fill_diagonal(mask, False)
+    mask = np.triu(mask)
+    for u, v in zip(*np.nonzero(mask)):
+        graph.add_edge(int(u), int(v))
+    return graph
+
+
+def rmat_edges(
+    scale: int,
+    num_edges: int,
+    probabilities: tuple[float, float, float, float] = DEFAULT_RMAT,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Raw R-MAT edge arrays over ``2**scale`` node ids (may repeat).
+
+    Recursive quadrant descent, fully vectorised: each of ``scale``
+    levels draws one quadrant choice per edge.
+    """
+    check_positive(scale, "scale")
+    check_non_negative(num_edges, "num_edges")
+    a, b, c, d = probabilities
+    total = a + b + c + d
+    if not np.isclose(total, 1.0):
+        raise AlgorithmError(f"R-MAT probabilities must sum to 1, got {total}")
+    rng = np.random.default_rng(seed)
+    sources = np.zeros(num_edges, dtype=np.int64)
+    targets = np.zeros(num_edges, dtype=np.int64)
+    thresholds = np.cumsum([a, b, c])
+    for _ in range(scale):
+        draws = rng.random(num_edges)
+        quadrant = np.searchsorted(thresholds, draws)
+        sources = (sources << 1) | (quadrant >> 1)
+        targets = (targets << 1) | (quadrant & 1)
+    return sources, targets
+
+
+def rmat(
+    scale: int,
+    num_edges: int,
+    probabilities: tuple[float, float, float, float] = DEFAULT_RMAT,
+    seed: int = 0,
+    directed: bool = True,
+):
+    """R-MAT graph (power-law, community-structured — the LJ/TW stand-in).
+
+    Duplicate edges and self-loops from the generator are deduplicated by
+    the sort-first builder, so the edge count is approximately
+    ``num_edges``.
+    """
+    sources, targets = rmat_edges(scale, num_edges, probabilities, seed)
+    return graph_from_edge_arrays(sources, targets, directed=directed)

@@ -1,0 +1,125 @@
+"""Matchings: greedy maximal (any graph) and Hopcroft–Karp maximum
+(bipartite graphs).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.algorithms.coloring import bipartite_sides
+from repro.algorithms.triangles import _undirected_csr
+from repro.exceptions import AlgorithmError
+
+_INF = float("inf")
+
+
+def greedy_maximal_matching(graph) -> set[tuple[int, int]]:
+    """A maximal matching (no extendable edge remains), greedy by edge order.
+
+    Maximal, not maximum: at least half the maximum matching's size —
+    the classic 2-approximation.
+
+    >>> from repro.graphs.undirected import UndirectedGraph
+    >>> g = UndirectedGraph()
+    >>> for u, v in [(1, 2), (2, 3), (3, 4)]:
+    ...     _ = g.add_edge(u, v)
+    >>> len(greedy_maximal_matching(g))
+    2
+    """
+    csr = _undirected_csr(graph)
+    matched: set[int] = set()
+    matching: set[tuple[int, int]] = set()
+    node_ids = csr.node_ids
+    for dense in range(csr.num_nodes):
+        if dense in matched:
+            continue
+        for nbr in csr.out_neighbors(dense).tolist():
+            if nbr not in matched and nbr != dense:
+                matched.add(dense)
+                matched.add(nbr)
+                u = int(node_ids[dense])
+                v = int(node_ids[nbr])
+                matching.add((min(u, v), max(u, v)))
+                break
+    return matching
+
+
+def hopcroft_karp(graph, left: "set[int] | None" = None) -> dict[int, int]:
+    """Maximum matching of a bipartite graph, as a symmetric node map.
+
+    ``left`` optionally fixes the left side; otherwise a bipartition is
+    computed (raises :class:`AlgorithmError` for non-bipartite input).
+    Returns ``{u: v, v: u}`` for every matched pair.
+
+    >>> from repro.graphs.undirected import UndirectedGraph
+    >>> g = UndirectedGraph()
+    >>> for u, v in [(1, 10), (1, 11), (2, 10)]:
+    ...     _ = g.add_edge(u, v)
+    >>> match = hopcroft_karp(g)
+    >>> len(match) // 2
+    2
+    """
+    if left is None:
+        sides = bipartite_sides(graph)
+        if sides is None:
+            raise AlgorithmError("Hopcroft-Karp requires a bipartite graph")
+        left = sides[0]
+    csr = _undirected_csr(graph)
+    node_ids = csr.node_ids
+    left_dense = [d for d in range(csr.num_nodes) if int(node_ids[d]) in left]
+
+    match_left: dict[int, int] = {}
+    match_right: dict[int, int] = {}
+
+    def bfs() -> bool:
+        distances: dict[int, float] = {}
+        queue = deque()
+        for u in left_dense:
+            if u not in match_left:
+                distances[u] = 0
+                queue.append(u)
+        found_free = False
+        while queue:
+            u = queue.popleft()
+            for v in csr.out_neighbors(u).tolist():
+                partner = match_right.get(v)
+                if partner is None:
+                    found_free = True
+                elif partner not in distances:
+                    distances[partner] = distances[u] + 1
+                    queue.append(partner)
+        bfs.distances = distances  # type: ignore[attr-defined]
+        return found_free
+
+    def dfs(u: int) -> bool:
+        distances = bfs.distances  # type: ignore[attr-defined]
+        for v in csr.out_neighbors(u).tolist():
+            partner = match_right.get(v)
+            if partner is None or (
+                distances.get(partner) == distances.get(u, _INF) + 1 and dfs(partner)
+            ):
+                match_left[u] = v
+                match_right[v] = u
+                return True
+        distances.pop(u, None)
+        return False
+
+    while bfs():
+        for u in left_dense:
+            if u not in match_left:
+                dfs(u)
+
+    result: dict[int, int] = {}
+    for u, v in match_left.items():
+        a = int(node_ids[u])
+        b = int(node_ids[v])
+        result[a] = b
+        result[b] = a
+    return result
+
+
+def matching_size(matching: "dict[int, int] | set[tuple[int, int]]") -> int:
+    """Number of edges in a matching in either representation."""
+    if isinstance(matching, dict):
+        return len(matching) // 2
+    return len(matching)

@@ -1,0 +1,106 @@
+"""Minimum spanning tree / forest (Kruskal with union-find)."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.algorithms.sssp import _resolve_weight
+from repro.graphs.undirected import UndirectedGraph
+
+
+class UnionFind:
+    """Disjoint sets with path compression and union by size.
+
+    >>> uf = UnionFind()
+    >>> uf.union(1, 2)
+    True
+    >>> uf.find(1) == uf.find(2)
+    True
+    """
+
+    def __init__(self) -> None:
+        self._parent: dict[int, int] = {}
+        self._size: dict[int, int] = {}
+
+    def find(self, item: int) -> int:
+        """Representative of ``item``'s set (item auto-registered)."""
+        parent = self._parent
+        if item not in parent:
+            parent[item] = item
+            self._size[item] = 1
+            return item
+        root = item
+        while parent[root] != root:
+            root = parent[root]
+        while parent[item] != root:
+            parent[item], item = root, parent[item]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of ``a`` and ``b``; False if already joined."""
+        root_a = self.find(a)
+        root_b = self.find(b)
+        if root_a == root_b:
+            return False
+        if self._size[root_a] < self._size[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        self._size[root_a] += self._size[root_b]
+        return True
+
+    def connected(self, a: int, b: int) -> bool:
+        """Whether ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+
+def minimum_spanning_forest(
+    graph, weight: "str | Callable[[int, int], float] | None" = None
+) -> tuple[UndirectedGraph, float]:
+    """Kruskal's MSF over the undirected projection.
+
+    Returns ``(forest, total_weight)``; the forest spans every node (one
+    tree per connected component).
+
+    >>> from repro.graphs.undirected import UndirectedGraph as UG
+    >>> g = UG()
+    >>> for u, v in [(1, 2), (2, 3), (1, 3)]:
+    ...     _ = g.add_edge(u, v)
+    >>> forest, total = minimum_spanning_forest(g)
+    >>> forest.num_edges, total
+    (2, 2.0)
+    """
+    weight_fn = _resolve_weight(graph, weight)
+    if graph.is_directed:
+        undirected = graph.to_undirected()
+    else:
+        undirected = graph
+    weighted_edges = sorted(
+        ((weight_fn(u, v), u, v) for u, v in undirected.edges() if u != v),
+        key=lambda edge: edge[0],
+    )
+    forest = UndirectedGraph()
+    for node in undirected.nodes():
+        forest.add_node(node)
+    union_find = UnionFind()
+    total = 0.0
+    for edge_weight, u, v in weighted_edges:
+        if union_find.union(u, v):
+            forest.add_edge(u, v)
+            total += edge_weight
+    return forest, total
+
+
+def spanning_forest_from_edges(
+    edges: Iterable[tuple[int, int, float]]
+) -> tuple[UndirectedGraph, float]:
+    """Kruskal over an explicit weighted edge list ``(u, v, w)``."""
+    forest = UndirectedGraph()
+    union_find = UnionFind()
+    total = 0.0
+    for edge_weight, u, v in sorted((w, u, v) for u, v, w in edges):
+        forest.add_node(u)
+        forest.add_node(v)
+        if u != v and union_find.union(u, v):
+            forest.add_edge(u, v)
+            total += edge_weight
+    return forest, total

@@ -1,0 +1,63 @@
+"""Topological ordering and DAG checks (Kahn's algorithm)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.common import as_csr
+from repro.exceptions import AlgorithmError
+
+
+def topological_sort(graph) -> list[int]:
+    """Nodes in a topological order (original ids); raises on cycles.
+
+    Ties (multiple in-degree-zero candidates) resolve lowest-id first,
+    so the order is deterministic.
+
+    >>> from repro.graphs.directed import DirectedGraph
+    >>> g = DirectedGraph()
+    >>> _ = g.add_edge(1, 2); _ = g.add_edge(1, 3); _ = g.add_edge(3, 2)
+    >>> topological_sort(g)
+    [1, 3, 2]
+    """
+    import heapq
+
+    csr = as_csr(graph)
+    in_degree = csr.in_degrees().copy()
+    heap = [int(node) for node in np.flatnonzero(in_degree == 0)]
+    heapq.heapify(heap)
+    order: list[int] = []
+    while heap:
+        node = heapq.heappop(heap)
+        order.append(int(csr.node_ids[node]))
+        for nbr in csr.out_neighbors(node).tolist():
+            in_degree[nbr] -= 1
+            if in_degree[nbr] == 0:
+                heapq.heappush(heap, nbr)
+    if len(order) != csr.num_nodes:
+        raise AlgorithmError("graph has a cycle; topological order undefined")
+    return order
+
+
+def is_dag(graph) -> bool:
+    """Whether the directed graph has no cycles."""
+    try:
+        topological_sort(graph)
+    except AlgorithmError:
+        return False
+    return True
+
+
+def longest_path_length(graph) -> int:
+    """Edges on the longest path in a DAG; raises on cycles."""
+    order = topological_sort(graph)
+    csr = as_csr(graph)
+    longest: dict[int, int] = {node: 0 for node in order}
+    for node in order:
+        dense = csr.dense_of(node)
+        for nbr_dense in csr.out_neighbors(dense).tolist():
+            nbr = int(csr.node_ids[nbr_dense])
+            candidate = longest[node] + 1
+            if candidate > longest[nbr]:
+                longest[nbr] = candidate
+    return max(longest.values(), default=0)

@@ -1,0 +1,98 @@
+"""Random walks and walk-based estimation.
+
+Walk machinery used for sampling-based analytics (approximate
+personalised PageRank) and for generating realistic access patterns in
+the interactive-exploration examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.common import as_csr
+from repro.exceptions import AlgorithmError
+from repro.util.validation import check_fraction, check_positive
+
+
+def random_walk(
+    graph, start: int, length: int, seed: int = 0, restart_probability: float = 0.0
+) -> list[int]:
+    """A random walk of ``length`` steps from ``start`` (original ids).
+
+    Dead ends (and restarts, with the given probability) teleport back to
+    ``start``. The returned list includes the start node, so it has
+    ``length + 1`` entries.
+
+    >>> from repro.graphs.directed import DirectedGraph
+    >>> g = DirectedGraph()
+    >>> _ = g.add_edge(1, 2); _ = g.add_edge(2, 1)
+    >>> walk = random_walk(g, 1, 4)
+    >>> len(walk), walk[0]
+    (5, 1)
+    """
+    check_positive(length, "length")
+    check_fraction(restart_probability, "restart_probability")
+    csr = as_csr(graph)
+    current = csr.dense_of(start)
+    start_dense = current
+    rng = np.random.default_rng(seed)
+    node_ids = csr.node_ids
+    walk = [int(node_ids[current])]
+    for _ in range(length):
+        nbrs = csr.out_neighbors(current)
+        if len(nbrs) == 0 or rng.random() < restart_probability:
+            current = start_dense
+        else:
+            current = int(nbrs[rng.integers(0, len(nbrs))])
+        walk.append(int(node_ids[current]))
+    return walk
+
+
+def approximate_ppr(
+    graph,
+    source: int,
+    num_walks: int = 1000,
+    walk_length: int = 20,
+    restart_probability: float = 0.15,
+    seed: int = 0,
+) -> dict[int, float]:
+    """Personalised PageRank estimated by walk visit frequencies.
+
+    Monte-Carlo estimator: frequencies of node visits over restarting
+    walks converge to the PPR vector of ``source``.
+    """
+    check_positive(num_walks, "num_walks")
+    check_positive(walk_length, "walk_length")
+    csr = as_csr(graph)
+    start_dense = csr.dense_of(source)
+    rng = np.random.default_rng(seed)
+    visits = np.zeros(csr.num_nodes, dtype=np.int64)
+    for _ in range(num_walks):
+        current = start_dense
+        visits[current] += 1
+        for _ in range(walk_length):
+            nbrs = csr.out_neighbors(current)
+            if len(nbrs) == 0 or rng.random() < restart_probability:
+                current = start_dense
+            else:
+                current = int(nbrs[rng.integers(0, len(nbrs))])
+            visits[current] += 1
+    total = float(visits.sum())
+    node_ids = csr.node_ids
+    return {
+        int(node_ids[dense]): visits[dense] / total
+        for dense in np.flatnonzero(visits)
+    }
+
+
+def sample_nodes(graph, count: int, seed: int = 0) -> list[int]:
+    """Uniform sample of ``count`` distinct node ids."""
+    check_positive(count, "count")
+    csr = as_csr(graph)
+    if count > csr.num_nodes:
+        raise AlgorithmError(
+            f"cannot sample {count} nodes from a {csr.num_nodes}-node graph"
+        )
+    rng = np.random.default_rng(seed)
+    chosen = rng.choice(csr.num_nodes, size=count, replace=False)
+    return [int(csr.node_ids[dense]) for dense in chosen]

@@ -1,0 +1,138 @@
+"""Descriptive graph statistics (SNAP's ``PrintInfo`` family).
+
+Summaries used throughout the examples and the Table 1/2 benchmarks:
+degree distributions (as Ringo tables, so they flow back into the
+relational layer per Figure 2), density, reciprocity, assortativity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.common import as_csr
+from repro.graphs.csr import CSRGraph
+from repro.tables.schema import ColumnType, Schema
+from repro.tables.table import Table
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """Headline numbers for a graph (the ``PrintInfo`` block)."""
+
+    num_nodes: int
+    num_edges: int
+    is_directed: bool
+    density: float
+    self_loops: int
+    max_in_degree: int
+    max_out_degree: int
+
+    def __str__(self) -> str:
+        kind = "directed" if self.is_directed else "undirected"
+        return (
+            f"{kind} graph: {self.num_nodes} nodes, {self.num_edges} edges, "
+            f"density {self.density:.3e}, {self.self_loops} self-loops, "
+            f"max in/out degree {self.max_in_degree}/{self.max_out_degree}"
+        )
+
+
+def summarize(graph) -> GraphSummary:
+    """Compute a :class:`GraphSummary` for any graph object."""
+    csr = as_csr(graph)
+    directed = getattr(graph, "is_directed", True)
+    count = csr.num_nodes
+    edges = csr.num_edges if directed else getattr(graph, "num_edges", csr.num_edges)
+    possible = count * (count - 1) if directed else count * (count - 1) / 2
+    density = edges / possible if possible else 0.0
+    loops = _count_self_loops(csr)
+    in_deg = csr.in_degrees()
+    out_deg = csr.out_degrees()
+    return GraphSummary(
+        num_nodes=count,
+        num_edges=edges,
+        is_directed=directed,
+        density=density,
+        self_loops=loops,
+        max_in_degree=int(in_deg.max()) if count else 0,
+        max_out_degree=int(out_deg.max()) if count else 0,
+    )
+
+
+def _count_self_loops(csr: CSRGraph) -> int:
+    src = np.repeat(np.arange(csr.num_nodes, dtype=np.int64), csr.out_degrees())
+    return int(np.sum(src == csr.out_indices))
+
+
+def degree_distribution(graph, mode: str = "total") -> Table:
+    """Degree histogram as a table (``Degree``, ``Count``), ascending.
+
+    ``mode`` is ``in``, ``out``, or ``total``.
+    """
+    csr = as_csr(graph)
+    if mode == "in":
+        degrees = csr.in_degrees()
+    elif mode == "out":
+        degrees = csr.out_degrees()
+    elif mode == "total":
+        degrees = csr.in_degrees() + csr.out_degrees()
+    else:
+        raise ValueError(f"unknown degree mode {mode!r}")
+    values, counts = (
+        np.unique(degrees, return_counts=True)
+        if len(degrees)
+        else (np.empty(0, np.int64), np.empty(0, np.int64))
+    )
+    schema = Schema([("Degree", ColumnType.INT), ("Count", ColumnType.INT)])
+    return Table(schema, {"Degree": values.astype(np.int64), "Count": counts.astype(np.int64)})
+
+
+def reciprocity(graph) -> float:
+    """Fraction of directed edges whose reverse edge also exists."""
+    csr = as_csr(graph)
+    if csr.num_edges == 0:
+        return 0.0
+    src = np.repeat(np.arange(csr.num_nodes, dtype=np.int64), csr.out_degrees())
+    dst = csr.out_indices
+    forward = set(zip(src.tolist(), dst.tolist()))
+    mutual = sum(1 for u, v in forward if (v, u) in forward)
+    return mutual / len(forward)
+
+
+def degree_assortativity(graph) -> float:
+    """Pearson correlation of endpoint total degrees over edges.
+
+    Returns 0.0 when undefined (no edges, or zero variance).
+    """
+    csr = as_csr(graph)
+    if csr.num_edges == 0:
+        return 0.0
+    total_deg = (csr.in_degrees() + csr.out_degrees()).astype(np.float64)
+    src = np.repeat(np.arange(csr.num_nodes, dtype=np.int64), csr.out_degrees())
+    dst = csr.out_indices
+    x = total_deg[src]
+    y = total_deg[dst]
+    if np.isclose(x.std(), 0.0) or np.isclose(y.std(), 0.0):
+        return 0.0
+    return float(np.corrcoef(x, y)[0, 1])
+
+
+def edge_count_in_buckets(edge_counts: "list[int]", bounds: "list[int]") -> list[int]:
+    """Histogram of graph sizes into edge-count buckets (Table 1 helper).
+
+    ``bounds`` are the upper-exclusive bucket edges; a final overflow
+    bucket catches everything above the last bound.
+
+    >>> edge_count_in_buckets([5, 50, 500], [10, 100])
+    [1, 1, 1]
+    """
+    counts = [0] * (len(bounds) + 1)
+    for value in edge_counts:
+        for index, bound in enumerate(bounds):
+            if value < bound:
+                counts[index] += 1
+                break
+        else:
+            counts[-1] += 1
+    return counts

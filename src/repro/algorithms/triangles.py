@@ -1,0 +1,130 @@
+"""Triangle counting and clustering coefficients (paper §3, Table 3).
+
+"Triangle counting is directly related to relational joins"; Ringo's
+implementation is "a straightforward approach, similar to [PATRIC],
+parallelizing the execution with a few OpenMP statements". The same
+structure here: the *forward* node-iterator — each node intersects the
+sorted adjacency of its higher-ordered neighbours — with the per-node
+work distributed over a worker pool using degree-balanced chunks (degree
+skew makes equal-count partitions badly unbalanced).
+
+Directed input is treated as its undirected projection, matching the
+paper's "undirected triangle counting".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.common import as_csr, counts_to_dict
+from repro.graphs.csr import CSRGraph
+from repro.parallel.executor import WorkerPool, serial_pool
+from repro.parallel.partition import split_range
+
+
+def _undirected_csr(graph) -> CSRGraph:
+    """Symmetrised, loop-free CSR projection for triangle work."""
+    csr = as_csr(graph)
+    src = np.repeat(np.arange(csr.num_nodes, dtype=np.int64), csr.out_degrees())
+    dst = csr.out_indices
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    sym_src = np.concatenate([src, dst])
+    sym_dst = np.concatenate([dst, src])
+    pairs = np.unique(np.stack([sym_src, sym_dst], axis=1), axis=0)
+    return CSRGraph._from_dense_edges(csr.node_ids, pairs[:, 0], pairs[:, 1])
+
+
+def triangle_counts(graph, pool: WorkerPool | None = None) -> dict[int, int]:
+    """Number of triangles through each node.
+
+    >>> from repro.graphs.undirected import UndirectedGraph
+    >>> g = UndirectedGraph()
+    >>> for u, v in [(1, 2), (2, 3), (3, 1), (3, 4)]:
+    ...     _ = g.add_edge(u, v)
+    >>> triangle_counts(g)[3]
+    1
+    """
+    sym = _undirected_csr(graph)
+    counts = triangle_count_array(sym, pool=pool)
+    return counts_to_dict(sym, counts)
+
+
+def triangle_count_array(sym: CSRGraph, pool: WorkerPool | None = None) -> np.ndarray:
+    """Per-node triangle counts over a symmetrised, loop-free CSR.
+
+    Forward algorithm with degree-rank ordering: every node keeps only
+    its higher-ranked neighbours, so each triangle is closed exactly once
+    (at its lowest-ranked vertex) and hub work collapses from O(d^2) to
+    the O(m^1.5) bound — the "straightforward approach, similar to
+    PATRIC" the paper cites.
+    """
+    pool = pool if pool is not None else serial_pool()
+    count = sym.num_nodes
+    indptr = sym.out_indptr
+    indices = sym.out_indices
+    degrees = sym.out_degrees()
+    # Rank nodes by (degree, id); "forward" neighbours are higher-ranked.
+    rank = np.empty(count, dtype=np.int64)
+    rank[np.lexsort((np.arange(count), degrees))] = np.arange(count)
+    forward: list[np.ndarray] = [np.empty(0, dtype=np.int64)] * count
+    for node in range(count):
+        nbrs = indices[indptr[node]:indptr[node + 1]]
+        forward[node] = nbrs[rank[nbrs] > rank[node]]
+    totals = np.zeros(count, dtype=np.int64)
+
+    def count_partition(lo: int, hi: int) -> np.ndarray:
+        partial = np.zeros(count, dtype=np.int64)
+        for node in range(lo, hi):
+            fwd = forward[node]
+            for nbr in fwd.tolist():
+                # w in forward[node] ∩ forward[nbr] closes triangle
+                # (node, nbr, w) with rank(node) < rank(nbr) < rank(w).
+                shared = np.intersect1d(fwd, forward[nbr], assume_unique=True)
+                wedges = len(shared)
+                if wedges:
+                    partial[node] += wedges
+                    partial[nbr] += wedges
+                    np.add.at(partial, shared, 1)
+        return partial
+
+    for partial in pool.map_range(count, count_partition):
+        totals += partial
+    return totals
+
+
+def total_triangles(graph, pool: WorkerPool | None = None) -> int:
+    """Total number of distinct triangles in the graph."""
+    sym = _undirected_csr(graph)
+    counts = triangle_count_array(sym, pool=pool)
+    return int(counts.sum()) // 3
+
+
+def clustering_coefficients(graph) -> dict[int, float]:
+    """Local clustering coefficient per node (0 for degree < 2)."""
+    sym = _undirected_csr(graph)
+    counts = triangle_count_array(sym)
+    degrees = sym.out_degrees().astype(np.float64)
+    possible = degrees * (degrees - 1) / 2.0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        local = np.where(possible > 0, counts / possible, 0.0)
+    return dict(zip(sym.node_ids.tolist(), local.tolist()))
+
+
+def average_clustering(graph) -> float:
+    """Mean local clustering coefficient (0.0 for the empty graph)."""
+    coefficients = clustering_coefficients(graph)
+    if not coefficients:
+        return 0.0
+    return sum(coefficients.values()) / len(coefficients)
+
+
+def global_clustering(graph) -> float:
+    """Transitivity: ``3 * triangles / wedges`` (0.0 if no wedges)."""
+    sym = _undirected_csr(graph)
+    counts = triangle_count_array(sym)
+    degrees = sym.out_degrees().astype(np.float64)
+    wedges = float((degrees * (degrees - 1) / 2.0).sum())
+    if wedges == 0:
+        return 0.0
+    return 3.0 * (float(counts.sum()) / 3.0) / wedges

@@ -1,0 +1,169 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info`` — engine summary: version, registered function counts.
+* ``functions [--category C]`` — list the registered analytics surface.
+* ``demo [--tag TAG]`` — run the §4.1 StackOverflow expert demo.
+* ``generate --kind K ...`` — emit a synthetic graph as an edge list.
+* ``stats PATH`` — summarise an edge-list file (PrintInfo-style).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import __version__
+from repro.core.engine import Ringo
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    with Ringo(workers=1) as ringo:
+        print(f"repro {__version__} — Ringo (SIGMOD 2015) reproduction")
+        print(f"registered functions: {ringo.NumFunctions()}")
+        for category, count in sorted(ringo.registry.categories().items()):
+            print(f"  {category:<18} {count}")
+    return 0
+
+
+def _cmd_functions(args: argparse.Namespace) -> int:
+    with Ringo(workers=1) as ringo:
+        for name in ringo.Functions(category=args.category):
+            entry = ringo.registry.get(name)
+            print(f"{name:<48} {entry.description}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.workflows.stackoverflow import (
+        POSTS_SCHEMA,
+        StackOverflowConfig,
+        generate_stackoverflow,
+        write_posts_tsv,
+    )
+
+    config = StackOverflowConfig(num_users=800, num_questions=5000, seed=2015)
+    if args.tag not in config.tags:
+        print(f"unknown tag {args.tag!r}; pick one of {config.tags}", file=sys.stderr)
+        return 2
+    data = generate_stackoverflow(config)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "posts.tsv"
+        write_posts_tsv(data, path)
+        with Ringo() as ringo:
+            posts = ringo.LoadTableTSV(POSTS_SCHEMA, path)
+            tagged = ringo.Select(posts, f"Tag='{args.tag}'")
+            questions = ringo.Select(tagged, "Type=question")
+            answers = ringo.Select(tagged, "Type=answer")
+            qa = ringo.Join(questions, answers, "AnswerId", "PostId")
+            graph = ringo.ToGraph(qa, "UserId-1", "UserId-2")
+            ranks = ringo.GetPageRank(graph)
+            scores = ringo.TableFromHashMap(ranks, "User", "Scr")
+            top = ringo.TopK(scores, "Scr", 10)
+    top_users = top.column("User").tolist()
+    truth = set(data.experts_for(args.tag))
+    hits = sum(1 for user in top_users if user in truth)
+    print(f"top-10 {args.tag} experts: {top_users}")
+    print(f"precision@10 vs planted experts: {hits}/10")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.algorithms import generators
+    from repro.graphs.serialize import save_edge_list
+
+    if args.kind == "rmat":
+        graph = generators.rmat(args.scale, args.edges, seed=args.seed)
+    elif args.kind == "ba":
+        graph = generators.barabasi_albert(args.nodes, args.attach, seed=args.seed)
+    elif args.kind == "er":
+        graph = generators.erdos_renyi_gnm(args.nodes, args.edges, seed=args.seed)
+    else:
+        print(f"unknown kind {args.kind!r}", file=sys.stderr)
+        return 2
+    written = save_edge_list(graph, args.output)
+    print(f"wrote {written} edges ({graph.num_nodes} nodes) to {args.output}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    results_dir = Path(args.results)
+    if not results_dir.is_dir():
+        print(f"no results directory at {results_dir}; run "
+              f"`pytest benchmarks/ --benchmark-only` first", file=sys.stderr)
+        return 2
+    files = sorted(results_dir.glob("*.txt"))
+    if not files:
+        print(f"no result files in {results_dir}", file=sys.stderr)
+        return 2
+    for path in files:
+        print(f"\n=== {path.stem} ===")
+        print(path.read_text().rstrip())
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.algorithms.statistics import summarize
+    from repro.graphs.serialize import load_edge_list
+
+    graph = load_edge_list(args.path, directed=not args.undirected)
+    print(summarize(graph))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Ringo (SIGMOD 2015) reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="engine summary")
+    info.set_defaults(func=_cmd_info)
+
+    functions = sub.add_parser("functions", help="list registered functions")
+    functions.add_argument("--category", default=None)
+    functions.set_defaults(func=_cmd_functions)
+
+    demo = sub.add_parser("demo", help="run the StackOverflow expert demo")
+    demo.add_argument("--tag", default="Java")
+    demo.set_defaults(func=_cmd_demo)
+
+    generate = sub.add_parser("generate", help="emit a synthetic graph edge list")
+    generate.add_argument("--kind", choices=("rmat", "ba", "er"), default="rmat")
+    generate.add_argument("--scale", type=int, default=10)
+    generate.add_argument("--edges", type=int, default=10_000)
+    generate.add_argument("--nodes", type=int, default=1_000)
+    generate.add_argument("--attach", type=int, default=3)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--output", required=True)
+    generate.set_defaults(func=_cmd_generate)
+
+    stats = sub.add_parser("stats", help="summarise an edge-list file")
+    stats.add_argument("path")
+    stats.add_argument("--undirected", action="store_true")
+    stats.set_defaults(func=_cmd_stats)
+
+    report = sub.add_parser(
+        "report", help="print the regenerated paper tables from benchmark runs"
+    )
+    report.add_argument(
+        "--results",
+        default=str(Path(__file__).resolve().parents[2] / "benchmarks" / "results"),
+    )
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,48 @@
+"""Result → table conversion (paper §4.1, ``ringo.TableFromHashMap``).
+
+Graph algorithms return per-node result maps; the demo's last line —
+``S = ringo.TableFromHashMap(PR, 'User', 'Scr')`` — turns the PageRank
+map into a two-column table so the workflow loop (Figure 2) can continue
+with relational operations.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.exceptions import ConversionError
+from repro.tables.schema import ColumnType, Schema
+from repro.tables.strings import StringPool
+from repro.tables.table import Table
+
+
+def table_from_hashmap(
+    mapping: Mapping[int, "int | float"],
+    key_col: str,
+    value_col: str,
+    pool: StringPool | None = None,
+) -> Table:
+    """Build a two-column table from a ``{node_id: value}`` mapping.
+
+    Values must be uniformly int or float; the value column type follows.
+
+    >>> table = table_from_hashmap({1: 0.5, 2: 0.25}, "User", "Scr")
+    >>> table.schema.names
+    ('User', 'Scr')
+    >>> table.num_rows
+    2
+    """
+    if key_col == value_col:
+        raise ConversionError("key and value columns must have distinct names")
+    keys = np.fromiter(mapping.keys(), dtype=np.int64, count=len(mapping))
+    values = list(mapping.values())
+    if all(isinstance(value, (int, np.integer)) for value in values):
+        value_type = ColumnType.INT
+        value_array = np.asarray(values, dtype=np.int64)
+    else:
+        value_type = ColumnType.FLOAT
+        value_array = np.asarray(values, dtype=np.float64)
+    schema = Schema([(key_col, ColumnType.INT), (value_col, value_type)])
+    return Table(schema, {key_col: keys, value_col: value_array}, pool=pool)

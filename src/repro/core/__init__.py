@@ -1,0 +1,15 @@
+"""The Ringo session API (paper §2.5, §4.1)."""
+
+from repro.core.engine import Ringo
+from repro.core.registry import (
+    FunctionRegistry,
+    RegisteredFunction,
+    build_default_registry,
+)
+
+__all__ = [
+    "FunctionRegistry",
+    "RegisteredFunction",
+    "Ringo",
+    "build_default_registry",
+]

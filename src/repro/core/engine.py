@@ -1,0 +1,400 @@
+"""The Ringo session — the paper's Python front-end (paper §2.5, §4.1).
+
+One :class:`Ringo` object plays the role of the ``ringo`` module in the
+paper's demo listing; its methods keep the paper's exact names and call
+shapes::
+
+    ringo = Ringo()
+    P  = ringo.LoadTableTSV(schema, 'posts.tsv')
+    JP = ringo.Select(P, 'Tag=Java')
+    Q  = ringo.Select(JP, 'Type=question')
+    A  = ringo.Select(JP, 'Type=answer')
+    QA = ringo.Join(Q, A, 'AnswerId', 'PostId')
+    G  = ringo.ToGraph(QA, 'UserId-1', 'UserId-2')
+    PR = ringo.GetPageRank(G)
+    S  = ringo.TableFromHashMap(PR, 'User', 'Scr')
+
+The session owns a shared string pool (so every table it creates is
+join-compatible) and a worker pool (the §2.5 OpenMP stand-in) used by
+the parallel operations.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro import algorithms as alg
+from repro import convert, tables
+from repro.core.registry import FunctionRegistry, build_default_registry
+from repro.parallel.executor import WorkerPool
+from repro.tables.schema import Schema
+from repro.tables.strings import StringPool
+from repro.tables.table import Table
+
+
+class Ringo:
+    """An interactive analytics session.
+
+    >>> ringo = Ringo(workers=1)
+    >>> table = ringo.TableFromColumns({"a": [1, 2], "b": [2, 3]})
+    >>> graph = ringo.ToGraph(table, "a", "b")
+    >>> graph.num_edges
+    2
+    """
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.pool = StringPool()
+        self.workers = WorkerPool(workers)
+        self.registry: FunctionRegistry = build_default_registry()
+
+    def close(self) -> None:
+        """Shut down the worker pool."""
+        self.workers.close()
+
+    def __enter__(self) -> "Ringo":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Table input/output
+    # ------------------------------------------------------------------
+
+    def LoadTableTSV(self, schema, path, **kwargs) -> Table:
+        """Load a TSV file into a table (paper §4.1 listing, line 1)."""
+        return tables.load_table_tsv(schema, path, pool=self.pool, **kwargs)
+
+    def SaveTableTSV(self, table: Table, path, **kwargs) -> int:
+        """Write a table as TSV; returns the row count."""
+        return tables.save_table_tsv(table, path, **kwargs)
+
+    def TableFromColumns(self, data, schema=None) -> Table:
+        """Build a table from per-column data (session-pooled)."""
+        return Table.from_columns(data, schema=schema, pool=self.pool)
+
+    def TableFromHashMap(self, mapping: Mapping, key_col: str, value_col: str) -> Table:
+        """Result map → two-column table (paper §4.1 listing, last line)."""
+        return convert.table_from_hashmap(mapping, key_col, value_col, pool=self.pool)
+
+    # ------------------------------------------------------------------
+    # Relational operations (§2.3)
+    # ------------------------------------------------------------------
+
+    def Select(self, table: Table, predicate, in_place: bool = False) -> Table:
+        """Filter rows by predicate string/mask (``'Tag=Java'``)."""
+        return tables.select(table, predicate, in_place=in_place)
+
+    def Join(self, left: Table, right: Table, left_col, right_col=None, **kwargs) -> Table:
+        """Inner equi-join; always a new table, clashes suffixed -1/-2."""
+        return tables.join(left, right, left_col, right_col, **kwargs)
+
+    def Project(self, table: Table, columns: Sequence[str]) -> Table:
+        """Keep only the named columns."""
+        return tables.project(table, columns)
+
+    def Rename(self, table: Table, mapping: Mapping[str, str]) -> Table:
+        """Rename columns (new table, shared data)."""
+        return tables.rename(table, mapping)
+
+    def GroupBy(self, table: Table, keys, aggregations=None) -> Table:
+        """Group & aggregate."""
+        return tables.group_by(table, keys, aggregations)
+
+    def OrderBy(self, table: Table, keys, ascending: bool = True, in_place: bool = False) -> Table:
+        """Sort rows."""
+        return tables.order_by(table, keys, ascending=ascending, in_place=in_place)
+
+    def Union(self, left: Table, right: Table, distinct: bool = True) -> Table:
+        """Set union (UNION ALL with ``distinct=False``)."""
+        return tables.union(left, right, distinct=distinct)
+
+    def Intersect(self, left: Table, right: Table) -> Table:
+        """Set intersection."""
+        return tables.intersect(left, right)
+
+    def Minus(self, left: Table, right: Table) -> Table:
+        """Set difference."""
+        return tables.minus(left, right)
+
+    def SimJoin(self, left: Table, right: Table, on, threshold: float, **kwargs) -> Table:
+        """Similarity join: rows whose key distance is below threshold."""
+        return tables.sim_join(left, right, on, threshold, **kwargs)
+
+    def NextK(self, table: Table, order_col: str, k: int, group_col: str | None = None) -> Table:
+        """Temporal predecessor/successor join."""
+        return tables.next_k(table, order_col, k, group_col=group_col)
+
+    def Distinct(self, table: Table, columns: Sequence[str] | None = None) -> Table:
+        """Unique rows (first occurrence kept)."""
+        return tables.distinct(table, columns)
+
+    def Limit(self, table: Table, count: int) -> Table:
+        """The first ``count`` rows."""
+        return tables.limit(table, count)
+
+    def TopK(self, table: Table, column: str, k: int, ascending: bool = False) -> Table:
+        """The ``k`` extreme rows by one column."""
+        return tables.top_k(table, column, k, ascending=ascending)
+
+    def ValueCounts(self, table: Table, column: str) -> Table:
+        """Distinct values with occurrence counts, descending."""
+        return tables.value_counts(table, column)
+
+    def WithColumn(self, table: Table, name: str, expression: str, as_int: bool = False) -> Table:
+        """Append a computed column from an arithmetic expression."""
+        return tables.with_column(table, name, expression, as_int=as_int)
+
+    def Sample(self, table: Table, count: int, seed: int = 0) -> Table:
+        """A uniform random row sample."""
+        return tables.sample_rows(table, count, seed=seed)
+
+    # ------------------------------------------------------------------
+    # Conversions (§2.4)
+    # ------------------------------------------------------------------
+
+    def ToGraph(self, table: Table, src_col: str, dst_col: str, directed: bool = True):
+        """Edge table → graph via the sort-first algorithm."""
+        return convert.to_graph(
+            table, src_col, dst_col, directed=directed, pool=self.workers
+        )
+
+    def ToWeightedNetwork(
+        self, table: Table, src_col: str, dst_col: str,
+        weight_col: str | None = None,
+    ):
+        """Collapse duplicate edges into a weight-attributed Network."""
+        return convert.weighted_network_from_edges(
+            table, src_col, dst_col, weight_col=weight_col
+        )
+
+    def GetKTruss(self, graph, k: int):
+        """The k-truss subgraph (edges with >= k-2 triangle supports)."""
+        return alg.k_truss(graph, k)
+
+    def GetEdgeTable(self, graph) -> Table:
+        """Graph → edge table (partitioned parallel writer)."""
+        return convert.to_edge_table(graph, pool=self.workers, string_pool=self.pool)
+
+    def GetNodeTable(self, graph, include_degrees: bool = False) -> Table:
+        """Graph → node table, optionally with degree columns."""
+        return convert.to_node_table(
+            graph, include_degrees=include_degrees,
+            pool=self.workers, string_pool=self.pool,
+        )
+
+    # ------------------------------------------------------------------
+    # Graph analytics (§2.2's algorithm surface, paper-named)
+    # ------------------------------------------------------------------
+
+    def GetPageRank(self, graph, **kwargs) -> dict[int, float]:
+        """PageRank scores (the demo's expert-ranking step)."""
+        return alg.pagerank(graph, **kwargs)
+
+    def GetHits(self, graph, **kwargs) -> tuple[dict[int, float], dict[int, float]]:
+        """HITS ``(hubs, authorities)``."""
+        return alg.hits(graph, **kwargs)
+
+    def GetTriangles(self, graph) -> int:
+        """Total distinct triangles (Table 3's second benchmark)."""
+        return alg.total_triangles(graph, pool=self.workers)
+
+    def GetTriangleCounts(self, graph) -> dict[int, int]:
+        """Per-node triangle participation counts."""
+        return alg.triangle_counts(graph, pool=self.workers)
+
+    def GetClusteringCoefficients(self, graph) -> dict[int, float]:
+        """Local clustering coefficient per node."""
+        return alg.clustering_coefficients(graph)
+
+    def GetKCore(self, graph, k: int):
+        """The k-core subgraph (Table 6 benchmarks ``k=3``)."""
+        return alg.k_core(graph, k)
+
+    def GetCoreNumbers(self, graph) -> dict[int, int]:
+        """Core number per node."""
+        return alg.core_numbers(graph)
+
+    def GetSssp(self, graph, source: int, weight=None) -> dict[int, float]:
+        """Single-source shortest paths (Table 6's SSSP)."""
+        return alg.dijkstra(graph, source, weight=weight)
+
+    def GetBfsLevels(self, graph, source: int, direction: str = "out") -> dict[int, int]:
+        """BFS hop distances from a source."""
+        return alg.bfs_levels(graph, source, direction=direction)
+
+    def GetScc(self, graph) -> dict[int, int]:
+        """Strongly connected component labels (Table 6's SCC)."""
+        return alg.strongly_connected_components(graph)
+
+    def GetWcc(self, graph) -> dict[int, int]:
+        """Weakly connected component labels."""
+        return alg.weakly_connected_components(graph)
+
+    def GetDegreeCentrality(self, graph, mode: str = "total") -> dict[int, float]:
+        """Degree centrality."""
+        return alg.degree_centrality(graph, mode)
+
+    def GetCommunities(self, graph, **kwargs) -> dict[int, int]:
+        """Label-propagation communities."""
+        return alg.label_propagation(graph, **kwargs)
+
+    def GetDiameter(self, graph, **kwargs) -> int:
+        """(Sampled) diameter."""
+        return alg.diameter(graph, **kwargs)
+
+    def GetEffectiveDiameter(self, graph, **kwargs) -> float:
+        """(Sampled) 90th-percentile effective diameter."""
+        return alg.effective_diameter(graph, **kwargs)
+
+    def GetDegreeDistribution(self, graph, mode: str = "total") -> Table:
+        """Degree histogram as a session table."""
+        return alg.degree_distribution(graph, mode)
+
+    def GenRMat(self, scale: int, num_edges: int, seed: int = 0, directed: bool = True):
+        """R-MAT synthetic graph."""
+        return alg.rmat(scale, num_edges, seed=seed, directed=directed)
+
+    def GenPrefAttach(self, num_nodes: int, edges_per_node: int, seed: int = 0):
+        """Barabási–Albert synthetic graph."""
+        return alg.barabasi_albert(num_nodes, edges_per_node, seed=seed)
+
+    def GenErdosRenyi(self, num_nodes: int, num_edges: int, directed: bool = False, seed: int = 0):
+        """G(n, m) synthetic graph."""
+        return alg.erdos_renyi_gnm(num_nodes, num_edges, directed=directed, seed=seed)
+
+    def GenPlantedPartition(
+        self, num_communities: int, community_size: int,
+        p_in: float, p_out: float, seed: int = 0,
+    ):
+        """Planted-partition synthetic graph (community-detection testbed)."""
+        return alg.planted_partition(num_communities, community_size, p_in, p_out, seed=seed)
+
+    def GetKatz(self, graph, **kwargs) -> dict[int, float]:
+        """Katz centrality."""
+        return alg.katz_centrality(graph, **kwargs)
+
+    def GetTriadCensus(self, graph) -> dict[str, int]:
+        """The 16-class directed triad census."""
+        return alg.triad_census(graph)
+
+    def GetArticulationPoints(self, graph) -> set[int]:
+        """Cut vertices of the undirected projection."""
+        return alg.articulation_points(graph)
+
+    def GetBridges(self, graph) -> set[tuple[int, int]]:
+        """Cut edges of the undirected projection."""
+        return alg.bridges(graph)
+
+    def GetColoring(self, graph, strategy: str = "degree") -> dict[int, int]:
+        """Greedy proper node colouring."""
+        return alg.greedy_coloring(graph, strategy)
+
+    def IsBipartite(self, graph) -> bool:
+        """Whether the undirected projection is 2-colourable."""
+        return alg.is_bipartite(graph)
+
+    def GetLinkPredictions(self, graph, k: int = 10, scorer=None) -> list:
+        """Top-k predicted links by a similarity index (Jaccard default)."""
+        if scorer is None:
+            scorer = alg.jaccard_coefficient
+        return alg.top_predicted_links(graph, scorer=scorer, k=k)
+
+    def GetWeightedPageRank(self, network, weight_attr: str, **kwargs) -> dict[int, float]:
+        """PageRank with rank spread proportional to edge weights."""
+        return alg.pagerank_weighted(network, weight_attr, **kwargs)
+
+    def GetEgonet(self, graph, center: int, radius: int = 1, direction: str = "both"):
+        """The induced subgraph around one node."""
+        from repro.graphs.ops import ego_network
+
+        return ego_network(graph, center, radius=radius, direction=direction)
+
+    def Describe(self, table: Table) -> Table:
+        """Per-column summary statistics."""
+        return tables.describe(table, pool=self.pool)
+
+    def Crosstab(self, table: Table, row_col: str, col_col: str, agg: str = "count", value_col: str | None = None) -> Table:
+        """Wide-format cross-tabulation of two key columns."""
+        return tables.crosstab(table, row_col, col_col, agg=agg, value_col=value_col)
+
+    def Quantiles(self, table: Table, column: str, probabilities) -> list[float]:
+        """Quantiles of a numeric column."""
+        return tables.quantiles(table, column, probabilities)
+
+    def GetMaxFlow(self, graph, source: int, sink: int, capacity=None) -> float:
+        """Maximum s-t flow (Dinic)."""
+        return alg.max_flow(graph, source, sink, capacity=capacity)
+
+    def GetMinCut(self, graph, source: int, sink: int, capacity=None) -> tuple[set[int], set[int]]:
+        """Minimum s-t cut node partition."""
+        return alg.min_cut_partition(graph, source, sink, capacity=capacity)
+
+    def GetMatching(self, graph) -> dict[int, int]:
+        """Maximum bipartite matching (Hopcroft-Karp)."""
+        return alg.hopcroft_karp(graph)
+
+    def ToCoOccurrenceGraph(
+        self, table: Table, group_col: str, actor_col: str,
+        max_group_size: int | None = None,
+    ):
+        """Link actors sharing a group value (§4.1's alternative build)."""
+        return convert.co_occurrence_graph(
+            table, group_col, actor_col,
+            max_group_size=max_group_size, pool=self.workers,
+        )
+
+    def GetSnapshots(
+        self, table: Table, time_col: str, src_col: str, dst_col: str,
+        window: float, cumulative: bool = False,
+    ):
+        """Time-windowed interaction graphs from an event table."""
+        from repro.workflows.temporal import temporal_snapshots
+
+        return temporal_snapshots(
+            table, time_col, src_col, dst_col, window, cumulative=cumulative
+        )
+
+    def FindCycle(self, graph) -> "list[int] | None":
+        """One directed cycle (closed node list), or None."""
+        return alg.find_cycle(graph)
+
+    def GetGirth(self, graph) -> "int | None":
+        """Shortest cycle length of the undirected projection."""
+        return alg.girth(graph)
+
+    def GetSpectralBisection(self, graph, seed: int = 0) -> tuple[set[int], set[int]]:
+        """Two-way partition by the Fiedler vector's sign."""
+        return alg.spectral_bisection(graph, seed=seed)
+
+    def GetAlgebraicConnectivity(self, graph, seed: int = 0) -> float:
+        """Second-smallest Laplacian eigenvalue."""
+        return alg.algebraic_connectivity(graph, seed=seed)
+
+    def GenConfigurationModel(self, degrees, seed: int = 0):
+        """Random graph approximating a degree sequence."""
+        return alg.configuration_model(degrees, seed=seed)
+
+    def Rewire(self, graph, swaps: int | None = None, seed: int = 0):
+        """Degree-preserving double-edge-swap null model."""
+        return alg.rewire(graph, swaps=swaps, seed=seed)
+
+    def SaveTableBinary(self, table: Table, path) -> None:
+        """Snapshot a table to a binary .npz archive."""
+        tables.save_table_npz(table, path)
+
+    def LoadTableBinary(self, path) -> Table:
+        """Load a binary table snapshot (session-pooled)."""
+        return tables.load_table_npz(path, pool=self.pool)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def Functions(self, category: str | None = None) -> list[str]:
+        """Registered function names (optionally one category)."""
+        return self.registry.names(category)
+
+    def NumFunctions(self) -> int:
+        """Size of the analytics surface — the paper's "over 200" claim."""
+        return len(self.registry)

@@ -1,0 +1,75 @@
+"""Exception hierarchy for the Ringo reproduction.
+
+Every error raised deliberately by this package derives from
+:class:`RingoError`, so callers embedding the engine can catch one type.
+"""
+
+from __future__ import annotations
+
+
+class RingoError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SchemaError(RingoError):
+    """A table schema is malformed or an operation violates it."""
+
+
+class ColumnNotFoundError(SchemaError):
+    """A referenced column does not exist in the table."""
+
+    def __init__(self, name: str, available: tuple[str, ...] = ()):
+        self.name = name
+        self.available = tuple(available)
+        hint = f"; available columns: {', '.join(self.available)}" if available else ""
+        super().__init__(f"column {name!r} not found{hint}")
+
+
+class TypeMismatchError(SchemaError):
+    """An operation combined columns or values of incompatible types."""
+
+
+class GraphError(RingoError):
+    """A graph structure was used incorrectly."""
+
+
+class NodeNotFoundError(GraphError):
+    """A referenced node id is not present in the graph."""
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+        super().__init__(f"node {node_id} not in graph")
+
+
+class EdgeNotFoundError(GraphError):
+    """A referenced edge is not present in the graph."""
+
+    def __init__(self, src: int, dst: int):
+        self.src = src
+        self.dst = dst
+        super().__init__(f"edge ({src} -> {dst}) not in graph")
+
+
+class ExpressionError(RingoError):
+    """A selection predicate string could not be parsed or evaluated."""
+
+
+class ConversionError(RingoError):
+    """A table/graph conversion was requested with invalid inputs."""
+
+
+class AlgorithmError(RingoError):
+    """A graph algorithm was invoked with invalid parameters or input."""
+
+
+class ConvergenceError(AlgorithmError):
+    """An iterative algorithm failed to converge within its iteration cap."""
+
+    def __init__(self, algorithm: str, iterations: int, residual: float):
+        self.algorithm = algorithm
+        self.iterations = iterations
+        self.residual = residual
+        super().__init__(
+            f"{algorithm} did not converge after {iterations} iterations "
+            f"(residual {residual:.3e})"
+        )

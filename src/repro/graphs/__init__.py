@@ -1,0 +1,49 @@
+"""Ringo graph objects (paper §2.2).
+
+Dynamic graphs as hash tables of nodes with sorted adjacency vectors
+(directed, undirected, attributed, multi), an immutable CSR snapshot for
+bulk analytics and the §2.2 design-tradeoff ablation, plus structural
+operations and binary serialization.
+"""
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.directed import DirectedGraph
+from repro.graphs.multigraph import DirectedMultigraph
+from repro.graphs.network import Network
+from repro.graphs.ops import (
+    degree_array,
+    ego_network,
+    filter_by_degree,
+    intersect_graphs,
+    merge_graphs,
+    remove_self_loops,
+    renumber,
+    subgraph,
+)
+from repro.graphs.serialize import (
+    load_edge_list,
+    load_graph,
+    save_edge_list,
+    save_graph,
+)
+from repro.graphs.undirected import UndirectedGraph
+
+__all__ = [
+    "CSRGraph",
+    "DirectedGraph",
+    "DirectedMultigraph",
+    "Network",
+    "UndirectedGraph",
+    "degree_array",
+    "ego_network",
+    "filter_by_degree",
+    "intersect_graphs",
+    "merge_graphs",
+    "load_edge_list",
+    "load_graph",
+    "remove_self_loops",
+    "renumber",
+    "save_edge_list",
+    "save_graph",
+    "subgraph",
+]

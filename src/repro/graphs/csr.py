@@ -1,0 +1,235 @@
+"""Compressed Sparse Row snapshot — the representation Ringo decided
+*against* for its dynamic graphs (paper §2.2), kept here for two reasons:
+
+* the A2 ablation benchmark measures the design trade-off the paper
+  describes (CSR traversal speed vs prohibitive update cost), and
+* the bulk analytics kernels (PageRank, triangles) run fastest over a
+  CSR snapshot, mirroring how Ringo's C++ loops stream over contiguous
+  adjacency data.
+
+A :class:`CSRGraph` is immutable. Node ids are densified to ``0..n-1``;
+``node_ids[dense]`` recovers the original id and :meth:`dense_of` maps
+the other way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import GraphError, NodeNotFoundError
+from repro.graphs.base import readonly
+from repro.graphs.directed import DirectedGraph
+from repro.graphs.undirected import UndirectedGraph
+
+
+class CSRGraph:
+    """Immutable CSR snapshot of a directed graph (in- and out-adjacency).
+
+    >>> csr = CSRGraph.from_edges([0, 0, 1], [1, 2, 2])
+    >>> csr.out_neighbors(0).tolist()
+    [1, 2]
+    >>> csr.num_edges
+    3
+    """
+
+    def __init__(
+        self,
+        node_ids: np.ndarray,
+        out_indptr: np.ndarray,
+        out_indices: np.ndarray,
+        in_indptr: np.ndarray,
+        in_indices: np.ndarray,
+    ) -> None:
+        self._node_ids = np.ascontiguousarray(node_ids, dtype=np.int64)
+        self._out_indptr = np.ascontiguousarray(out_indptr, dtype=np.int64)
+        self._out_indices = np.ascontiguousarray(out_indices, dtype=np.int64)
+        self._in_indptr = np.ascontiguousarray(in_indptr, dtype=np.int64)
+        self._in_indices = np.ascontiguousarray(in_indices, dtype=np.int64)
+        self._dense_lookup: dict[int, int] | None = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        sources: "np.ndarray | list[int]",
+        targets: "np.ndarray | list[int]",
+        deduplicate: bool = True,
+    ) -> "CSRGraph":
+        """Build from parallel edge arrays of original node ids.
+
+        Node set = union of endpoints; parallel edges are removed unless
+        ``deduplicate=False``.
+        """
+        sources = np.ascontiguousarray(sources, dtype=np.int64)
+        targets = np.ascontiguousarray(targets, dtype=np.int64)
+        if len(sources) != len(targets):
+            raise GraphError("edge arrays must have equal length")
+        node_ids = np.unique(np.concatenate([sources, targets]))
+        dense_src = np.searchsorted(node_ids, sources)
+        dense_dst = np.searchsorted(node_ids, targets)
+        if deduplicate and len(dense_src):
+            pairs = np.stack([dense_src, dense_dst], axis=1)
+            pairs = np.unique(pairs, axis=0)
+            dense_src, dense_dst = pairs[:, 0], pairs[:, 1]
+        return cls._from_dense_edges(node_ids, dense_src, dense_dst)
+
+    @classmethod
+    def _from_dense_edges(
+        cls, node_ids: np.ndarray, dense_src: np.ndarray, dense_dst: np.ndarray
+    ) -> "CSRGraph":
+        count = len(node_ids)
+        out_order = np.lexsort((dense_dst, dense_src))
+        out_indices = dense_dst[out_order]
+        out_degrees = np.bincount(dense_src, minlength=count)
+        out_indptr = np.concatenate(([0], np.cumsum(out_degrees)))
+        in_order = np.lexsort((dense_src, dense_dst))
+        in_indices = dense_src[in_order]
+        in_degrees = np.bincount(dense_dst, minlength=count)
+        in_indptr = np.concatenate(([0], np.cumsum(in_degrees)))
+        return cls(node_ids, out_indptr, out_indices, in_indptr, in_indices)
+
+    @classmethod
+    def from_graph(cls, graph: "DirectedGraph | UndirectedGraph") -> "CSRGraph":
+        """Snapshot a dynamic graph (undirected edges become symmetric)."""
+        sources, targets = graph.edge_arrays()
+        if not graph.is_directed:
+            keep = sources != targets
+            sources, targets = (
+                np.concatenate([sources, targets[keep]]),
+                np.concatenate([targets, sources[keep]]),
+            )
+        csr = cls.from_edges(sources, targets, deduplicate=False)
+        if graph.num_nodes != csr.num_nodes:
+            # The dynamic graph has isolated nodes that edges alone miss.
+            return cls._with_all_nodes(graph, sources, targets)
+        return csr
+
+    @classmethod
+    def _with_all_nodes(
+        cls, graph: "DirectedGraph | UndirectedGraph",
+        sources: np.ndarray, targets: np.ndarray,
+    ) -> "CSRGraph":
+        node_ids = np.sort(graph.node_array())
+        dense_src = np.searchsorted(node_ids, sources)
+        dense_dst = np.searchsorted(node_ids, targets)
+        return cls._from_dense_edges(node_ids, dense_src, dense_dst)
+
+    # ------------------------------------------------------------------
+    # Queries (dense indices unless stated otherwise)
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self._node_ids)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges."""
+        return len(self._out_indices)
+
+    @property
+    def node_ids(self) -> np.ndarray:
+        """Original node id per dense index (sorted ascending)."""
+        return readonly(self._node_ids)
+
+    @property
+    def out_indptr(self) -> np.ndarray:
+        """CSR row pointer for out-adjacency."""
+        return readonly(self._out_indptr)
+
+    @property
+    def out_indices(self) -> np.ndarray:
+        """CSR column indices for out-adjacency (dense ids)."""
+        return readonly(self._out_indices)
+
+    @property
+    def in_indptr(self) -> np.ndarray:
+        """CSR row pointer for in-adjacency."""
+        return readonly(self._in_indptr)
+
+    @property
+    def in_indices(self) -> np.ndarray:
+        """CSR column indices for in-adjacency (dense ids)."""
+        return readonly(self._in_indices)
+
+    def dense_of(self, original_id: int) -> int:
+        """Dense index of an original node id."""
+        position = int(np.searchsorted(self._node_ids, original_id))
+        if position >= len(self._node_ids) or self._node_ids[position] != original_id:
+            raise NodeNotFoundError(original_id)
+        return position
+
+    def dense_of_many(self, original_ids: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`dense_of`."""
+        positions = np.searchsorted(self._node_ids, original_ids)
+        positions = np.clip(positions, 0, len(self._node_ids) - 1)
+        if not np.array_equal(self._node_ids[positions], original_ids):
+            missing = original_ids[self._node_ids[positions] != original_ids]
+            raise NodeNotFoundError(int(missing[0]))
+        return positions
+
+    def out_neighbors(self, dense: int) -> np.ndarray:
+        """Out-neighbours (dense ids, sorted) of a dense node index."""
+        return readonly(
+            self._out_indices[self._out_indptr[dense]:self._out_indptr[dense + 1]]
+        )
+
+    def in_neighbors(self, dense: int) -> np.ndarray:
+        """In-neighbours (dense ids, sorted) of a dense node index."""
+        return readonly(
+            self._in_indices[self._in_indptr[dense]:self._in_indptr[dense + 1]]
+        )
+
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree per dense node index."""
+        return np.diff(self._out_indptr)
+
+    def in_degrees(self) -> np.ndarray:
+        """In-degree per dense node index."""
+        return np.diff(self._in_indptr)
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the five CSR arrays (Table 2 / A2 accounting)."""
+        return (
+            self._node_ids.nbytes
+            + self._out_indptr.nbytes
+            + self._out_indices.nbytes
+            + self._in_indptr.nbytes
+            + self._in_indices.nbytes
+        )
+
+    def __repr__(self) -> str:
+        return f"CSRGraph({self.num_nodes} nodes, {self.num_edges} edges)"
+
+    # ------------------------------------------------------------------
+    # The §2.2 design discussion: CSR updates are O(E)
+    # ------------------------------------------------------------------
+
+    def with_edge_deleted(self, src: int, dst: int) -> "CSRGraph":
+        """A new CSR with one edge removed — deliberately O(E).
+
+        The paper rejects CSR for dynamic graphs because "deleting a
+        single edge requires time linear in the total number of edges".
+        This method exists so the A2 ablation can measure that cost; it
+        rebuilds both index arrays.
+        """
+        dense_src = self.dense_of(src)
+        dense_dst = self.dense_of(dst)
+        span = slice(self._out_indptr[dense_src], self._out_indptr[dense_src + 1])
+        local = np.searchsorted(self._out_indices[span], dense_dst)
+        position = int(self._out_indptr[dense_src]) + int(local)
+        if (
+            position >= self._out_indptr[dense_src + 1]
+            or self._out_indices[position] != dense_dst
+        ):
+            raise GraphError(f"edge ({src} -> {dst}) not in graph")
+        all_src = np.repeat(np.arange(self.num_nodes), self.out_degrees())
+        keep = np.ones(self.num_edges, dtype=bool)
+        keep[position] = False
+        return CSRGraph._from_dense_edges(
+            self._node_ids, all_src[keep], self._out_indices[keep]
+        )

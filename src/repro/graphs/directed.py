@@ -1,0 +1,247 @@
+"""Directed graph — the paper's primary graph object (paper §2.2, §2.4).
+
+"A directed graph in Ringo is represented as a node hash table, where
+each node contains two sorted adjacency vectors providing its
+in-neighbors and out-neighbors." Simple directed graph semantics (SNAP's
+``TNGraph``): at most one edge per ordered pair, self-loops allowed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.exceptions import EdgeNotFoundError, GraphError
+from repro.graphs.base import (
+    EMPTY_ADJACENCY,
+    GraphBase,
+    readonly,
+    sorted_contains,
+    sorted_insert,
+    sorted_remove,
+)
+
+
+class _NodeRecord:
+    """Per-node storage: the two sorted adjacency vectors."""
+
+    __slots__ = ("in_nbrs", "out_nbrs")
+
+    def __init__(self) -> None:
+        self.in_nbrs = EMPTY_ADJACENCY
+        self.out_nbrs = EMPTY_ADJACENCY
+
+
+class DirectedGraph(GraphBase):
+    """A dynamic directed graph over int node ids.
+
+    >>> graph = DirectedGraph()
+    >>> graph.add_edge(1, 2)
+    True
+    >>> graph.has_edge(1, 2)
+    True
+    >>> graph.out_neighbors(1).tolist()
+    [2]
+    """
+
+    def __init__(self) -> None:
+        self._nodes: dict[int, _NodeRecord] = {}
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+
+    @property
+    def is_directed(self) -> bool:
+        """True; this is the directed graph class."""
+        return True
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges."""
+        return self._num_edges
+
+    def has_edge(self, src: int, dst: int) -> bool:
+        """Whether the directed edge ``src -> dst`` exists."""
+        record = self._nodes.get(src)
+        return record is not None and sorted_contains(record.out_nbrs, dst)
+
+    def out_neighbors(self, node_id: int) -> np.ndarray:
+        """Sorted out-neighbour ids of ``node_id`` (read-only view)."""
+        self._require_node(node_id)
+        return readonly(self._nodes[node_id].out_nbrs)
+
+    def in_neighbors(self, node_id: int) -> np.ndarray:
+        """Sorted in-neighbour ids of ``node_id`` (read-only view)."""
+        self._require_node(node_id)
+        return readonly(self._nodes[node_id].in_nbrs)
+
+    def out_degree(self, node_id: int) -> int:
+        """Out-degree of ``node_id``."""
+        self._require_node(node_id)
+        return len(self._nodes[node_id].out_nbrs)
+
+    def in_degree(self, node_id: int) -> int:
+        """In-degree of ``node_id``."""
+        self._require_node(node_id)
+        return len(self._nodes[node_id].in_nbrs)
+
+    def degree(self, node_id: int) -> int:
+        """Total degree (in + out)."""
+        self._require_node(node_id)
+        record = self._nodes[node_id]
+        return len(record.in_nbrs) + len(record.out_nbrs)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate directed edges as ``(src, dst)`` pairs."""
+        for node_id, record in self._nodes.items():
+            for dst in record.out_nbrs.tolist():
+                yield node_id, dst
+
+    def edge_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """All edges as parallel ``(src, dst)`` int64 arrays.
+
+        Bulk export used by graph→table conversion and CSR snapshots;
+        edges come out grouped by source node.
+        """
+        sources = np.empty(self._num_edges, dtype=np.int64)
+        targets = np.empty(self._num_edges, dtype=np.int64)
+        cursor = 0
+        for node_id, record in self._nodes.items():
+            count = len(record.out_nbrs)
+            if count:
+                sources[cursor:cursor + count] = node_id
+                targets[cursor:cursor + count] = record.out_nbrs
+                cursor += count
+        return sources, targets
+
+    # ------------------------------------------------------------------
+    # Mutation — the "dynamic graph" requirement of §2.2
+    # ------------------------------------------------------------------
+
+    def add_node(self, node_id: int) -> bool:
+        """Add a node; returns False if it already existed."""
+        node_id = int(node_id)
+        if node_id < 0:
+            raise GraphError(f"node ids must be non-negative, got {node_id}")
+        if node_id in self._nodes:
+            return False
+        self._nodes[node_id] = _NodeRecord()
+        return True
+
+    def add_edge(self, src: int, dst: int) -> bool:
+        """Add the edge ``src -> dst`` (endpoints auto-created).
+
+        Returns False if the edge already existed. O(degree) — the
+        adjacency vectors stay sorted.
+        """
+        src = int(src)
+        dst = int(dst)
+        self.add_node(src)
+        self.add_node(dst)
+        src_record = self._nodes[src]
+        out_nbrs, inserted = sorted_insert(src_record.out_nbrs, dst)
+        if not inserted:
+            return False
+        src_record.out_nbrs = out_nbrs
+        dst_record = self._nodes[dst]
+        dst_record.in_nbrs, _ = sorted_insert(dst_record.in_nbrs, src)
+        self._num_edges += 1
+        return True
+
+    def del_edge(self, src: int, dst: int) -> None:
+        """Delete the edge ``src -> dst``; raises if absent. O(degree)."""
+        record = self._nodes.get(src)
+        if record is None:
+            raise EdgeNotFoundError(src, dst)
+        out_nbrs, removed = sorted_remove(record.out_nbrs, dst)
+        if not removed:
+            raise EdgeNotFoundError(src, dst)
+        record.out_nbrs = out_nbrs
+        dst_record = self._nodes[dst]
+        dst_record.in_nbrs, _ = sorted_remove(dst_record.in_nbrs, src)
+        self._num_edges -= 1
+
+    def del_node(self, node_id: int) -> None:
+        """Delete a node and every incident edge; raises if absent."""
+        self._require_node(node_id)
+        record = self._nodes[node_id]
+        for nbr in record.out_nbrs.tolist():
+            if nbr != node_id:
+                nbr_record = self._nodes[nbr]
+                nbr_record.in_nbrs, _ = sorted_remove(nbr_record.in_nbrs, node_id)
+        for nbr in record.in_nbrs.tolist():
+            if nbr != node_id:
+                nbr_record = self._nodes[nbr]
+                nbr_record.out_nbrs, _ = sorted_remove(nbr_record.out_nbrs, node_id)
+        removed_edges = len(record.out_nbrs) + len(record.in_nbrs)
+        if sorted_contains(record.out_nbrs, node_id):
+            removed_edges -= 1  # the self-loop was counted from both sides
+        self._num_edges -= removed_edges
+        del self._nodes[node_id]
+
+    def _set_adjacency(
+        self, node_id: int, in_nbrs: np.ndarray, out_nbrs: np.ndarray
+    ) -> None:
+        """Install pre-sorted adjacency vectors — bulk construction only.
+
+        The sort-first converter (§2.4) computes whole neighbour vectors
+        and installs them directly; it is responsible for sortedness,
+        uniqueness, and the edge-count update via
+        :meth:`_set_edge_count`.
+        """
+        self.add_node(node_id)
+        record = self._nodes[node_id]
+        record.in_nbrs = np.ascontiguousarray(in_nbrs, dtype=np.int64)
+        record.out_nbrs = np.ascontiguousarray(out_nbrs, dtype=np.int64)
+
+    def _set_edge_count(self, count: int) -> None:
+        """Set the edge count after a bulk build."""
+        self._num_edges = count
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+
+    def reverse(self) -> "DirectedGraph":
+        """New graph with every edge direction flipped (vectors swap)."""
+        result = DirectedGraph()
+        for node_id, record in self._nodes.items():
+            result._set_adjacency(node_id, record.out_nbrs.copy(), record.in_nbrs.copy())
+        result._set_edge_count(self._num_edges)
+        return result
+
+    def to_undirected(self) -> "UndirectedGraph":
+        """Undirected projection (edge directions dropped, dedup)."""
+        from repro.graphs.undirected import UndirectedGraph
+
+        result = UndirectedGraph()
+        for node_id in self._nodes:
+            result.add_node(node_id)
+        for src, dst in self.edges():
+            result.add_edge(src, dst)
+        return result
+
+    def copy(self) -> "DirectedGraph":
+        """Deep copy."""
+        result = DirectedGraph()
+        for node_id, record in self._nodes.items():
+            result._set_adjacency(node_id, record.in_nbrs.copy(), record.out_nbrs.copy())
+        result._set_edge_count(self._num_edges)
+        return result
+
+    def __repr__(self) -> str:
+        return f"DirectedGraph({self.num_nodes} nodes, {self.num_edges} edges)"
+
+    def memory_bytes(self) -> int:
+        """Bytes held by adjacency vectors plus hash-table overhead.
+
+        Table 2's "In-memory Graph Size" accounting: adjacency array bytes
+        plus ~100 bytes per node for the dict slot and record object.
+        """
+        total = 0
+        for record in self._nodes.values():
+            total += record.in_nbrs.nbytes + record.out_nbrs.nbytes
+        return total + 100 * len(self._nodes)

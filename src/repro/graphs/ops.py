@@ -1,0 +1,141 @@
+"""Structural graph operations: subgraphs, degree filtering, renumbering.
+
+These are the SNAP-style "graph manipulation" constructs Ringo exposes
+alongside the analytics algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graphs.directed import DirectedGraph
+from repro.graphs.undirected import UndirectedGraph
+
+
+def subgraph(
+    graph: "DirectedGraph | UndirectedGraph", nodes: Iterable[int]
+) -> "DirectedGraph | UndirectedGraph":
+    """Induced subgraph on ``nodes`` (ids kept; absent ids ignored).
+
+    >>> g = DirectedGraph()
+    >>> _ = g.add_edge(1, 2); _ = g.add_edge(2, 3)
+    >>> sub = subgraph(g, [1, 2])
+    >>> sub.num_edges
+    1
+    """
+    keep = {node for node in nodes if graph.has_node(node)}
+    result = DirectedGraph() if graph.is_directed else UndirectedGraph()
+    for node in keep:
+        result.add_node(node)
+    if graph.is_directed:
+        for node in keep:
+            for nbr in graph.out_neighbors(node).tolist():
+                if nbr in keep:
+                    result.add_edge(node, nbr)
+    else:
+        for node in keep:
+            for nbr in graph.neighbors(node).tolist():
+                if nbr in keep and nbr >= node:
+                    result.add_edge(node, nbr)
+    return result
+
+
+def remove_self_loops(graph: "DirectedGraph | UndirectedGraph") -> int:
+    """Delete all self-loops in place; returns how many were removed."""
+    loops = [node for node in graph.nodes() if graph.has_edge(node, node)]
+    for node in loops:
+        graph.del_edge(node, node)
+    return len(loops)
+
+
+def filter_by_degree(
+    graph: "DirectedGraph | UndirectedGraph", min_degree: int
+) -> "DirectedGraph | UndirectedGraph":
+    """Induced subgraph on nodes with total degree >= ``min_degree``."""
+    keep = [node for node in graph.nodes() if graph.degree(node) >= min_degree]
+    return subgraph(graph, keep)
+
+
+def renumber(
+    graph: "DirectedGraph | UndirectedGraph",
+) -> tuple["DirectedGraph | UndirectedGraph", dict[int, int]]:
+    """Relabel nodes to dense ``0..n-1``; returns ``(graph, old->new)``.
+
+    Useful before exporting to array-indexed tools.
+    """
+    mapping = {old: new for new, old in enumerate(sorted(graph.nodes()))}
+    result = DirectedGraph() if graph.is_directed else UndirectedGraph()
+    for old in graph.nodes():
+        result.add_node(mapping[old])
+    for edge in graph.edges():
+        result.add_edge(mapping[edge[0]], mapping[edge[1]])
+    return result, mapping
+
+
+def ego_network(
+    graph: "DirectedGraph | UndirectedGraph",
+    center: int,
+    radius: int = 1,
+    direction: str = "both",
+) -> "DirectedGraph | UndirectedGraph":
+    """Induced subgraph on the center plus its ``radius``-hop neighbourhood.
+
+    ``direction`` controls expansion on directed graphs: ``out``, ``in``,
+    or ``both`` (default, the usual egonet convention).
+
+    >>> g = DirectedGraph()
+    >>> _ = g.add_edge(1, 2); _ = g.add_edge(2, 3); _ = g.add_edge(3, 4)
+    >>> sorted(ego_network(g, 2, radius=1).nodes())
+    [1, 2, 3]
+    """
+    from repro.algorithms.bfs import bfs_levels
+    from repro.util.validation import check_positive
+
+    check_positive(radius, "radius")
+    levels = bfs_levels(graph, center, direction=direction if graph.is_directed else "both")
+    members = [node for node, level in levels.items() if level <= radius]
+    return subgraph(graph, members)
+
+
+def merge_graphs(
+    left: "DirectedGraph | UndirectedGraph",
+    right: "DirectedGraph | UndirectedGraph",
+) -> "DirectedGraph | UndirectedGraph":
+    """Union of two graphs of the same kind: all nodes, all edges."""
+    if left.is_directed != right.is_directed:
+        raise GraphError("cannot merge directed with undirected graphs")
+    result = left.copy()
+    for node in right.nodes():
+        result.add_node(node)
+    for edge in right.edges():
+        result.add_edge(edge[0], edge[1])
+    return result
+
+
+def intersect_graphs(
+    left: "DirectedGraph | UndirectedGraph",
+    right: "DirectedGraph | UndirectedGraph",
+) -> "DirectedGraph | UndirectedGraph":
+    """Graph with the shared nodes and shared edges of both inputs."""
+    if left.is_directed != right.is_directed:
+        raise GraphError("cannot intersect directed with undirected graphs")
+    result = DirectedGraph() if left.is_directed else UndirectedGraph()
+    for node in left.nodes():
+        if right.has_node(node):
+            result.add_node(node)
+    for edge in left.edges():
+        if right.has_edge(edge[0], edge[1]):
+            result.add_edge(edge[0], edge[1])
+    return result
+
+
+def degree_array(graph: "DirectedGraph | UndirectedGraph") -> np.ndarray:
+    """Total degree per node, aligned with :meth:`GraphBase.node_array`."""
+    return np.fromiter(
+        (graph.degree(node) for node in graph.nodes()),
+        dtype=np.int64,
+        count=graph.num_nodes,
+    )

@@ -1,0 +1,162 @@
+"""Undirected graph (SNAP's ``TUNGraph`` analog).
+
+Same hash-table-of-nodes design as :class:`DirectedGraph`, with one
+sorted adjacency vector per node. Used by the triangle-counting and
+clustering-coefficient algorithms, which the paper runs on the
+undirected projections of its datasets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.exceptions import EdgeNotFoundError, GraphError
+from repro.graphs.base import (
+    EMPTY_ADJACENCY,
+    GraphBase,
+    readonly,
+    sorted_contains,
+    sorted_insert,
+    sorted_remove,
+)
+
+
+class UndirectedGraph(GraphBase):
+    """A dynamic undirected graph over int node ids.
+
+    At most one edge per unordered pair; self-loops allowed (stored once).
+
+    >>> graph = UndirectedGraph()
+    >>> graph.add_edge(1, 2)
+    True
+    >>> graph.has_edge(2, 1)
+    True
+    """
+
+    def __init__(self) -> None:
+        self._nodes: dict[int, np.ndarray] = {}
+        self._num_edges = 0
+
+    @property
+    def is_directed(self) -> bool:
+        """False; this is the undirected graph class."""
+        return False
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges (each counted once)."""
+        return self._num_edges
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``{u, v}`` exists."""
+        nbrs = self._nodes.get(u)
+        return nbrs is not None and sorted_contains(nbrs, v)
+
+    def neighbors(self, node_id: int) -> np.ndarray:
+        """Sorted neighbour ids (read-only view)."""
+        self._require_node(node_id)
+        return readonly(self._nodes[node_id])
+
+    def degree(self, node_id: int) -> int:
+        """Degree of ``node_id`` (a self-loop contributes one)."""
+        self._require_node(node_id)
+        return len(self._nodes[node_id])
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate undirected edges once each, as ``(min, max)`` pairs."""
+        for node_id, nbrs in self._nodes.items():
+            start = int(np.searchsorted(nbrs, node_id))
+            for nbr in nbrs[start:].tolist():
+                yield node_id, nbr
+
+    def edge_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """All edges once each as parallel ``(u, v)`` arrays with u <= v."""
+        sources = np.empty(self._num_edges, dtype=np.int64)
+        targets = np.empty(self._num_edges, dtype=np.int64)
+        cursor = 0
+        for node_id, nbrs in self._nodes.items():
+            upper = nbrs[int(np.searchsorted(nbrs, node_id)):]
+            count = len(upper)
+            if count:
+                sources[cursor:cursor + count] = node_id
+                targets[cursor:cursor + count] = upper
+                cursor += count
+        return sources, targets
+
+    def add_node(self, node_id: int) -> bool:
+        """Add a node; returns False if it already existed."""
+        node_id = int(node_id)
+        if node_id < 0:
+            raise GraphError(f"node ids must be non-negative, got {node_id}")
+        if node_id in self._nodes:
+            return False
+        self._nodes[node_id] = EMPTY_ADJACENCY
+        return True
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Add the edge ``{u, v}`` (endpoints auto-created).
+
+        Returns False if the edge already existed.
+        """
+        u = int(u)
+        v = int(v)
+        self.add_node(u)
+        self.add_node(v)
+        nbrs, inserted = sorted_insert(self._nodes[u], v)
+        if not inserted:
+            return False
+        self._nodes[u] = nbrs
+        if u != v:
+            self._nodes[v], _ = sorted_insert(self._nodes[v], u)
+        self._num_edges += 1
+        return True
+
+    def del_edge(self, u: int, v: int) -> None:
+        """Delete the edge ``{u, v}``; raises if absent."""
+        nbrs = self._nodes.get(u)
+        if nbrs is None:
+            raise EdgeNotFoundError(u, v)
+        new_nbrs, removed = sorted_remove(nbrs, v)
+        if not removed:
+            raise EdgeNotFoundError(u, v)
+        self._nodes[u] = new_nbrs
+        if u != v:
+            self._nodes[v], _ = sorted_remove(self._nodes[v], u)
+        self._num_edges -= 1
+
+    def del_node(self, node_id: int) -> None:
+        """Delete a node and its incident edges; raises if absent."""
+        self._require_node(node_id)
+        nbrs = self._nodes[node_id]
+        for nbr in nbrs.tolist():
+            if nbr != node_id:
+                self._nodes[nbr], _ = sorted_remove(self._nodes[nbr], node_id)
+        self._num_edges -= len(nbrs)
+        del self._nodes[node_id]
+
+    def _set_adjacency(self, node_id: int, nbrs: np.ndarray) -> None:
+        """Install a pre-sorted adjacency vector — bulk construction only."""
+        self.add_node(node_id)
+        self._nodes[node_id] = np.ascontiguousarray(nbrs, dtype=np.int64)
+
+    def _set_edge_count(self, count: int) -> None:
+        """Set the edge count after a bulk build."""
+        self._num_edges = count
+
+    def copy(self) -> "UndirectedGraph":
+        """Deep copy."""
+        result = UndirectedGraph()
+        for node_id, nbrs in self._nodes.items():
+            result._set_adjacency(node_id, nbrs.copy())
+        result._set_edge_count(self._num_edges)
+        return result
+
+    def __repr__(self) -> str:
+        return f"UndirectedGraph({self.num_nodes} nodes, {self.num_edges} edges)"
+
+    def memory_bytes(self) -> int:
+        """Bytes held by adjacency vectors plus hash-table overhead."""
+        total = sum(nbrs.nbytes for nbrs in self._nodes.values())
+        return total + 100 * len(self._nodes)

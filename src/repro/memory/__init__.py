@@ -1,0 +1,7 @@
+"""Memory accounting (paper §3: Table 2 object sizes and the
+"memory footprint < 2x graph size" claim)."""
+
+from repro.memory.footprint import peak_footprint
+from repro.memory.sizeof import object_size_bytes, size_report
+
+__all__ = ["object_size_bytes", "peak_footprint", "size_report"]

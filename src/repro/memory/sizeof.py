@@ -1,0 +1,48 @@
+"""In-memory object size estimation (paper Table 2).
+
+Table 2 reports "In-memory Graph Size" and "In-memory Table Size" for
+each dataset; :func:`object_size_bytes` produces the equivalent numbers
+for this engine's objects, and :func:`size_report` renders them in the
+table's human units.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import RingoError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.directed import DirectedGraph
+from repro.graphs.undirected import UndirectedGraph
+from repro.tables.table import Table
+
+
+def object_size_bytes(obj: object) -> int:
+    """Estimated heap bytes held by a Ringo table or graph object."""
+    if isinstance(obj, (Table, DirectedGraph, UndirectedGraph, CSRGraph)):
+        return obj.memory_bytes()
+    raise RingoError(
+        f"cannot size a {type(obj).__name__}; expected a Table or graph"
+    )
+
+
+def format_bytes(size: int) -> str:
+    """Human units, as Table 2 prints them (e.g. ``0.7GB``, ``23.5MB``).
+
+    GB is used from 0.1GB upward because the paper prints sub-gigabyte
+    graph sizes as fractional GB ("0.7GB"), not as megabytes.
+    """
+    if size < 0:
+        raise RingoError(f"size must be non-negative, got {size}")
+    if size >= (1 << 30) // 10:
+        return f"{size / (1 << 30):.1f}GB"
+    for threshold, unit in ((1 << 20, "MB"), (1 << 10, "KB")):
+        if size >= threshold:
+            return f"{size / threshold:.1f}{unit}"
+    return f"{size}B"
+
+
+def size_report(objects: dict[str, object]) -> str:
+    """Multi-line ``name: size`` report for a set of named objects."""
+    lines = []
+    for name, obj in objects.items():
+        lines.append(f"{name}: {format_bytes(object_size_bytes(obj))}")
+    return "\n".join(lines)

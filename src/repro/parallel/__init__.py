@@ -1,0 +1,34 @@
+"""Parallel-execution substrate mirroring Ringo's OpenMP layer (paper §2.5).
+
+Ringo parallelises critical loops with OpenMP over an 80-hyperthread
+machine and relies on two concurrent containers: an open-addressing hash
+table with linear probing and a vector supporting atomic-claim insertion.
+This package rebuilds those pieces for Python:
+
+* :class:`WorkerPool` — runs a kernel over range partitions either serially
+  or on a thread pool (threads help when the kernel releases the GIL, i.e.
+  when it is numpy-bound, exactly the bulk work OpenMP covers in the paper).
+* :func:`split_range` / :func:`split_indices` — contention-free range
+  partitioning, the way Ringo assigns graph partitions to worker threads.
+* :class:`LinearProbingHashTable` — open addressing + linear probing
+  (paper's choice, after Lang et al.).
+* :class:`ConcurrentVector` — append via an atomically claimed cell index.
+* :class:`AtomicCounter` — the atomic fetch-and-add primitive both rely on.
+"""
+
+from repro.parallel.atomics import AtomicCounter
+from repro.parallel.concurrent_hash import LinearProbingHashTable
+from repro.parallel.concurrent_vector import ConcurrentVector
+from repro.parallel.executor import WorkerPool, effective_worker_count
+from repro.parallel.partition import balanced_chunks, split_indices, split_range
+
+__all__ = [
+    "AtomicCounter",
+    "ConcurrentVector",
+    "LinearProbingHashTable",
+    "WorkerPool",
+    "balanced_chunks",
+    "effective_worker_count",
+    "split_indices",
+    "split_range",
+]

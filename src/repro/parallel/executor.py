@@ -1,0 +1,112 @@
+"""Worker pool standing in for Ringo's OpenMP parallel loops.
+
+Ringo parallelises "critical loops in the code for full utilization of our
+target multi-core platforms" (§2.5). In this reproduction those loops are
+expressed as a kernel applied to disjoint range partitions, run either
+serially or on a thread pool. Threads speed the numpy-bound kernels (which
+release the GIL) and faithfully exercise the concurrency of the
+paper's concurrent containers for the pure-Python ones.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+from repro.parallel.partition import split_range
+from repro.util.validation import check_positive
+
+R = TypeVar("R")
+T = TypeVar("T")
+
+_DEFAULT_WORKERS_ENV = "REPRO_WORKERS"
+
+
+def effective_worker_count(workers: int | None = None) -> int:
+    """Resolve a worker count.
+
+    ``None`` means "use the machine": the ``REPRO_WORKERS`` environment
+    variable if set, otherwise the CPU count. The result is always >= 1.
+    """
+    if workers is not None:
+        check_positive(workers, "workers")
+        return workers
+    env = os.environ.get(_DEFAULT_WORKERS_ENV)
+    if env is not None:
+        value = int(env)
+        check_positive(value, "REPRO_WORKERS")
+        return value
+    return os.cpu_count() or 1
+
+
+class WorkerPool:
+    """Applies kernels over range partitions, serially or with threads.
+
+    A pool with one worker runs everything inline on the calling thread,
+    which keeps single-threaded benchmarks (paper Table 6) free of pool
+    overhead and makes ``WorkerPool(1)`` the deterministic default for tests.
+
+    >>> pool = WorkerPool(2)
+    >>> pool.map_range(10, lambda lo, hi: sum(range(lo, hi)))
+    [10, 35]
+    >>> pool.close()
+    """
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.workers = effective_worker_count(workers)
+        self._executor: ThreadPoolExecutor | None = None
+        if self.workers > 1:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-worker"
+            )
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the underlying thread pool, if any."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def map_range(self, total: int, kernel: Callable[[int, int], R]) -> list[R]:
+        """Run ``kernel(lo, hi)`` over a partition of ``range(total)``.
+
+        Returns per-partition results in partition order, so a caller can
+        combine them deterministically (e.g. summing per-partition triangle
+        counts) regardless of completion order.
+        """
+        spans = split_range(total, self.workers)
+        if self._executor is None or len(spans) <= 1:
+            return [kernel(lo, hi) for lo, hi in spans]
+        futures = [self._executor.submit(kernel, lo, hi) for lo, hi in spans]
+        return [future.result() for future in futures]
+
+    def map_chunks(self, chunks: Sequence[T], kernel: Callable[[T], R]) -> list[R]:
+        """Run ``kernel`` once per pre-computed chunk (e.g. balanced bins)."""
+        if self._executor is None or len(chunks) <= 1:
+            return [kernel(chunk) for chunk in chunks]
+        futures = [self._executor.submit(kernel, chunk) for chunk in chunks]
+        return [future.result() for future in futures]
+
+    def run_tasks(self, tasks: Sequence[Callable[[], R]]) -> list[R]:
+        """Run independent zero-argument tasks, returning results in order."""
+        if self._executor is None or len(tasks) <= 1:
+            return [task() for task in tasks]
+        futures = [self._executor.submit(task) for task in tasks]
+        return [future.result() for future in futures]
+
+
+_SERIAL_POOL: WorkerPool | None = None
+
+
+def serial_pool() -> WorkerPool:
+    """A shared single-worker pool for callers that want inline execution."""
+    global _SERIAL_POOL
+    if _SERIAL_POOL is None:
+        _SERIAL_POOL = WorkerPool(1)
+    return _SERIAL_POOL

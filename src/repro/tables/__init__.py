@@ -1,0 +1,72 @@
+"""Ringo's native relational table engine (paper §2.3).
+
+Column-store tables with persistent row ids, the basic relational
+operators (select, join, project, group & aggregate, order, set ops), and
+the graph-construction operators unique to Ringo (SimJoin, NextK).
+"""
+
+from repro.tables.compute import evaluate_expression, with_column
+from repro.tables.describe import describe
+from repro.tables.expressions import Predicate, parse_predicate
+from repro.tables.extras import (
+    concat_rows,
+    distinct,
+    limit,
+    sample_rows,
+    top_k,
+    value_counts,
+)
+from repro.tables.groupby import add_group_column, group_by, group_ids
+from repro.tables.io_npz import load_table_npz, save_table_npz
+from repro.tables.io_tsv import infer_schema_tsv, load_table_tsv, save_table_tsv
+from repro.tables.join import join
+from repro.tables.nextk import next_k
+from repro.tables.order import order_by
+from repro.tables.pivot import crosstab, quantiles
+from repro.tables.project import project, rename
+from repro.tables.schema import ColumnType, Schema
+from repro.tables.select import count_matching, select
+from repro.tables.setops import intersect, minus, union
+from repro.tables.simjoin import sim_join
+from repro.tables.strings import StringPool, default_pool
+from repro.tables.table import Table
+
+__all__ = [
+    "ColumnType",
+    "Predicate",
+    "Schema",
+    "StringPool",
+    "Table",
+    "add_group_column",
+    "concat_rows",
+    "count_matching",
+    "crosstab",
+    "default_pool",
+    "describe",
+    "distinct",
+    "evaluate_expression",
+    "group_by",
+    "limit",
+    "sample_rows",
+    "top_k",
+    "value_counts",
+    "with_column",
+    "group_ids",
+    "infer_schema_tsv",
+    "intersect",
+    "join",
+    "load_table_npz",
+    "load_table_tsv",
+    "save_table_npz",
+    "minus",
+    "next_k",
+    "order_by",
+    "parse_predicate",
+    "project",
+    "quantiles",
+    "rename",
+    "save_table_tsv",
+    "select",
+    "sim_join",
+    "union",
+]

@@ -1,0 +1,160 @@
+"""Computed columns — arithmetic expressions over columns.
+
+Interactive exploration constantly derives columns (score ratios,
+normalised counts); this module evaluates arithmetic expression strings
+vectorised over a table's numeric columns::
+
+    with_column(table, "Ratio", "Score / (Views + 1)")
+
+Grammar: ``+ - * / %`` with standard precedence, unary minus,
+parentheses, numeric literals, and column names. String columns are not
+valid operands.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from repro.exceptions import ExpressionError, TypeMismatchError
+from repro.tables.schema import ColumnType
+from repro.tables.table import Table
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+(?:[eE][+-]?\d+)?)
+  | (?P<op>[+\-*/%])
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<word>[A-Za-z_][A-Za-z0-9_.-]*)
+    """,
+    re.VERBOSE,
+)
+
+
+class _ArithmeticParser:
+    """Recursive-descent parser evaluating directly against a table."""
+
+    def __init__(self, text: str, table: Table) -> None:
+        self._tokens = self._tokenise(text)
+        self._pos = 0
+        self._table = table
+        self._text = text
+
+    @staticmethod
+    def _tokenise(text: str) -> list[tuple[str, str]]:
+        tokens = []
+        pos = 0
+        while pos < len(text):
+            match = _TOKEN_RE.match(text, pos)
+            if match is None:
+                raise ExpressionError(f"cannot tokenise expression at {text[pos:pos + 10]!r}")
+            kind = match.lastgroup
+            assert kind is not None
+            if kind != "ws":
+                tokens.append((kind, match.group()))
+            pos = match.end()
+        return tokens
+
+    def evaluate(self) -> np.ndarray:
+        result = self._parse_sum()
+        if self._pos != len(self._tokens):
+            raise ExpressionError(
+                f"unexpected trailing token {self._tokens[self._pos][1]!r}"
+            )
+        return result
+
+    def _peek_op(self) -> str | None:
+        if self._pos < len(self._tokens) and self._tokens[self._pos][0] == "op":
+            return self._tokens[self._pos][1]
+        return None
+
+    def _advance(self) -> tuple[str, str]:
+        if self._pos >= len(self._tokens):
+            raise ExpressionError(f"unexpected end of expression: {self._text!r}")
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _parse_sum(self) -> np.ndarray:
+        value = self._parse_product()
+        while self._peek_op() in ("+", "-"):
+            op = self._advance()[1]
+            right = self._parse_product()
+            value = value + right if op == "+" else value - right
+        return value
+
+    def _parse_product(self) -> np.ndarray:
+        value = self._parse_unary()
+        while self._peek_op() in ("*", "/", "%"):
+            op = self._advance()[1]
+            right = self._parse_unary()
+            if op == "*":
+                value = value * right
+            elif op == "/":
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    value = np.true_divide(value, right)
+            else:
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    value = np.mod(value, right)
+        return value
+
+    def _parse_unary(self) -> np.ndarray:
+        if self._peek_op() == "-":
+            self._advance()
+            return -self._parse_unary()
+        if self._peek_op() == "+":
+            self._advance()
+            return self._parse_unary()
+        return self._parse_atom()
+
+    def _parse_atom(self) -> np.ndarray:
+        kind, value = self._advance()
+        if kind == "number":
+            return np.float64(value) + np.zeros(self._table.num_rows)
+        if kind == "lparen":
+            inner = self._parse_sum()
+            closing = self._advance()
+            if closing[0] != "rparen":
+                raise ExpressionError("expected closing parenthesis")
+            return inner
+        if kind == "word":
+            col_type = self._table.schema.require(value)
+            if col_type is ColumnType.STRING:
+                raise TypeMismatchError(
+                    f"string column {value!r} cannot appear in arithmetic"
+                )
+            return self._table.column(value).astype(np.float64)
+        raise ExpressionError(f"unexpected token {value!r}")
+
+
+def evaluate_expression(table: Table, expression: str) -> np.ndarray:
+    """Evaluate an arithmetic expression to a float64 array over the table.
+
+    >>> table = Table.from_columns({"a": [1, 2], "b": [10, 20]})
+    >>> evaluate_expression(table, "a + b * 2").tolist()
+    [21.0, 42.0]
+    """
+    if not expression or not expression.strip():
+        raise ExpressionError("empty expression")
+    return _ArithmeticParser(expression, table).evaluate()
+
+
+def with_column(
+    table: Table,
+    name: str,
+    expression: str,
+    as_int: bool = False,
+) -> Table:
+    """Append a computed column in place and return the table.
+
+    ``as_int=True`` truncates the float result to an integer column.
+    """
+    values = evaluate_expression(table, expression)
+    if as_int:
+        table.add_column(name, values.astype(np.int64), ColumnType.INT)
+    else:
+        table.add_column(name, values, ColumnType.FLOAT)
+    return table

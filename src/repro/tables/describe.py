@@ -1,0 +1,83 @@
+"""Per-column summary statistics (the interactive ``describe`` verb)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tables.schema import ColumnType, Schema
+from repro.tables.strings import StringPool
+from repro.tables.table import Table
+
+
+def describe(table: Table, pool: StringPool | None = None) -> Table:
+    """One row per column: type, count, distinct, min/max/mean.
+
+    Numeric min/max/mean are rendered as floats; string columns report
+    lexicographic min/max (as interned strings are decoded) and NaN mean.
+
+    >>> t = Table.from_columns({"x": [1, 2, 2]})
+    >>> d = describe(t)
+    >>> d.values("Column"), d.column("Distinct").tolist()
+    (['x'], [2])
+    """
+    names: list[str] = []
+    types: list[str] = []
+    counts: list[int] = []
+    distincts: list[int] = []
+    minima: list[float] = []
+    maxima: list[float] = []
+    means: list[float] = []
+    mins_text: list[str] = []
+    maxs_text: list[str] = []
+    for name, col_type in table.schema:
+        names.append(name)
+        types.append(col_type.value)
+        counts.append(table.num_rows)
+        column = table.column(name)
+        distincts.append(int(len(np.unique(column))) if len(column) else 0)
+        if col_type is ColumnType.STRING:
+            decoded = table.values(name)
+            minima.append(float("nan"))
+            maxima.append(float("nan"))
+            means.append(float("nan"))
+            mins_text.append(min(decoded) if decoded else "")
+            maxs_text.append(max(decoded) if decoded else "")
+        else:
+            if len(column):
+                minima.append(float(column.min()))
+                maxima.append(float(column.max()))
+                means.append(float(column.mean()))
+            else:
+                minima.append(float("nan"))
+                maxima.append(float("nan"))
+                means.append(float("nan"))
+            mins_text.append("")
+            maxs_text.append("")
+    schema = Schema(
+        [
+            ("Column", ColumnType.STRING),
+            ("Type", ColumnType.STRING),
+            ("Count", ColumnType.INT),
+            ("Distinct", ColumnType.INT),
+            ("Min", ColumnType.FLOAT),
+            ("Max", ColumnType.FLOAT),
+            ("Mean", ColumnType.FLOAT),
+            ("MinText", ColumnType.STRING),
+            ("MaxText", ColumnType.STRING),
+        ]
+    )
+    return Table.from_columns(
+        {
+            "Column": names,
+            "Type": types,
+            "Count": counts,
+            "Distinct": distincts,
+            "Min": minima,
+            "Max": maxima,
+            "Mean": means,
+            "MinText": mins_text,
+            "MaxText": maxs_text,
+        },
+        schema=schema,
+        pool=pool,
+    )

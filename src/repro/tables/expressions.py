@@ -1,0 +1,329 @@
+"""Selection predicates (paper §2.3 / §4.1).
+
+Ringo selects rows "based on a comparison with a constant value", written
+in the demo as ``ringo.Select(P, 'Tag=Java')``. This module parses that
+predicate language into a small AST evaluated vectorised over columns:
+
+* comparisons: ``=`` (or ``==``), ``!=``, ``<``, ``<=``, ``>``, ``>=``
+* operands: column names, numeric literals, quoted or bareword strings
+* combinators: ``and``/``&``, ``or``/``|``, ``not``, parentheses
+
+A bareword right-hand side that names a column compares two columns;
+otherwise it is a string constant, so ``'Type=question'`` works unquoted
+exactly as the paper writes it.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import ExpressionError, TypeMismatchError
+from repro.tables.schema import ColumnType
+from repro.tables.strings import MISSING_CODE
+from repro.tables.table import Table
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>-?\d+\.\d*(?:[eE][+-]?\d+)?|-?\.\d+(?:[eE][+-]?\d+)?|-?\d+(?:[eE][+-]?\d+)?)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<op><=|>=|!=|==|=|<|>)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<amp>&)
+  | (?P<pipe>\|)
+  | (?P<word>[A-Za-z_][A-Za-z0-9_.-]*)
+    """,
+    re.VERBOSE,
+)
+
+
+class Predicate:
+    """Base class for predicate AST nodes."""
+
+    def mask(self, table: Table) -> np.ndarray:
+        """Boolean keep-mask over the table's rows."""
+        raise NotImplementedError
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+
+class And(Predicate):
+    """Logical conjunction of two predicates."""
+
+    def __init__(self, left: Predicate, right: Predicate) -> None:
+        self.left = left
+        self.right = right
+
+    def mask(self, table: Table) -> np.ndarray:
+        return self.left.mask(table) & self.right.mask(table)
+
+
+class Or(Predicate):
+    """Logical disjunction of two predicates."""
+
+    def __init__(self, left: Predicate, right: Predicate) -> None:
+        self.left = left
+        self.right = right
+
+    def mask(self, table: Table) -> np.ndarray:
+        return self.left.mask(table) | self.right.mask(table)
+
+
+class Not(Predicate):
+    """Logical negation of a predicate."""
+
+    def __init__(self, operand: Predicate) -> None:
+        self.operand = operand
+
+    def mask(self, table: Table) -> np.ndarray:
+        return ~self.operand.mask(table)
+
+
+_NUMPY_OPS: dict[str, Callable[[np.ndarray, object], np.ndarray]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+_ORDER_OPS = ("<", "<=", ">", ">=")
+
+
+class Comparison(Predicate):
+    """``column <op> constant`` or ``column <op> column``."""
+
+    def __init__(self, column: str, op: str, operand: object, operand_is_column: bool = False) -> None:
+        if op == "==":
+            op = "="
+        if op not in _NUMPY_OPS:
+            raise ExpressionError(f"unsupported operator {op!r}")
+        self.column = column
+        self.op = op
+        self.operand = operand
+        self.operand_is_column = operand_is_column
+
+    def __repr__(self) -> str:
+        rhs = self.operand if not self.operand_is_column else f"col({self.operand})"
+        return f"Comparison({self.column} {self.op} {rhs!r})"
+
+    def mask(self, table: Table) -> np.ndarray:
+        left_type = table.schema.require(self.column)
+        apply_op = _NUMPY_OPS[self.op]
+        if self.operand_is_column:
+            return self._column_vs_column(table, left_type, apply_op)
+        if left_type is ColumnType.STRING:
+            return self._string_vs_constant(table, apply_op)
+        if isinstance(self.operand, str):
+            raise TypeMismatchError(
+                f"cannot compare numeric column {self.column!r} with string "
+                f"{self.operand!r}"
+            )
+        return apply_op(table.column(self.column), self.operand)
+
+    def _column_vs_column(
+        self, table: Table, left_type: ColumnType, apply_op: Callable
+    ) -> np.ndarray:
+        right_name = str(self.operand)
+        right_type = table.schema.require(right_name)
+        string_sides = (left_type is ColumnType.STRING, right_type is ColumnType.STRING)
+        if any(string_sides) and not all(string_sides):
+            raise TypeMismatchError(
+                f"cannot compare {self.column!r} ({left_type.value}) with "
+                f"{right_name!r} ({right_type.value})"
+            )
+        if all(string_sides) and self.op in _ORDER_OPS:
+            left = np.asarray(table.values(self.column), dtype=object)
+            right = np.asarray(table.values(right_name), dtype=object)
+            return apply_op(left, right).astype(bool)
+        return apply_op(table.column(self.column), table.column(right_name))
+
+    def _string_vs_constant(self, table: Table, apply_op: Callable) -> np.ndarray:
+        constant = self.operand
+        if not isinstance(constant, str):
+            raise TypeMismatchError(
+                f"cannot compare string column {self.column!r} with {constant!r}"
+            )
+        codes = table.column(self.column)
+        if self.op in ("=", "!="):
+            code = table.pool.try_encode(constant)
+            if code == MISSING_CODE:
+                # The constant was never interned: equality matches nothing.
+                full = np.zeros(table.num_rows, dtype=bool)
+                return ~full if self.op == "!=" else full
+            return apply_op(codes, code)
+        decoded = np.asarray(table.values(self.column), dtype=object)
+        return apply_op(decoded, constant).astype(bool)
+
+
+class MaskPredicate(Predicate):
+    """Wraps a precomputed boolean mask so APIs accept raw masks uniformly."""
+
+    def __init__(self, mask: np.ndarray) -> None:
+        self._mask = np.asarray(mask, dtype=bool)
+
+    def mask(self, table: Table) -> np.ndarray:
+        if len(self._mask) != table.num_rows:
+            raise ExpressionError(
+                f"mask has {len(self._mask)} entries, table has {table.num_rows} rows"
+            )
+        return self._mask
+
+
+class _Parser:
+    """Recursive-descent parser for the predicate grammar."""
+
+    def __init__(self, text: str) -> None:
+        self._tokens = self._tokenise(text)
+        self._pos = 0
+        self._text = text
+
+    @staticmethod
+    def _tokenise(text: str) -> list[tuple[str, str]]:
+        tokens = []
+        pos = 0
+        while pos < len(text):
+            match = _TOKEN_RE.match(text, pos)
+            if match is None:
+                raise ExpressionError(
+                    f"cannot tokenise predicate at {text[pos:pos + 10]!r}"
+                )
+            kind = match.lastgroup
+            assert kind is not None
+            if kind != "ws":
+                tokens.append((kind, match.group()))
+            pos = match.end()
+        return tokens
+
+    def parse(self) -> Predicate:
+        node = self._parse_or()
+        if self._pos != len(self._tokens):
+            kind, value = self._tokens[self._pos]
+            raise ExpressionError(f"unexpected trailing token {value!r}")
+        return node
+
+    def _peek(self) -> tuple[str, str] | None:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _advance(self) -> tuple[str, str]:
+        token = self._peek()
+        if token is None:
+            raise ExpressionError(f"unexpected end of predicate: {self._text!r}")
+        self._pos += 1
+        return token
+
+    def _parse_or(self) -> Predicate:
+        node = self._parse_and()
+        while True:
+            token = self._peek()
+            if token is None:
+                return node
+            kind, value = token
+            if kind == "pipe" or (kind == "word" and value.lower() == "or"):
+                self._advance()
+                node = Or(node, self._parse_and())
+            else:
+                return node
+
+    def _parse_and(self) -> Predicate:
+        node = self._parse_not()
+        while True:
+            token = self._peek()
+            if token is None:
+                return node
+            kind, value = token
+            if kind == "amp" or (kind == "word" and value.lower() == "and"):
+                self._advance()
+                node = And(node, self._parse_not())
+            else:
+                return node
+
+    def _parse_not(self) -> Predicate:
+        token = self._peek()
+        if token is not None and token[0] == "word" and token[1].lower() == "not":
+            self._advance()
+            return Not(self._parse_not())
+        if token is not None and token[0] == "lparen":
+            self._advance()
+            node = self._parse_or()
+            closing = self._advance()
+            if closing[0] != "rparen":
+                raise ExpressionError("expected closing parenthesis")
+            return node
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Predicate:
+        kind, value = self._advance()
+        if kind != "word":
+            raise ExpressionError(f"expected a column name, got {value!r}")
+        column = value
+        op_kind, op = self._advance()
+        if op_kind != "op":
+            raise ExpressionError(f"expected a comparison operator, got {op!r}")
+        operand_kind, operand = self._advance()
+        if operand_kind == "number":
+            numeric = float(operand)
+            if numeric.is_integer() and "." not in operand and "e" not in operand.lower():
+                return Comparison(column, op, int(operand))
+            return Comparison(column, op, numeric)
+        if operand_kind == "string":
+            return Comparison(column, op, operand[1:-1])
+        if operand_kind == "word":
+            # Resolved at evaluation: column if it names one, else a string
+            # constant (the paper's bareword style, 'Tag=Java').
+            return _BarewordComparison(column, op, operand)
+        raise ExpressionError(f"expected a value or column, got {operand!r}")
+
+
+class _BarewordComparison(Predicate):
+    """Defers bareword resolution (column vs string constant) to evaluation."""
+
+    def __init__(self, column: str, op: str, word: str) -> None:
+        self.column = column
+        self.op = op
+        self.word = word
+
+    def mask(self, table: Table) -> np.ndarray:
+        is_column = self.word in table.schema
+        return Comparison(
+            self.column, self.op, self.word, operand_is_column=is_column
+        ).mask(table)
+
+
+def parse_predicate(text: str) -> Predicate:
+    """Parse a predicate string into an evaluable :class:`Predicate`.
+
+    >>> pred = parse_predicate("Age >= 18 and Tag = 'Java'")
+    >>> isinstance(pred, Predicate)
+    True
+    """
+    if not text or not text.strip():
+        raise ExpressionError("empty predicate")
+    return _Parser(text).parse()
+
+
+def as_predicate(value: "Predicate | str | np.ndarray") -> Predicate:
+    """Coerce a string, mask, or Predicate into a :class:`Predicate`."""
+    if isinstance(value, Predicate):
+        return value
+    if isinstance(value, str):
+        return parse_predicate(value)
+    if isinstance(value, np.ndarray):
+        return MaskPredicate(value)
+    raise ExpressionError(
+        f"cannot interpret {type(value).__name__} as a predicate"
+    )

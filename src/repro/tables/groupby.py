@@ -1,0 +1,148 @@
+"""Group & aggregate (paper §2.3).
+
+Two entry points mirror the two Ringo uses:
+
+* :func:`group_ids` supports the "fast in-place grouping" the paper ties to
+  persistent row ids — it labels each row with its group without moving
+  data, and can append the labels as a column.
+* :func:`group_by` produces a new aggregated table (count/sum/mean/...).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import SchemaError, TypeMismatchError
+from repro.tables.schema import ColumnType, Schema
+from repro.tables.table import Table
+
+_AGGREGATES = ("count", "sum", "mean", "min", "max", "first")
+
+
+def group_ids(table: Table, keys: "Sequence[str] | str") -> np.ndarray:
+    """Dense int64 group label per row; equal key tuples share a label.
+
+    Labels number groups by first appearance order of their key tuple.
+    """
+    if isinstance(keys, str):
+        keys = [keys]
+    if not keys:
+        raise SchemaError("grouping needs at least one key column")
+    arrays = [table.column(name) for name in keys]
+    if len(arrays) == 1:
+        _, first_pos, inverse = np.unique(
+            arrays[0], return_index=True, return_inverse=True
+        )
+    else:
+        stacked = np.column_stack(arrays)
+        _, first_pos, inverse = np.unique(
+            stacked, axis=0, return_index=True, return_inverse=True
+        )
+    inverse = inverse.astype(np.int64).reshape(-1)
+    # np.unique numbers groups by sorted key; renumber by first appearance.
+    appearance = np.argsort(np.argsort(first_pos, kind="stable"), kind="stable")
+    return appearance[inverse]
+
+
+def add_group_column(
+    table: Table, keys: "Sequence[str] | str", out: str = "GroupId"
+) -> Table:
+    """Append a group-label column in place (the in-place grouping mode)."""
+    table.add_column(out, group_ids(table, keys), ColumnType.INT)
+    return table
+
+
+def group_by(
+    table: Table,
+    keys: "Sequence[str] | str",
+    aggregations: "Mapping[str, tuple[str, str]] | None" = None,
+) -> Table:
+    """Aggregate ``table`` per distinct key tuple.
+
+    ``aggregations`` maps output column name to ``(aggregate, column)``
+    where aggregate is one of count, sum, mean, min, max, first. When
+    omitted, a single ``Count`` column is produced.
+
+    >>> table = Table.from_columns({"k": [1, 1, 2], "v": [10, 20, 5]})
+    >>> result = group_by(table, "k", {"Total": ("sum", "v")})
+    >>> result.column("Total").tolist()
+    [30, 5]
+    """
+    if isinstance(keys, str):
+        keys = [keys]
+    if aggregations is None:
+        aggregations = {"Count": ("count", keys[0])}
+    labels = group_ids(table, keys)
+    n_groups = int(labels.max()) + 1 if len(labels) else 0
+    first_occurrence = _first_occurrence(labels, n_groups)
+
+    out_schema_cols: list[tuple[str, ColumnType]] = []
+    out_columns: dict[str, np.ndarray] = {}
+    for name in keys:
+        out_schema_cols.append((name, table.schema[name]))
+        out_columns[name] = table._raw_column(name)[first_occurrence]
+
+    for out_name, (agg, col_name) in aggregations.items():
+        if out_name in dict(out_schema_cols):
+            raise SchemaError(f"aggregate output {out_name!r} clashes with a key column")
+        values, out_type = _aggregate(table, labels, n_groups, first_occurrence, agg, col_name)
+        out_schema_cols.append((out_name, out_type))
+        out_columns[out_name] = values
+    return Table(Schema(out_schema_cols), out_columns, pool=table.pool)
+
+
+def _first_occurrence(labels: np.ndarray, n_groups: int) -> np.ndarray:
+    """Index of the first row of each group, in label order."""
+    first = np.full(n_groups, -1, dtype=np.int64)
+    # Walk backwards so earlier rows overwrite later ones.
+    first[labels[::-1]] = np.arange(len(labels) - 1, -1, -1, dtype=np.int64)
+    return first
+
+
+def _aggregate(
+    table: Table,
+    labels: np.ndarray,
+    n_groups: int,
+    first_occurrence: np.ndarray,
+    agg: str,
+    col_name: str,
+) -> tuple[np.ndarray, ColumnType]:
+    if agg not in _AGGREGATES:
+        raise SchemaError(
+            f"unknown aggregate {agg!r}; use one of {', '.join(_AGGREGATES)}"
+        )
+    col_type = table.schema.require(col_name)
+    if agg == "count":
+        return np.bincount(labels, minlength=n_groups).astype(np.int64), ColumnType.INT
+    if agg == "first":
+        return table._raw_column(col_name)[first_occurrence], col_type
+    if col_type is ColumnType.STRING and agg in ("sum", "mean"):
+        raise TypeMismatchError(f"cannot {agg} string column {col_name!r}")
+    values = table.column(col_name)
+    if agg == "sum":
+        sums = np.bincount(labels, weights=values, minlength=n_groups)
+        if col_type is ColumnType.INT:
+            return sums.astype(np.int64), ColumnType.INT
+        return sums, ColumnType.FLOAT
+    if agg == "mean":
+        sums = np.bincount(labels, weights=values, minlength=n_groups)
+        counts = np.bincount(labels, minlength=n_groups)
+        return sums / np.maximum(counts, 1), ColumnType.FLOAT
+    # min/max via sort + reduceat over group-contiguous runs.
+    order = np.argsort(labels, kind="stable")
+    sorted_values = values[order]
+    boundaries = np.flatnonzero(np.diff(labels[order])) + 1
+    starts = np.concatenate(([0], boundaries))
+    if col_type is ColumnType.STRING:
+        # Min/max of a string column means lexicographic min/max.
+        decoded = np.asarray(table.values(col_name), dtype=object)[order]
+        reducer = np.minimum if agg == "min" else np.maximum
+        segments = np.split(decoded, boundaries)
+        best = [seg.min() if agg == "min" else seg.max() for seg in segments]
+        del reducer
+        codes = table.pool.encode_many(str(v) for v in best)
+        return codes, ColumnType.STRING
+    reducer = np.minimum.reduceat if agg == "min" else np.maximum.reduceat
+    return reducer(sorted_values, starts), col_type

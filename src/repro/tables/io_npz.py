@@ -1,0 +1,66 @@
+"""Binary table snapshots (fast reload, the table analogue of
+:mod:`repro.graphs.serialize`).
+
+Tables serialise to ``.npz`` archives: one array per column (string
+columns are decoded to a numpy unicode array so the snapshot is
+pool-independent), the row ids, and the schema as parallel name/type
+arrays.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.exceptions import SchemaError
+from repro.tables.schema import ColumnType, Schema
+from repro.tables.strings import StringPool
+from repro.tables.table import Table
+
+_FORMAT_VERSION = 1
+
+
+def save_table_npz(table: Table, path: "str | os.PathLike[str]") -> None:
+    """Write ``table`` to an ``.npz`` archive."""
+    payload: dict[str, np.ndarray] = {
+        "version": np.int64(_FORMAT_VERSION),
+        "names": np.array(table.schema.names, dtype=np.str_),
+        "types": np.array(
+            [col_type.value for _, col_type in table.schema], dtype=np.str_
+        ),
+        "row_ids": np.asarray(table.row_ids),
+    }
+    for name, col_type in table.schema:
+        if col_type is ColumnType.STRING:
+            payload[f"col_{name}"] = np.array(table.values(name), dtype=np.str_)
+        else:
+            payload[f"col_{name}"] = table.column(name)
+    np.savez(path, **payload)
+
+
+def load_table_npz(
+    path: "str | os.PathLike[str]", pool: StringPool | None = None
+) -> Table:
+    """Load a table saved by :func:`save_table_npz`."""
+    with np.load(path) as archive:
+        version = int(archive["version"])
+        if version != _FORMAT_VERSION:
+            raise SchemaError(f"unsupported table format version {version}")
+        names = [str(n) for n in archive["names"]]
+        types = [ColumnType.parse(str(t)) for t in archive["types"]]
+        row_ids = archive["row_ids"]
+        raw = {name: archive[f"col_{name}"] for name in names}
+    schema = Schema(list(zip(names, types)))
+    the_pool = pool if pool is not None else None
+    columns: dict[str, object] = {}
+    for name, col_type in schema:
+        if col_type is ColumnType.STRING:
+            columns[name] = [str(v) for v in raw[name]]
+        else:
+            columns[name] = raw[name]
+    table = Table.from_columns(columns, schema=schema, pool=the_pool)
+    table._replace_columns(
+        {name: table._raw_column(name) for name in schema.names}, row_ids
+    )
+    return table

@@ -1,0 +1,114 @@
+"""NextK — temporal predecessor/successor join (paper §2.3).
+
+"NextK ... joins predecessor-successor records": for each record, pair it
+with its next (up to) K records in temporal order, optionally restricted
+to records sharing a grouping key (e.g. the same user's events). The
+typical use is building an interaction graph from an event log — connect
+every event to the K events that follow it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SchemaError
+from repro.tables.order import sort_permutation
+from repro.tables.schema import ColumnType, Schema
+from repro.tables.table import Table
+from repro.util.validation import check_positive
+
+LEFT_SUFFIX = "-1"
+RIGHT_SUFFIX = "-2"
+RANK_COLUMN = "Rank"
+
+
+def next_k_indices(
+    order_values: np.ndarray,
+    k: int,
+    group_labels: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Predecessor/successor index pairs plus the successor rank (1..k).
+
+    Rows are ordered by ``order_values`` (stable); each row pairs with the
+    next ``k`` rows, constrained to identical ``group_labels`` when given.
+    Returned indices refer to the *original* row positions.
+    """
+    check_positive(k, "k")
+    count = len(order_values)
+    if count == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, empty
+    if group_labels is not None and len(group_labels) != count:
+        raise SchemaError("group labels must align with the order column")
+    if group_labels is None:
+        order = np.argsort(order_values, kind="stable")
+    else:
+        order = np.lexsort((order_values, group_labels))
+    pred_parts: list[np.ndarray] = []
+    succ_parts: list[np.ndarray] = []
+    rank_parts: list[np.ndarray] = []
+    sorted_groups = group_labels[order] if group_labels is not None else None
+    for step in range(1, min(k, count - 1) + 1):
+        pred = order[:-step]
+        succ = order[step:]
+        if sorted_groups is not None:
+            same = sorted_groups[:-step] == sorted_groups[step:]
+            pred = pred[same]
+            succ = succ[same]
+        pred_parts.append(pred)
+        succ_parts.append(succ)
+        rank_parts.append(np.full(len(pred), step, dtype=np.int64))
+    if not pred_parts:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, empty
+    return (
+        np.concatenate(pred_parts),
+        np.concatenate(succ_parts),
+        np.concatenate(rank_parts),
+    )
+
+
+def next_k(
+    table: Table,
+    order_col: str,
+    k: int,
+    group_col: str | None = None,
+    include_rank: bool = True,
+) -> Table:
+    """Pair each record with its up-to-``k`` successors in temporal order.
+
+    The output holds every column twice — predecessor columns suffixed
+    ``-1``, successor columns ``-2`` — plus a ``Rank`` column (1 = the
+    immediately following record). With ``group_col``, successors must
+    share the group value, which is how "the next K events *of the same
+    user*" is expressed.
+
+    >>> log = Table.from_columns({"t": [1, 2, 3], "node": [10, 20, 30]})
+    >>> pairs = next_k(log, "t", k=1)
+    >>> sorted(pairs.column("node-1").tolist())
+    [10, 20]
+    """
+    order_type = table.schema.require(order_col)
+    if order_type is ColumnType.STRING:
+        # Sort by collation, consistent with order_by.
+        order_values = sort_permutation(table, order_col).argsort()
+    else:
+        order_values = table.column(order_col)
+    group_labels = None
+    if group_col is not None:
+        table.schema.require(group_col)
+        group_labels = table.column(group_col)
+    pred_idx, succ_idx, ranks = next_k_indices(order_values, k, group_labels)
+
+    out_schema_cols: list[tuple[str, ColumnType]] = []
+    out_columns: dict[str, np.ndarray] = {}
+    for name, col_type in table.schema:
+        out_schema_cols.append((f"{name}{LEFT_SUFFIX}", col_type))
+        out_columns[f"{name}{LEFT_SUFFIX}"] = table._raw_column(name)[pred_idx]
+    for name, col_type in table.schema:
+        out_schema_cols.append((f"{name}{RIGHT_SUFFIX}", col_type))
+        out_columns[f"{name}{RIGHT_SUFFIX}"] = table._raw_column(name)[succ_idx]
+    if include_rank:
+        out_schema_cols.append((RANK_COLUMN, ColumnType.INT))
+        out_columns[RANK_COLUMN] = ranks
+    return Table(Schema(out_schema_cols), out_columns, pool=table.pool)

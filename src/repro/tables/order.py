@@ -1,0 +1,70 @@
+"""Sorting (paper §2.3 "order (sort)").
+
+Multi-key sorts use :func:`numpy.lexsort`, which is stable — equal keys
+keep their original relative order, so chained sorts compose the way SQL
+``ORDER BY`` users expect.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import SchemaError
+from repro.tables.schema import ColumnType
+from repro.tables.table import Table
+
+
+def sort_permutation(
+    table: Table, keys: "Sequence[str] | str", ascending: bool = True
+) -> np.ndarray:
+    """Row permutation that sorts ``table`` by ``keys`` (stable).
+
+    String columns sort lexicographically by decoded value, not by pool
+    code (codes reflect interning order, not collation).
+    """
+    if isinstance(keys, str):
+        keys = [keys]
+    if not keys:
+        raise SchemaError("sort needs at least one key column")
+    arrays = []
+    for name in keys:
+        col_type = table.schema.require(name)
+        if col_type is ColumnType.STRING:
+            # Rank codes by their decoded strings so code order == collation.
+            codes = table.column(name)
+            unique_codes = np.unique(codes)
+            decoded = [table.pool.decode(int(code)) for code in unique_codes]
+            ranks_of_unique = np.argsort(np.argsort(np.asarray(decoded, dtype=object)))
+            rank_lookup = dict(zip(unique_codes.tolist(), ranks_of_unique.tolist()))
+            arrays.append(np.fromiter(
+                (rank_lookup[code] for code in codes.tolist()),
+                dtype=np.int64, count=len(codes),
+            ))
+        else:
+            arrays.append(table.column(name))
+    # lexsort sorts by the *last* key first; reverse so keys[0] is primary.
+    permutation = np.lexsort(tuple(reversed(arrays)))
+    if not ascending:
+        permutation = permutation[::-1]
+    return permutation
+
+
+def order_by(
+    table: Table,
+    keys: "Sequence[str] | str",
+    ascending: bool = True,
+    in_place: bool = False,
+) -> Table:
+    """Sort rows by ``keys``; in place or as a new table (ids preserved).
+
+    >>> table = Table.from_columns({"x": [3, 1, 2]})
+    >>> order_by(table, "x").column("x").tolist()
+    [1, 2, 3]
+    """
+    permutation = sort_permutation(table, keys, ascending=ascending)
+    if in_place:
+        table.reorder_in_place(permutation)
+        return table
+    return table.take(permutation)

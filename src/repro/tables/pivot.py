@@ -1,0 +1,104 @@
+"""Crosstab / pivot and quantiles — wide-format summaries for exploration."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SchemaError, TypeMismatchError
+from repro.tables.groupby import group_by
+from repro.tables.schema import ColumnType, Schema
+from repro.tables.table import Table
+from repro.util.validation import check_fraction
+
+_CROSSTAB_AGGS = ("count", "sum", "mean")
+
+
+def crosstab(
+    table: Table,
+    row_col: str,
+    col_col: str,
+    agg: str = "count",
+    value_col: str | None = None,
+) -> Table:
+    """Wide-format cross-tabulation of two key columns.
+
+    One output row per distinct ``row_col`` value; one output column per
+    distinct ``col_col`` value (stringified, prefixed by the column
+    name), holding the count of co-occurrences — or the sum/mean of
+    ``value_col`` for ``agg='sum'/'mean'``. Empty cells are 0.
+
+    >>> t = Table.from_columns(
+    ...     {"user": [1, 1, 2], "kind": ["q", "a", "q"]})
+    >>> wide = crosstab(t, "user", "kind")
+    >>> wide.schema.names
+    ('user', 'kind=a', 'kind=q')
+    >>> wide.column("kind=q").tolist()
+    [1, 1]
+    """
+    if agg not in _CROSSTAB_AGGS:
+        raise SchemaError(f"unknown crosstab aggregate {agg!r}; use {_CROSSTAB_AGGS}")
+    if agg != "count":
+        if value_col is None:
+            raise SchemaError(f"agg={agg!r} requires value_col")
+        if table.schema.require(value_col) is ColumnType.STRING:
+            raise TypeMismatchError(f"cannot {agg} string column {value_col!r}")
+    row_type = table.schema.require(row_col)
+    table.schema.require(col_col)
+
+    if agg == "count":
+        narrow = group_by(table, [row_col, col_col])
+        value_name = "Count"
+    else:
+        narrow = group_by(table, [row_col, col_col], {"Value": (agg, value_col)})
+        value_name = "Value"
+
+    row_keys = narrow.column(row_col)
+    col_keys = narrow.column(col_col)
+    values = narrow.column(value_name).astype(np.float64)
+
+    distinct_rows, row_index = np.unique(row_keys, return_inverse=True)
+    distinct_cols, col_index = np.unique(col_keys, return_inverse=True)
+    wide = np.zeros((len(distinct_rows), len(distinct_cols)), dtype=np.float64)
+    wide[row_index, col_index] = values
+
+    if table.schema[col_col] is ColumnType.STRING:
+        col_labels = [table.pool.decode(int(code)) for code in distinct_cols]
+        # np.unique ordered by pool code; reorder columns by collation.
+        label_order = np.argsort(np.asarray(col_labels, dtype=object))
+        col_labels = [col_labels[i] for i in label_order]
+        wide = wide[:, label_order]
+    else:
+        col_labels = [str(int(v)) for v in distinct_cols]
+
+    out_schema: list[tuple[str, ColumnType]] = [(row_col, row_type)]
+    out_columns: dict[str, np.ndarray] = {row_col: distinct_rows.astype(row_type.dtype)}
+    value_type = ColumnType.INT if agg == "count" else ColumnType.FLOAT
+    for position, label in enumerate(col_labels):
+        out_name = f"{col_col}={label}"
+        if out_name in dict(out_schema):
+            raise SchemaError(f"duplicate pivot column {out_name!r}")
+        out_schema.append((out_name, value_type))
+        column = wide[:, position]
+        out_columns[out_name] = (
+            column.astype(np.int64) if value_type is ColumnType.INT else column
+        )
+    return Table(Schema(out_schema), out_columns, pool=table.pool)
+
+
+def quantiles(
+    table: Table, column: str, probabilities: "list[float]"
+) -> list[float]:
+    """Linear-interpolation quantiles of a numeric column.
+
+    >>> t = Table.from_columns({"x": [1, 2, 3, 4]})
+    >>> quantiles(t, "x", [0.0, 0.5, 1.0])
+    [1.0, 2.5, 4.0]
+    """
+    if table.schema.require(column) is ColumnType.STRING:
+        raise TypeMismatchError(f"cannot take quantiles of string column {column!r}")
+    for p in probabilities:
+        check_fraction(p, "probability")
+    if table.num_rows == 0:
+        raise SchemaError("cannot take quantiles of an empty column")
+    values = table.column(column).astype(np.float64)
+    return [float(v) for v in np.quantile(values, probabilities)]

@@ -1,0 +1,36 @@
+"""Projection and column renaming (paper §2.3 "basic relational operations")."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.exceptions import SchemaError
+from repro.tables.table import Table
+
+
+def project(table: Table, names: Sequence[str]) -> Table:
+    """New table keeping only ``names``, in the given order.
+
+    Row ids are preserved — projection narrows a record, it does not
+    create a new one. Column arrays are shared (columns are immutable
+    through the public API), so projection is O(1) per column.
+    """
+    if len(names) == 0:
+        raise SchemaError("projection needs at least one column")
+    if len(set(names)) != len(names):
+        raise SchemaError("projection columns must be unique")
+    schema = table.schema.select(names)
+    columns = {name: table._raw_column(name) for name in names}
+    return Table(schema, columns, pool=table.pool, row_ids=table.row_ids.copy())
+
+
+def rename(table: Table, mapping: Mapping[str, str]) -> Table:
+    """New table with columns renamed per ``mapping`` (data shared)."""
+    schema = table.schema
+    for old, new in mapping.items():
+        schema = schema.renamed(old, new)
+    columns = {}
+    for old_name in table.schema.names:
+        new_name = mapping.get(old_name, old_name)
+        columns[new_name] = table._raw_column(old_name)
+    return Table(schema, columns, pool=table.pool, row_ids=table.row_ids.copy())

@@ -1,0 +1,154 @@
+"""Table schemas (paper §2.3).
+
+"Tables in Ringo have a schema, which defines table columns and their
+types (integer, floating point, or string)." — exactly those three types
+are supported here, mapped onto numpy dtypes. String columns are stored
+as int32 codes into a :class:`~repro.tables.strings.StringPool`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.exceptions import ColumnNotFoundError, SchemaError
+
+
+class ColumnType(enum.Enum):
+    """The three Ringo column types."""
+
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Physical numpy dtype backing columns of this type."""
+        if self is ColumnType.INT:
+            return np.dtype(np.int64)
+        if self is ColumnType.FLOAT:
+            return np.dtype(np.float64)
+        return np.dtype(np.int32)  # string code
+
+    @classmethod
+    def parse(cls, value: "ColumnType | str") -> "ColumnType":
+        """Accept a :class:`ColumnType` or its case-insensitive name/value.
+
+        >>> ColumnType.parse("int") is ColumnType.INT
+        True
+        >>> ColumnType.parse("STRING") is ColumnType.STRING
+        True
+        """
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value.lower())
+        except (ValueError, AttributeError):
+            raise SchemaError(f"unknown column type {value!r}; use int, float, or string")
+
+    @classmethod
+    def infer(cls, values: Iterable[object]) -> "ColumnType":
+        """Infer a column type from Python values (used by ``from_rows``)."""
+        saw_float = False
+        saw_any = False
+        for value in values:
+            saw_any = True
+            if isinstance(value, bool):
+                raise SchemaError("boolean values are not a Ringo column type")
+            if isinstance(value, (int, np.integer)):
+                continue
+            if isinstance(value, (float, np.floating)):
+                saw_float = True
+                continue
+            if isinstance(value, str):
+                return cls.STRING
+            raise SchemaError(f"cannot infer a column type from value {value!r}")
+        if not saw_any:
+            raise SchemaError("cannot infer a column type from no values")
+        return cls.FLOAT if saw_float else cls.INT
+
+
+class Schema:
+    """An ordered mapping of column names to :class:`ColumnType`.
+
+    >>> schema = Schema([("UserId", "int"), ("Tag", "string")])
+    >>> schema.names
+    ('UserId', 'Tag')
+    >>> schema["Tag"] is ColumnType.STRING
+    True
+    """
+
+    def __init__(self, columns: Iterable[tuple[str, "ColumnType | str"]]) -> None:
+        pairs = [(name, ColumnType.parse(col_type)) for name, col_type in columns]
+        names = [name for name, _ in pairs]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate column names: {', '.join(duplicates)}")
+        for name in names:
+            if not name or not isinstance(name, str):
+                raise SchemaError(f"invalid column name {name!r}")
+        self._types = dict(pairs)
+        self._names = tuple(names)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Column names, in declaration order."""
+        return self._names
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __iter__(self) -> Iterator[tuple[str, ColumnType]]:
+        for name in self._names:
+            yield name, self._types[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+    def __getitem__(self, name: str) -> ColumnType:
+        try:
+            return self._types[name]
+        except KeyError:
+            raise ColumnNotFoundError(name, self._names)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return list(self) == list(other)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{name}: {ctype.value}" for name, ctype in self)
+        return f"Schema({cols})"
+
+    def require(self, name: str) -> ColumnType:
+        """Return the type of ``name`` or raise :class:`ColumnNotFoundError`."""
+        return self[name]
+
+    def index_of(self, name: str) -> int:
+        """Positional index of a column."""
+        self.require(name)
+        return self._names.index(name)
+
+    def with_column(self, name: str, col_type: "ColumnType | str") -> "Schema":
+        """New schema with ``name`` appended."""
+        if name in self._types:
+            raise SchemaError(f"column {name!r} already exists")
+        return Schema(list(self) + [(name, ColumnType.parse(col_type))])
+
+    def without_column(self, name: str) -> "Schema":
+        """New schema with ``name`` removed."""
+        self.require(name)
+        return Schema([(n, t) for n, t in self if n != name])
+
+    def renamed(self, old: str, new: str) -> "Schema":
+        """New schema with column ``old`` renamed to ``new``."""
+        self.require(old)
+        if new in self._types and new != old:
+            raise SchemaError(f"column {new!r} already exists")
+        return Schema([(new if n == old else n, t) for n, t in self])
+
+    def select(self, names: Iterable[str]) -> "Schema":
+        """New schema restricted to ``names``, in the given order."""
+        return Schema([(name, self[name]) for name in names])

@@ -1,0 +1,41 @@
+"""Row selection (paper §2.3, benchmarked in Table 4).
+
+Ringo's benchmarked variant is the *in-place* select, which shrinks the
+current table (row ids included) rather than allocating a copy; the
+functional variant returning a new table is also provided.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tables.expressions import Predicate, as_predicate
+from repro.tables.table import Table
+
+
+def select(
+    table: Table,
+    predicate: "Predicate | str | np.ndarray",
+    in_place: bool = False,
+) -> Table:
+    """Keep rows matching ``predicate``.
+
+    ``predicate`` may be a predicate string (``'Tag=Java'``), a parsed
+    :class:`Predicate`, or a boolean mask. With ``in_place=True`` the
+    input table itself is filtered and returned (the paper's benchmarked
+    mode); otherwise a new table with preserved row ids is returned.
+
+    >>> table = Table.from_columns({"x": [1, 2, 3]})
+    >>> select(table, "x >= 2").num_rows
+    2
+    """
+    mask = as_predicate(predicate).mask(table)
+    if in_place:
+        table.filter_in_place(mask)
+        return table
+    return table.take(np.flatnonzero(mask))
+
+
+def count_matching(table: Table, predicate: "Predicate | str | np.ndarray") -> int:
+    """Number of rows matching ``predicate`` without materialising them."""
+    return int(as_predicate(predicate).mask(table).sum())

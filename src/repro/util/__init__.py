@@ -1,0 +1,19 @@
+"""Small shared utilities: timing, validation, deterministic RNG helpers."""
+
+from repro.util.timing import Stopwatch, Timer, format_duration
+from repro.util.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    require,
+)
+
+__all__ = [
+    "Stopwatch",
+    "Timer",
+    "format_duration",
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+    "require",
+]

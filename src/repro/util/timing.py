@@ -1,0 +1,104 @@
+"""Timing helpers used by the benchmark harness and the interactive engine.
+
+The paper reports wall-clock times for every operation (Tables 3-6); the
+benchmark modules use :class:`Stopwatch` for one-shot measurements and
+:class:`Timer` to accumulate named stage timings for the workflow benchmark.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration the way the paper's tables do (e.g. ``2.76s``).
+
+    Durations under a fifth of a second render as ``<0.2s`` to match the
+    paper's Table 4 convention for measurements below timer resolution.
+    """
+    if seconds < 0:
+        raise ValueError(f"duration must be non-negative, got {seconds}")
+    if seconds < 0.2:
+        return "<0.2s"
+    return f"{seconds:.1f}s" if seconds >= 10 else f"{seconds:.2f}s"
+
+
+class Stopwatch:
+    """Context manager measuring wall-clock duration of a block.
+
+    >>> with Stopwatch() as sw:
+    ...     sum(range(10))
+    45
+    >>> sw.elapsed >= 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self._elapsed: float | None = None
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._start is not None
+        self._elapsed = time.perf_counter() - self._start
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds elapsed inside the ``with`` block."""
+        if self._elapsed is None:
+            if self._start is None:
+                raise RuntimeError("Stopwatch was never started")
+            return time.perf_counter() - self._start
+        return self._elapsed
+
+
+@dataclass
+class Timer:
+    """Accumulates named stage timings, e.g. for the Figure 2 workflow bench.
+
+    >>> timer = Timer()
+    >>> with timer.stage("load"):
+    ...     pass
+    >>> "load" in timer.stages
+    True
+    """
+
+    stages: dict[str, float] = field(default_factory=dict)
+
+    def stage(self, name: str) -> "_Stage":
+        """Return a context manager that records the block under ``name``.
+
+        Re-entering an existing stage accumulates into its total.
+        """
+        return _Stage(self, name)
+
+    @property
+    def total(self) -> float:
+        """Sum of all recorded stage durations in seconds."""
+        return sum(self.stages.values())
+
+    def report(self) -> str:
+        """Multi-line ``stage: duration`` summary, longest stage first."""
+        ordered = sorted(self.stages.items(), key=lambda kv: kv[1], reverse=True)
+        return "\n".join(f"{name}: {format_duration(elapsed)}" for name, elapsed in ordered)
+
+
+class _Stage:
+    """Context manager recording one stage into a :class:`Timer`."""
+
+    def __init__(self, timer: Timer, name: str) -> None:
+        self._timer = timer
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Stage":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        elapsed = time.perf_counter() - self._start
+        self._timer.stages[self._name] = self._timer.stages.get(self._name, 0.0) + elapsed

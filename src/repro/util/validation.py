@@ -1,0 +1,40 @@
+"""Argument validation helpers shared across the package.
+
+The public API raises informative errors early (at the Python surface)
+instead of letting malformed arguments fail deep inside a numpy kernel —
+the interactive-use posture the paper emphasises.
+"""
+
+from __future__ import annotations
+
+from typing import NoReturn
+
+from repro.exceptions import RingoError
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`RingoError` with ``message`` unless ``condition`` holds."""
+    if not condition:
+        _fail(message)
+
+
+def check_positive(value: float, name: str) -> None:
+    """Require ``value > 0``."""
+    if not value > 0:
+        _fail(f"{name} must be positive, got {value}")
+
+
+def check_non_negative(value: float, name: str) -> None:
+    """Require ``value >= 0``."""
+    if value < 0:
+        _fail(f"{name} must be non-negative, got {value}")
+
+
+def check_fraction(value: float, name: str) -> None:
+    """Require ``0 <= value <= 1``."""
+    if not 0.0 <= value <= 1.0:
+        _fail(f"{name} must be in [0, 1], got {value}")
+
+
+def _fail(message: str) -> NoReturn:
+    raise RingoError(message)

@@ -1,0 +1,55 @@
+"""Benchmark datasets and demo scenarios (paper §3 and §4)."""
+
+from repro.workflows.catalog import (
+    BUCKET_LABELS,
+    PAPER_BUCKET_COUNTS,
+    CatalogEntry,
+    catalog_histogram,
+    catalog_table,
+    fraction_fitting_in_ram,
+    generate_catalog,
+)
+from repro.workflows.datasets import (
+    BENCHMARK_DATASETS,
+    LJ_SCALED,
+    TW_SCALED,
+    DatasetSpec,
+    edge_arrays,
+    make_edge_table,
+    make_graph,
+    write_text_file,
+)
+from repro.workflows.temporal import Snapshot, growth_curve, temporal_snapshots
+from repro.workflows.stackoverflow import (
+    POSTS_SCHEMA,
+    StackOverflowConfig,
+    StackOverflowData,
+    generate_stackoverflow,
+    write_posts_tsv,
+)
+
+__all__ = [
+    "BENCHMARK_DATASETS",
+    "BUCKET_LABELS",
+    "CatalogEntry",
+    "DatasetSpec",
+    "LJ_SCALED",
+    "PAPER_BUCKET_COUNTS",
+    "POSTS_SCHEMA",
+    "Snapshot",
+    "StackOverflowConfig",
+    "StackOverflowData",
+    "TW_SCALED",
+    "catalog_histogram",
+    "catalog_table",
+    "edge_arrays",
+    "fraction_fitting_in_ram",
+    "generate_catalog",
+    "generate_stackoverflow",
+    "growth_curve",
+    "make_edge_table",
+    "temporal_snapshots",
+    "make_graph",
+    "write_posts_tsv",
+    "write_text_file",
+]

@@ -1,0 +1,90 @@
+"""Temporal snapshots — graphs from time-windowed event tables.
+
+The paper's intro motivates "tracing the propagation of information in a
+social network"; the natural tool is a sequence of graph snapshots, one
+per time window, built from an interaction event table. Each snapshot is
+constructed with the sort-first path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.convert.table_to_graph import graph_from_edge_arrays
+from repro.exceptions import ConversionError
+from repro.graphs.directed import DirectedGraph
+from repro.tables.schema import ColumnType
+from repro.tables.table import Table
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One time window's interaction graph."""
+
+    start: float
+    stop: float
+    graph: DirectedGraph
+
+    @property
+    def num_edges(self) -> int:
+        """Edges in this window's graph."""
+        return self.graph.num_edges
+
+
+def temporal_snapshots(
+    table: Table,
+    time_col: str,
+    src_col: str,
+    dst_col: str,
+    window: float,
+    cumulative: bool = False,
+) -> list[Snapshot]:
+    """Split an event table into fixed-width windows, one graph each.
+
+    Windows tile ``[min_time, max_time]``; empty windows produce empty
+    graphs so the timeline stays regular. ``cumulative=True`` makes each
+    snapshot include all events up to its window's end (the growing-
+    network view).
+
+    >>> events = Table.from_columns(
+    ...     {"t": [0, 5, 12], "a": [1, 2, 3], "b": [2, 3, 4]})
+    >>> snaps = temporal_snapshots(events, "t", "a", "b", window=10)
+    >>> [s.num_edges for s in snaps]
+    [2, 1]
+    """
+    check_positive(window, "window")
+    for name in (src_col, dst_col):
+        if table.schema.require(name) is not ColumnType.INT:
+            raise ConversionError(f"endpoint column {name!r} must be integer")
+    if table.schema.require(time_col) is ColumnType.STRING:
+        raise ConversionError(f"time column {time_col!r} must be numeric")
+    if table.num_rows == 0:
+        return []
+    times = table.column(time_col).astype(np.float64)
+    sources = table.column(src_col)
+    targets = table.column(dst_col)
+    first = float(times.min())
+    last = float(times.max())
+    snapshots: list[Snapshot] = []
+    start = first
+    while start <= last:
+        stop = start + window
+        if cumulative:
+            mask = times < stop
+        else:
+            mask = (times >= start) & (times < stop)
+        graph = graph_from_edge_arrays(sources[mask], targets[mask], directed=True)
+        snapshots.append(Snapshot(start=start, stop=stop, graph=graph))
+        start = stop
+    return snapshots
+
+
+def growth_curve(snapshots: "list[Snapshot]") -> list[tuple[float, int, int]]:
+    """Per-snapshot ``(window_start, nodes, edges)`` series."""
+    return [
+        (snap.start, snap.graph.num_nodes, snap.graph.num_edges)
+        for snap in snapshots
+    ]

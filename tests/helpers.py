@@ -1,0 +1,50 @@
+"""Shared test helpers: graph builders and networkx bridging."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.convert.table_to_graph import graph_from_edge_arrays
+from repro.graphs.directed import DirectedGraph
+from repro.graphs.undirected import UndirectedGraph
+
+
+def build_directed(edge_list) -> DirectedGraph:
+    """DirectedGraph from a list of (src, dst) pairs."""
+    graph = DirectedGraph()
+    for src, dst in edge_list:
+        graph.add_edge(src, dst)
+    return graph
+
+
+def build_undirected(edge_list) -> UndirectedGraph:
+    """UndirectedGraph from a list of (u, v) pairs."""
+    graph = UndirectedGraph()
+    for u, v in edge_list:
+        graph.add_edge(u, v)
+    return graph
+
+
+def to_networkx(graph):
+    """Convert one of our graphs into the corresponding networkx graph."""
+    result = nx.DiGraph() if graph.is_directed else nx.Graph()
+    result.add_nodes_from(graph.nodes())
+    result.add_edges_from(graph.edges())
+    return result
+
+
+def random_directed(num_nodes: int, num_edges: int, seed: int) -> DirectedGraph:
+    """Random simple directed graph (duplicates collapse)."""
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, num_nodes, size=num_edges)
+    dst = rng.integers(0, num_nodes, size=num_edges)
+    return graph_from_edge_arrays(src, dst, directed=True)
+
+
+def random_undirected(num_nodes: int, num_edges: int, seed: int) -> UndirectedGraph:
+    """Random simple undirected graph (duplicates collapse)."""
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, num_nodes, size=num_edges)
+    dst = rng.integers(0, num_nodes, size=num_edges)
+    return graph_from_edge_arrays(src, dst, directed=False)

@@ -1,0 +1,160 @@
+"""Tests for BFS and weighted shortest paths, vs networkx references."""
+
+import networkx as nx
+import pytest
+
+from repro.algorithms.bfs import (
+    bfs_levels,
+    reachable_set,
+    shortest_path,
+    shortest_path_length,
+)
+from repro.algorithms.sssp import bellman_ford, dijkstra, dijkstra_path
+from repro.exceptions import AlgorithmError
+from repro.graphs.network import Network
+
+from tests.helpers import build_directed, build_undirected, random_directed, to_networkx
+
+
+class TestBfsLevels:
+    def test_chain(self):
+        graph = build_directed([(1, 2), (2, 3)])
+        assert bfs_levels(graph, 1) == {1: 0, 2: 1, 3: 2}
+
+    def test_unreachable_nodes_absent(self):
+        graph = build_directed([(1, 2), (3, 4)])
+        assert 3 not in bfs_levels(graph, 1)
+
+    def test_direction_in(self):
+        graph = build_directed([(1, 2), (2, 3)])
+        assert bfs_levels(graph, 3, direction="in") == {3: 0, 2: 1, 1: 2}
+
+    def test_direction_both(self):
+        graph = build_directed([(2, 1), (2, 3)])
+        assert bfs_levels(graph, 1, direction="both") == {1: 0, 2: 1, 3: 2}
+
+    def test_invalid_direction(self):
+        graph = build_directed([(1, 2)])
+        with pytest.raises(AlgorithmError):
+            bfs_levels(graph, 1, direction="sideways")
+
+    def test_isolated_source(self):
+        graph = build_directed([(1, 2)])
+        graph.add_node(9)
+        assert bfs_levels(graph, 9) == {9: 0}
+
+    def test_matches_networkx_on_random_graph(self):
+        graph = random_directed(60, 150, seed=3)
+        reference = to_networkx(graph)
+        source = next(iter(graph.nodes()))
+        expected = nx.single_source_shortest_path_length(reference, source)
+        assert bfs_levels(graph, source) == dict(expected)
+
+
+class TestShortestPath:
+    def test_length(self):
+        graph = build_directed([(1, 2), (2, 3), (1, 3)])
+        assert shortest_path_length(graph, 1, 3) == 1
+
+    def test_unreachable_raises(self):
+        graph = build_directed([(1, 2), (3, 4)])
+        with pytest.raises(AlgorithmError):
+            shortest_path_length(graph, 1, 4)
+
+    def test_path_endpoints_and_consecutive_edges(self):
+        graph = build_directed([(1, 2), (2, 3), (3, 4), (1, 4)])
+        path = shortest_path(graph, 1, 4)
+        assert path[0] == 1 and path[-1] == 4
+        assert len(path) == 2
+        for u, v in zip(path, path[1:]):
+            assert graph.has_edge(u, v)
+
+    def test_path_to_self(self):
+        graph = build_directed([(1, 2)])
+        assert shortest_path(graph, 1, 1) == [1]
+
+    def test_reachable_set(self):
+        graph = build_directed([(1, 2), (2, 3), (5, 6)])
+        assert reachable_set(graph, 1) == {1, 2, 3}
+
+
+class TestDijkstra:
+    def test_unit_weights_match_bfs(self):
+        graph = random_directed(40, 120, seed=7)
+        source = next(iter(graph.nodes()))
+        distances = dijkstra(graph, source)
+        levels = bfs_levels(graph, source)
+        assert distances == {node: float(level) for node, level in levels.items()}
+
+    def test_weighted_network(self):
+        net = Network()
+        net.add_edge(1, 2)
+        net.add_edge(2, 3)
+        net.add_edge(1, 3)
+        net.set_edge_attr(1, 2, "w", 1.0)
+        net.set_edge_attr(2, 3, "w", 1.0)
+        net.set_edge_attr(1, 3, "w", 5.0)
+        distances = dijkstra(net, 1, weight="w")
+        assert distances[3] == 2.0
+
+    def test_weight_callable(self):
+        graph = build_directed([(1, 2), (2, 3)])
+        distances = dijkstra(graph, 1, weight=lambda u, v: 2.0)
+        assert distances[3] == 4.0
+
+    def test_negative_weight_rejected(self):
+        graph = build_directed([(1, 2)])
+        with pytest.raises(AlgorithmError):
+            dijkstra(graph, 1, weight=lambda u, v: -1.0)
+
+    def test_attr_weight_without_network_rejected(self):
+        graph = build_directed([(1, 2)])
+        with pytest.raises(AlgorithmError):
+            dijkstra(graph, 1, weight="w")
+
+    def test_matches_networkx_weighted(self):
+        edges = [(0, 1, 4.0), (0, 2, 1.0), (2, 1, 2.0), (1, 3, 1.0), (2, 3, 5.0)]
+        net = Network()
+        for u, v, w in edges:
+            net.add_edge(u, v)
+            net.set_edge_attr(u, v, "w", w)
+        reference = nx.DiGraph()
+        reference.add_weighted_edges_from(edges)
+        expected = nx.single_source_dijkstra_path_length(reference, 0)
+        assert dijkstra(net, 0, weight="w") == pytest.approx(dict(expected))
+
+    def test_dijkstra_path(self):
+        net = Network()
+        for u, v, w in [(1, 2, 1.0), (2, 3, 1.0), (1, 3, 5.0)]:
+            net.add_edge(u, v)
+            net.set_edge_attr(u, v, "w", w)
+        path, dist = dijkstra_path(net, 1, 3, weight="w")
+        assert path == [1, 2, 3]
+        assert dist == 2.0
+
+    def test_dijkstra_path_unreachable(self):
+        graph = build_directed([(1, 2), (3, 4)])
+        with pytest.raises(AlgorithmError):
+            dijkstra_path(graph, 1, 4)
+
+
+class TestBellmanFord:
+    def test_handles_negative_edges(self):
+        graph = build_directed([(1, 2), (2, 3), (1, 3)])
+        weights = {(1, 2): 4.0, (2, 3): -2.0, (1, 3): 3.0}
+        distances = bellman_ford(graph, 1, weight=lambda u, v: weights[(u, v)])
+        assert distances[3] == 2.0
+
+    def test_negative_cycle_detected(self):
+        graph = build_directed([(1, 2), (2, 1)])
+        with pytest.raises(AlgorithmError, match="negative cycle"):
+            bellman_ford(graph, 1, weight=lambda u, v: -1.0)
+
+    def test_unit_weights_match_dijkstra(self):
+        graph = random_directed(30, 90, seed=11)
+        source = next(iter(graph.nodes()))
+        assert bellman_ford(graph, source) == dijkstra(graph, source)
+
+    def test_undirected_input(self):
+        graph = build_undirected([(1, 2), (2, 3)])
+        assert bellman_ford(graph, 1)[3] == 2.0

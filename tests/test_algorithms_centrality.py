@@ -1,0 +1,112 @@
+"""Tests for centrality measures vs networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.algorithms.centrality import (
+    betweenness_centrality,
+    closeness_centrality,
+    degree_centrality,
+    eigenvector_centrality,
+)
+from repro.exceptions import AlgorithmError
+
+from tests.helpers import build_directed, random_directed, to_networkx
+
+
+class TestDegreeCentrality:
+    def test_star_center(self):
+        graph = build_directed([(0, i) for i in range(1, 5)])
+        scores = degree_centrality(graph, "out")
+        assert scores[0] == 1.0
+        assert scores[1] == 0.0
+
+    def test_modes(self):
+        graph = build_directed([(1, 2)])
+        assert degree_centrality(graph, "in")[2] == 1.0
+        assert degree_centrality(graph, "total")[1] == 1.0
+
+    def test_invalid_mode(self):
+        with pytest.raises(AlgorithmError):
+            degree_centrality(build_directed([(1, 2)]), "sideways")
+
+    def test_matches_networkx_on_undirected_projection(self):
+        graph = random_directed(40, 100, seed=51)
+        ours = degree_centrality(graph, "out")
+        expected = nx.out_degree_centrality(to_networkx(graph))
+        for node, value in expected.items():
+            assert ours[node] == pytest.approx(value)
+
+
+class TestCloseness:
+    def test_matches_networkx_exact(self):
+        graph = random_directed(35, 120, seed=53)
+        ours = closeness_centrality(graph)
+        expected = nx.closeness_centrality(to_networkx(graph).reverse())
+        # networkx closeness uses incoming distance; reversing matches our
+        # outgoing-distance convention.
+        for node, value in expected.items():
+            assert ours[node] == pytest.approx(value, abs=1e-9)
+
+    def test_sampled_close_to_exact(self):
+        graph = random_directed(60, 400, seed=54)
+        exact = closeness_centrality(graph)
+        sampled = closeness_centrality(graph, samples=40, seed=1)
+        top_exact = max(exact, key=exact.get)
+        assert sampled[top_exact] > 0
+
+    def test_empty_graph(self):
+        from repro.graphs.directed import DirectedGraph
+
+        assert closeness_centrality(DirectedGraph()) == {}
+
+
+class TestBetweenness:
+    def test_bridge_node_dominates(self):
+        graph = build_directed(
+            [(1, 3), (2, 3), (3, 4), (4, 5), (4, 6)]
+        )
+        scores = betweenness_centrality(graph)
+        assert scores[3] > scores[1]
+        assert scores[4] > scores[1]
+
+    def test_matches_networkx_exact(self):
+        graph = random_directed(30, 90, seed=55)
+        ours = betweenness_centrality(graph)
+        expected = nx.betweenness_centrality(to_networkx(graph), normalized=True)
+        for node, value in expected.items():
+            assert ours[node] == pytest.approx(value, abs=1e-9)
+
+    def test_unnormalized(self):
+        graph = build_directed([(1, 2), (2, 3)])
+        scores = betweenness_centrality(graph, normalized=False)
+        assert scores[2] == pytest.approx(1.0)
+
+    def test_sampled_runs_and_scales(self):
+        graph = random_directed(50, 200, seed=56)
+        sampled = betweenness_centrality(graph, samples=25, seed=2)
+        assert len(sampled) == graph.num_nodes
+
+
+class TestEigenvector:
+    def test_matches_networkx(self):
+        # A strongly-connected graph so the principal eigenvector exists.
+        graph = build_directed(
+            [(1, 2), (2, 3), (3, 1), (3, 4), (4, 1), (2, 4), (4, 2)]
+        )
+        ours = eigenvector_centrality(graph, max_iterations=1000, tolerance=1e-12)
+        expected = nx.eigenvector_centrality(to_networkx(graph), max_iter=1000, tol=1e-12)
+        # Same direction up to normalisation; compare normalised.
+        norm = sum(v * v for v in expected.values()) ** 0.5
+        for node, value in expected.items():
+            assert ours[node] == pytest.approx(value / norm, abs=1e-6)
+
+    def test_collapse_raises(self):
+        graph = build_directed([(1, 2), (2, 3)])  # DAG: iteration dies out
+        with pytest.raises(AlgorithmError):
+            eigenvector_centrality(graph, max_iterations=500)
+
+    def test_empty_graph(self):
+        from repro.graphs.directed import DirectedGraph
+
+        assert eigenvector_centrality(DirectedGraph()) == {}

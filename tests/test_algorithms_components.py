@@ -1,0 +1,109 @@
+"""Tests for connected components vs networkx."""
+
+import networkx as nx
+
+from repro.algorithms.components import (
+    component_sizes,
+    count_components,
+    is_weakly_connected,
+    largest_component_nodes,
+    strongly_connected_components,
+    weakly_connected_components,
+)
+from repro.graphs.directed import DirectedGraph
+
+from tests.helpers import build_directed, random_directed, to_networkx
+
+
+def as_partition(labels):
+    groups = {}
+    for node, label in labels.items():
+        groups.setdefault(label, set()).add(node)
+    return sorted(groups.values(), key=lambda s: (len(s), min(s)))
+
+
+class TestWCC:
+    def test_two_islands(self):
+        graph = build_directed([(1, 2), (3, 4)])
+        labels = weakly_connected_components(graph)
+        assert labels[1] == labels[2]
+        assert labels[1] != labels[3]
+        assert count_components(labels) == 2
+
+    def test_direction_ignored(self):
+        graph = build_directed([(1, 2), (3, 2)])
+        labels = weakly_connected_components(graph)
+        assert len(set(labels.values())) == 1
+
+    def test_empty_graph(self):
+        assert weakly_connected_components(DirectedGraph()) == {}
+
+    def test_matches_networkx(self):
+        graph = random_directed(80, 90, seed=41)  # sparse → many components
+        labels = weakly_connected_components(graph)
+        expected = list(nx.weakly_connected_components(to_networkx(graph)))
+        assert as_partition(labels) == sorted(
+            (set(c) for c in expected), key=lambda s: (len(s), min(s))
+        )
+
+    def test_is_weakly_connected(self):
+        assert is_weakly_connected(build_directed([(1, 2), (2, 3)]))
+        assert not is_weakly_connected(build_directed([(1, 2), (3, 4)]))
+        assert not is_weakly_connected(DirectedGraph())
+
+
+class TestSCC:
+    def test_cycle_is_one_component(self):
+        graph = build_directed([(1, 2), (2, 3), (3, 1)])
+        labels = strongly_connected_components(graph)
+        assert len(set(labels.values())) == 1
+
+    def test_dag_nodes_all_separate(self):
+        graph = build_directed([(1, 2), (2, 3)])
+        labels = strongly_connected_components(graph)
+        assert len(set(labels.values())) == 3
+
+    def test_two_cycles_with_bridge(self):
+        graph = build_directed(
+            [(1, 2), (2, 1), (2, 3), (3, 4), (4, 3)]
+        )
+        labels = strongly_connected_components(graph)
+        assert labels[1] == labels[2]
+        assert labels[3] == labels[4]
+        assert labels[1] != labels[3]
+
+    def test_self_loop_single_scc(self):
+        graph = build_directed([(1, 1), (1, 2)])
+        labels = strongly_connected_components(graph)
+        assert labels[1] != labels[2]
+
+    def test_matches_networkx(self):
+        graph = random_directed(70, 220, seed=43)
+        labels = strongly_connected_components(graph)
+        expected = list(nx.strongly_connected_components(to_networkx(graph)))
+        assert as_partition(labels) == sorted(
+            (set(c) for c in expected), key=lambda s: (len(s), min(s))
+        )
+
+    def test_deep_chain_no_recursion_limit(self):
+        # 50k-node chain would blow a recursive Tarjan.
+        edges = [(i, i + 1) for i in range(50_000)]
+        graph = build_directed(edges)
+        labels = strongly_connected_components(graph)
+        assert count_components(labels) == 50_001
+
+
+class TestComponentHelpers:
+    def test_component_sizes(self):
+        assert component_sizes({1: 0, 2: 0, 3: 1}) == {0: 2, 1: 1}
+
+    def test_largest_component(self):
+        labels = {1: 0, 2: 0, 3: 1}
+        assert largest_component_nodes(labels) == {1, 2}
+
+    def test_largest_component_empty(self):
+        assert largest_component_nodes({}) == set()
+
+    def test_largest_component_tie_breaks_low_label(self):
+        labels = {1: 0, 2: 1}
+        assert largest_component_nodes(labels) == {1}

@@ -1,0 +1,198 @@
+"""Tests for articulation points/bridges, colouring, bipartiteness,
+Katz centrality, and the triad census — vs networkx references."""
+
+import networkx as nx
+import pytest
+
+from repro.algorithms.coloring import (
+    bipartite_sides,
+    chromatic_upper_bound,
+    greedy_coloring,
+    is_bipartite,
+)
+from repro.algorithms.connectivity import articulation_points, bridges, is_biconnected
+from repro.algorithms.katz import katz_centrality
+from repro.algorithms.motifs import closed_triads, triad_census
+from repro.exceptions import AlgorithmError, ConvergenceError
+
+from tests.helpers import (
+    build_directed,
+    build_undirected,
+    random_directed,
+    random_undirected,
+    to_networkx,
+)
+
+BARBELL = [(1, 2), (2, 3), (3, 1), (3, 4), (4, 5), (5, 6), (6, 4)]
+# two triangles joined by the bridge (3, 4)
+
+
+class TestArticulationAndBridges:
+    def test_barbell(self):
+        graph = build_undirected(BARBELL)
+        assert articulation_points(graph) == {3, 4}
+        assert bridges(graph) == {(3, 4)}
+
+    def test_path_interior_nodes(self):
+        graph = build_undirected([(1, 2), (2, 3), (3, 4)])
+        assert articulation_points(graph) == {2, 3}
+        assert bridges(graph) == {(1, 2), (2, 3), (3, 4)}
+
+    def test_cycle_has_none(self):
+        graph = build_undirected([(1, 2), (2, 3), (3, 1)])
+        assert articulation_points(graph) == set()
+        assert bridges(graph) == set()
+
+    def test_self_loops_ignored(self):
+        graph = build_undirected([(1, 2), (2, 3), (2, 2)])
+        assert articulation_points(graph) == {2}
+
+    def test_matches_networkx(self):
+        graph = random_undirected(50, 70, seed=91)  # sparse → structure
+        reference = to_networkx(graph)
+        reference.remove_edges_from(nx.selfloop_edges(reference))
+        assert articulation_points(graph) == set(nx.articulation_points(reference))
+        expected = {(min(u, v), max(u, v)) for u, v in nx.bridges(reference)}
+        assert bridges(graph) == expected
+
+    def test_is_biconnected(self):
+        assert is_biconnected(build_undirected([(1, 2), (2, 3), (3, 1)]))
+        assert not is_biconnected(build_undirected(BARBELL))
+        assert not is_biconnected(build_undirected([(1, 2), (3, 4)]))
+        assert is_biconnected(build_undirected([(1, 2)]))
+
+    def test_directed_input_uses_projection(self):
+        graph = build_directed([(1, 2), (2, 3)])
+        assert articulation_points(graph) == {2}
+
+
+class TestColoring:
+    def test_proper_coloring_invariant(self):
+        graph = random_undirected(40, 150, seed=92)
+        colors = greedy_coloring(graph)
+        for u, v in graph.edges():
+            if u != v:
+                assert colors[u] != colors[v]
+
+    def test_complete_graph_needs_n_colors(self):
+        from repro.algorithms.generators import complete_graph
+
+        assert chromatic_upper_bound(complete_graph(5)) == 5
+
+    def test_path_needs_two(self):
+        graph = build_undirected([(1, 2), (2, 3), (3, 4)])
+        assert chromatic_upper_bound(graph) == 2
+
+    def test_id_strategy_also_proper(self):
+        graph = random_undirected(30, 90, seed=93)
+        colors = greedy_coloring(graph, strategy="id")
+        for u, v in graph.edges():
+            if u != v:
+                assert colors[u] != colors[v]
+
+    def test_unknown_strategy(self):
+        with pytest.raises(AlgorithmError):
+            greedy_coloring(build_undirected([(1, 2)]), strategy="rainbow")
+
+    def test_empty_graph_bound(self):
+        from repro.graphs.undirected import UndirectedGraph
+
+        assert chromatic_upper_bound(UndirectedGraph()) == 0
+
+
+class TestBipartite:
+    def test_even_cycle(self):
+        from repro.algorithms.generators import ring_graph
+
+        assert is_bipartite(ring_graph(6))
+
+    def test_odd_cycle(self):
+        from repro.algorithms.generators import ring_graph
+
+        assert not is_bipartite(ring_graph(5))
+
+    def test_self_loop_not_bipartite(self):
+        graph = build_undirected([(1, 1)])
+        assert not is_bipartite(graph)
+
+    def test_sides_cover_and_separate(self):
+        graph = build_undirected([(1, 2), (2, 3), (3, 4), (4, 1)])
+        left, right = bipartite_sides(graph)
+        assert left | right == {1, 2, 3, 4}
+        for u, v in graph.edges():
+            assert (u in left) != (v in left)
+
+    def test_matches_networkx_on_random_graphs(self):
+        for seed in range(5):
+            graph = random_undirected(20, 25, seed=seed)
+            reference = to_networkx(graph)
+            reference.remove_edges_from(nx.selfloop_edges(reference))
+            has_loop = any(graph.has_edge(n, n) for n in graph.nodes())
+            expected = (not has_loop) and nx.is_bipartite(reference)
+            assert is_bipartite(graph) == expected
+
+
+class TestKatz:
+    def test_matches_networkx(self):
+        graph = random_directed(30, 80, seed=94)
+        ours = katz_centrality(graph, alpha=0.05, tolerance=1e-14)
+        expected = nx.katz_centrality(
+            to_networkx(graph), alpha=0.05, max_iter=5000, tol=1e-14
+        )
+        for node, value in expected.items():
+            assert ours[node] == pytest.approx(value, abs=1e-6)
+
+    def test_well_defined_on_dags(self):
+        graph = build_directed([(1, 2), (2, 3)])
+        scores = katz_centrality(graph)
+        assert scores[3] > scores[2] > scores[1]
+
+    def test_divergence_detected(self):
+        from repro.algorithms.generators import complete_graph
+
+        graph = complete_graph(10, directed=True)
+        with pytest.raises(ConvergenceError):
+            katz_centrality(graph, alpha=0.9)
+
+    def test_empty_graph(self):
+        from repro.graphs.directed import DirectedGraph
+
+        assert katz_centrality(DirectedGraph()) == {}
+
+
+class TestTriadCensus:
+    def test_transitive_triangle(self):
+        graph = build_directed([(1, 2), (2, 3), (1, 3)])
+        census = triad_census(graph)
+        assert census["030T"] == 1
+        assert sum(census.values()) == 1  # only one triple exists
+
+    def test_cyclic_triangle(self):
+        graph = build_directed([(1, 2), (2, 3), (3, 1)])
+        assert triad_census(graph)["030C"] == 1
+
+    def test_mutual_triangle(self):
+        edges = [(u, v) for u in (1, 2, 3) for v in (1, 2, 3) if u != v]
+        graph = build_directed(edges)
+        assert triad_census(graph)["300"] == 1
+
+    def test_census_sums_to_all_triples(self):
+        graph = random_directed(15, 40, seed=95)
+        census = triad_census(graph)
+        n = graph.num_nodes
+        assert sum(census.values()) == n * (n - 1) * (n - 2) // 6
+
+    def test_matches_networkx(self):
+        graph = random_directed(18, 60, seed=96)
+        reference = to_networkx(graph)
+        reference.remove_edges_from(nx.selfloop_edges(reference))
+        assert triad_census(graph) == nx.triadic_census(reference)
+
+    def test_small_graph(self):
+        graph = build_directed([(1, 2)])
+        census = triad_census(graph)
+        assert all(value == 0 for value in census.values())
+
+    def test_closed_triads(self):
+        graph = build_directed([(1, 2), (2, 3), (1, 3), (4, 5)])
+        assert closed_triads(graph) == 1

@@ -1,0 +1,157 @@
+"""Tests for graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.generators import (
+    balanced_tree,
+    barabasi_albert,
+    complete_graph,
+    erdos_renyi_gnm,
+    erdos_renyi_gnp,
+    grid_graph,
+    ring_graph,
+    rmat,
+    rmat_edges,
+    star_graph,
+    watts_strogatz,
+)
+from repro.exceptions import AlgorithmError, RingoError
+
+
+class TestDeterministicShapes:
+    def test_complete_undirected(self):
+        graph = complete_graph(5)
+        assert graph.num_nodes == 5
+        assert graph.num_edges == 10
+
+    def test_complete_directed(self):
+        graph = complete_graph(4, directed=True)
+        assert graph.num_edges == 12
+
+    def test_star(self):
+        graph = star_graph(6)
+        assert graph.num_nodes == 7
+        assert graph.degree(0) == 6
+
+    def test_ring(self):
+        graph = ring_graph(5)
+        assert graph.num_edges == 5
+        assert all(graph.degree(node) == 2 for node in graph.nodes())
+
+    def test_ring_degenerate_sizes(self):
+        assert ring_graph(0).num_nodes == 0
+        assert ring_graph(1).num_edges == 0
+        assert ring_graph(2).num_edges == 1
+
+    def test_grid(self):
+        graph = grid_graph(3, 4)
+        assert graph.num_nodes == 12
+        assert graph.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_balanced_tree(self):
+        graph = balanced_tree(2, 3)
+        assert graph.num_nodes == 15
+        assert graph.num_edges == 14
+
+    def test_balanced_tree_depth_zero(self):
+        assert balanced_tree(3, 0).num_nodes == 1
+
+
+class TestErdosRenyi:
+    def test_gnm_exact_edge_count(self):
+        graph = erdos_renyi_gnm(50, 100, seed=1)
+        assert graph.num_nodes == 50
+        assert graph.num_edges == 100
+
+    def test_gnm_directed(self):
+        graph = erdos_renyi_gnm(20, 50, directed=True, seed=2)
+        assert graph.is_directed
+        assert graph.num_edges == 50
+
+    def test_gnm_too_many_edges(self):
+        with pytest.raises(AlgorithmError):
+            erdos_renyi_gnm(3, 10)
+
+    def test_gnm_deterministic(self):
+        a = erdos_renyi_gnm(30, 60, seed=7)
+        b = erdos_renyi_gnm(30, 60, seed=7)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_gnp_edge_count_near_expectation(self):
+        graph = erdos_renyi_gnp(100, 0.1, seed=3)
+        expected = 0.1 * 100 * 99 / 2
+        assert abs(graph.num_edges - expected) < 4 * np.sqrt(expected)
+
+    def test_gnp_no_self_loops(self):
+        graph = erdos_renyi_gnp(30, 0.5, directed=True, seed=4)
+        assert all(src != dst for src, dst in graph.edges())
+
+    def test_gnp_invalid_probability(self):
+        with pytest.raises(RingoError):
+            erdos_renyi_gnp(10, 1.5)
+
+
+class TestBarabasiAlbert:
+    def test_node_and_edge_counts(self):
+        graph = barabasi_albert(100, 3, seed=5)
+        assert graph.num_nodes == 100
+        # Seed clique C(4,2)=6 edges + 96 nodes * 3 edges.
+        assert graph.num_edges == 6 + 96 * 3
+
+    def test_hubs_emerge(self):
+        graph = barabasi_albert(300, 2, seed=6)
+        degrees = sorted((graph.degree(node) for node in graph.nodes()), reverse=True)
+        assert degrees[0] > 4 * degrees[len(degrees) // 2]
+
+    def test_invalid_sizes(self):
+        with pytest.raises(AlgorithmError):
+            barabasi_albert(3, 3)
+
+
+class TestWattsStrogatz:
+    def test_no_rewiring_is_lattice(self):
+        graph = watts_strogatz(20, 4, 0.0, seed=7)
+        assert graph.num_edges == 20 * 2
+        assert all(graph.degree(node) == 4 for node in graph.nodes())
+
+    def test_rewiring_preserves_edge_count(self):
+        graph = watts_strogatz(40, 4, 0.5, seed=8)
+        assert graph.num_edges == 40 * 2
+
+    def test_odd_nearest_rejected(self):
+        with pytest.raises(AlgorithmError):
+            watts_strogatz(10, 3, 0.1)
+
+    def test_nearest_too_large_rejected(self):
+        with pytest.raises(AlgorithmError):
+            watts_strogatz(4, 4, 0.1)
+
+
+class TestRmat:
+    def test_edge_arrays_in_range(self):
+        src, dst = rmat_edges(scale=8, num_edges=1000, seed=9)
+        assert len(src) == 1000
+        assert src.max() < 2**8 and dst.max() < 2**8
+        assert src.min() >= 0 and dst.min() >= 0
+
+    def test_deterministic(self):
+        a = rmat_edges(scale=6, num_edges=500, seed=10)
+        b = rmat_edges(scale=6, num_edges=500, seed=10)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(AlgorithmError):
+            rmat_edges(scale=4, num_edges=10, probabilities=(0.5, 0.5, 0.5, 0.5))
+
+    def test_graph_is_skewed(self):
+        graph = rmat(scale=10, num_edges=8000, seed=11)
+        degrees = sorted(
+            (graph.out_degree(node) for node in graph.nodes()), reverse=True
+        )
+        median = degrees[len(degrees) // 2]
+        assert degrees[0] > 8 * max(median, 1)
+
+    def test_undirected_variant(self):
+        graph = rmat(scale=6, num_edges=300, seed=12, directed=False)
+        assert not graph.is_directed

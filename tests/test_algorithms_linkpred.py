@@ -1,0 +1,134 @@
+"""Tests for link-prediction scores vs networkx references."""
+
+import networkx as nx
+import pytest
+
+from repro.algorithms.linkpred import (
+    adamic_adar,
+    candidate_pairs,
+    common_neighbors,
+    jaccard_coefficient,
+    preferential_attachment,
+    resource_allocation,
+    top_predicted_links,
+)
+from repro.exceptions import AlgorithmError
+
+from tests.helpers import build_undirected, random_undirected, to_networkx
+
+
+def reference_graph(graph):
+    """networkx copy with self-loops removed (our projection drops them)."""
+    result = to_networkx(graph)
+    result.remove_edges_from(nx.selfloop_edges(result))
+    return result
+
+SQUARE = [(1, 2), (1, 3), (4, 2), (4, 3)]  # 1 and 4 share {2, 3}
+
+
+def nonadjacent_pairs(graph, limit=40):
+    nodes = sorted(graph.nodes())
+    pairs = []
+    for i, u in enumerate(nodes):
+        for v in nodes[i + 1:]:
+            if not graph.has_edge(u, v):
+                pairs.append((u, v))
+            if len(pairs) == limit:
+                return pairs
+    return pairs
+
+
+class TestScores:
+    def test_common_neighbors_square(self):
+        graph = build_undirected(SQUARE)
+        assert common_neighbors(graph, [(1, 4)])[(1, 4)] == 2.0
+
+    def test_jaccard_square(self):
+        graph = build_undirected(SQUARE)
+        assert jaccard_coefficient(graph, [(1, 4)])[(1, 4)] == 1.0
+
+    def test_jaccard_isolated_pair_is_zero(self):
+        graph = build_undirected(SQUARE)
+        graph.add_node(9)
+        graph.add_node(10)
+        assert jaccard_coefficient(graph, [(9, 10)])[(9, 10)] == 0.0
+
+    def test_jaccard_matches_networkx(self):
+        graph = random_undirected(40, 120, seed=81)
+        pairs = nonadjacent_pairs(graph)
+        ours = jaccard_coefficient(graph, pairs)
+        expected = {
+            (u, v): score
+            for u, v, score in nx.jaccard_coefficient(reference_graph(graph), pairs)
+        }
+        for pair, score in expected.items():
+            assert ours[pair] == pytest.approx(score)
+
+    def test_adamic_adar_matches_networkx(self):
+        graph = random_undirected(40, 120, seed=82)
+        pairs = nonadjacent_pairs(graph)
+        ours = adamic_adar(graph, pairs)
+        expected = {
+            (u, v): score
+            for u, v, score in nx.adamic_adar_index(reference_graph(graph), pairs)
+        }
+        for pair, score in expected.items():
+            assert ours[pair] == pytest.approx(score)
+
+    def test_resource_allocation_matches_networkx(self):
+        graph = random_undirected(40, 120, seed=83)
+        pairs = nonadjacent_pairs(graph)
+        ours = resource_allocation(graph, pairs)
+        expected = {
+            (u, v): score
+            for u, v, score in nx.resource_allocation_index(reference_graph(graph), pairs)
+        }
+        for pair, score in expected.items():
+            assert ours[pair] == pytest.approx(score)
+
+    def test_preferential_attachment_matches_networkx(self):
+        graph = random_undirected(40, 120, seed=84)
+        pairs = nonadjacent_pairs(graph)
+        ours = preferential_attachment(graph, pairs)
+        expected = {
+            (u, v): score
+            for u, v, score in nx.preferential_attachment(reference_graph(graph), pairs)
+        }
+        for pair, score in expected.items():
+            assert ours[pair] == pytest.approx(float(score))
+
+
+class TestCandidatePairs:
+    def test_distance_two_only(self):
+        graph = build_undirected([(1, 2), (2, 3), (3, 4)])
+        pairs = set(candidate_pairs(graph))
+        assert (1, 3) in pairs and (2, 4) in pairs
+        assert (1, 2) not in pairs  # adjacent
+        assert (1, 4) not in pairs  # distance three
+
+    def test_each_pair_once(self):
+        graph = build_undirected(SQUARE)
+        pairs = list(candidate_pairs(graph))
+        assert len(pairs) == len(set(pairs))
+
+    def test_max_pairs_cap(self):
+        graph = random_undirected(30, 100, seed=85)
+        assert len(list(candidate_pairs(graph, max_pairs=5))) == 5
+
+    def test_invalid_cap(self):
+        graph = build_undirected(SQUARE)
+        with pytest.raises(AlgorithmError):
+            list(candidate_pairs(graph, max_pairs=0))
+
+
+class TestTopPredictedLinks:
+    def test_square_predicts_the_diagonals(self):
+        graph = build_undirected(SQUARE)
+        ranked = top_predicted_links(graph, k=2)
+        assert {pair for pair, _ in ranked} == {(1, 4), (2, 3)}
+
+    def test_scores_descending(self):
+        graph = random_undirected(30, 90, seed=86)
+        ranked = top_predicted_links(graph, k=10)
+        scores = [score for _, score in ranked]
+        assert scores == sorted(scores, reverse=True)

@@ -1,0 +1,263 @@
+"""Tests for community detection, MST, diameter, ordering, random walks,
+and statistics."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms.community import community_sizes, label_propagation, modularity
+from repro.algorithms.diameter import diameter, effective_diameter
+from repro.algorithms.mst import UnionFind, minimum_spanning_forest, spanning_forest_from_edges
+from repro.algorithms.ordering import is_dag, longest_path_length, topological_sort
+from repro.algorithms.randomwalk import approximate_ppr, random_walk, sample_nodes
+from repro.algorithms.statistics import (
+    degree_assortativity,
+    degree_distribution,
+    edge_count_in_buckets,
+    reciprocity,
+    summarize,
+)
+from repro.exceptions import AlgorithmError
+from repro.graphs.network import Network
+
+from tests.helpers import (
+    build_directed,
+    build_undirected,
+    random_undirected,
+    to_networkx,
+)
+
+TWO_CLIQUES = [(0, 1), (1, 2), (0, 2), (5, 6), (6, 7), (5, 7), (2, 5)]
+
+
+class TestLabelPropagation:
+    def test_separates_cliques(self):
+        graph = build_undirected(TWO_CLIQUES[:-1])  # no bridge
+        labels = label_propagation(graph)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[5] == labels[6] == labels[7]
+        assert labels[0] != labels[5]
+
+    def test_labels_dense_from_zero(self):
+        graph = build_undirected(TWO_CLIQUES[:-1])
+        labels = label_propagation(graph)
+        assert set(labels.values()) == set(range(len(set(labels.values()))))
+
+    def test_deterministic_for_seed(self):
+        graph = random_undirected(40, 120, seed=61)
+        assert label_propagation(graph, seed=3) == label_propagation(graph, seed=3)
+
+    def test_community_sizes(self):
+        assert community_sizes({1: 0, 2: 0, 3: 1}) == {0: 2, 1: 1}
+
+
+class TestModularity:
+    def test_matches_networkx(self):
+        graph = build_undirected(TWO_CLIQUES)
+        communities = {0: 0, 1: 0, 2: 0, 5: 1, 6: 1, 7: 1}
+        expected = nx.community.modularity(
+            to_networkx(graph), [{0, 1, 2}, {5, 6, 7}]
+        )
+        assert modularity(graph, communities) == pytest.approx(expected)
+
+    def test_single_community_zero_ish(self):
+        graph = build_undirected(TWO_CLIQUES)
+        communities = {node: 0 for node in graph.nodes()}
+        assert modularity(graph, communities) == pytest.approx(0.0)
+
+    def test_empty_graph(self):
+        from repro.graphs.undirected import UndirectedGraph
+
+        assert modularity(UndirectedGraph(), {}) == 0.0
+
+    def test_good_partition_beats_random(self):
+        graph = build_undirected(TWO_CLIQUES)
+        good = {0: 0, 1: 0, 2: 0, 5: 1, 6: 1, 7: 1}
+        bad = {0: 0, 1: 1, 2: 0, 5: 1, 6: 0, 7: 1}
+        assert modularity(graph, good) > modularity(graph, bad)
+
+
+class TestUnionFind:
+    def test_union_and_find(self):
+        uf = UnionFind()
+        assert uf.union(1, 2)
+        assert not uf.union(2, 1)
+        assert uf.connected(1, 2)
+        assert not uf.connected(1, 3)
+
+    def test_transitive_union(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(2, 3)
+        assert uf.connected(1, 3)
+
+
+class TestMst:
+    def test_weighted_forest_matches_networkx(self):
+        edges = [(0, 1, 4.0), (0, 2, 1.0), (1, 2, 2.0), (1, 3, 5.0), (2, 3, 8.0)]
+        net = Network()
+        for u, v, w in edges:
+            net.add_edge(u, v)
+            net.set_edge_attr(u, v, "w", w)
+        forest, total = minimum_spanning_forest(net, weight="w")
+        reference = nx.Graph()
+        reference.add_weighted_edges_from(edges)
+        expected = nx.minimum_spanning_tree(reference)
+        assert total == pytest.approx(expected.size(weight="weight"))
+        assert forest.num_edges == expected.number_of_edges()
+
+    def test_unweighted_forest_spans(self):
+        graph = build_undirected(TWO_CLIQUES)
+        forest, total = minimum_spanning_forest(graph)
+        assert forest.num_edges == graph.num_nodes - 1
+        assert total == forest.num_edges
+
+    def test_disconnected_forest(self):
+        graph = build_undirected([(1, 2), (3, 4)])
+        forest, _ = minimum_spanning_forest(graph)
+        assert forest.num_edges == 2
+        assert forest.num_nodes == 4
+
+    def test_from_edges(self):
+        forest, total = spanning_forest_from_edges(
+            [(1, 2, 3.0), (2, 3, 1.0), (1, 3, 2.0)]
+        )
+        assert forest.num_edges == 2
+        assert total == 3.0
+
+
+class TestDiameter:
+    def test_path_graph(self):
+        graph = build_undirected([(0, 1), (1, 2), (2, 3)])
+        assert diameter(graph) == 3
+
+    def test_matches_networkx(self):
+        graph = random_undirected(40, 120, seed=71)
+        reference = to_networkx(graph)
+        giant = max(nx.connected_components(reference), key=len)
+        expected = nx.diameter(reference.subgraph(giant))
+        assert diameter(graph) == expected
+
+    def test_empty_graph_raises(self):
+        from repro.graphs.undirected import UndirectedGraph
+
+        with pytest.raises(AlgorithmError):
+            diameter(UndirectedGraph())
+
+    def test_effective_diameter_below_diameter(self):
+        graph = random_undirected(60, 150, seed=72)
+        assert effective_diameter(graph) <= diameter(graph)
+
+    def test_effective_diameter_star(self):
+        from repro.algorithms.generators import star_graph
+
+        graph = star_graph(20)
+        # Most pairs are at distance 2 (leaf-hub-leaf).
+        assert 1.0 <= effective_diameter(graph) <= 2.0
+
+    def test_sampled_diameter_runs(self):
+        graph = random_undirected(80, 300, seed=73)
+        assert diameter(graph, samples=10, seed=1) <= diameter(graph)
+
+
+class TestOrdering:
+    def test_topological_sort(self):
+        graph = build_directed([(1, 2), (1, 3), (3, 2)])
+        assert topological_sort(graph) == [1, 3, 2]
+
+    def test_cycle_raises(self):
+        graph = build_directed([(1, 2), (2, 1)])
+        with pytest.raises(AlgorithmError):
+            topological_sort(graph)
+
+    def test_is_dag(self):
+        assert is_dag(build_directed([(1, 2), (2, 3)]))
+        assert not is_dag(build_directed([(1, 2), (2, 1)]))
+
+    def test_respects_edges(self):
+        graph = build_directed([(5, 3), (3, 1), (5, 1), (2, 1)])
+        order = topological_sort(graph)
+        position = {node: i for i, node in enumerate(order)}
+        for src, dst in graph.edges():
+            assert position[src] < position[dst]
+
+    def test_longest_path(self):
+        graph = build_directed([(1, 2), (2, 3), (1, 3)])
+        assert longest_path_length(graph) == 2
+
+
+class TestRandomWalk:
+    def test_walk_length_and_start(self):
+        graph = build_directed([(1, 2), (2, 1)])
+        walk = random_walk(graph, 1, 10, seed=1)
+        assert len(walk) == 11
+        assert walk[0] == 1
+
+    def test_walk_follows_edges(self):
+        graph = build_directed([(1, 2), (2, 3), (3, 1)])
+        walk = random_walk(graph, 1, 20, seed=2)
+        for u, v in zip(walk, walk[1:]):
+            assert graph.has_edge(u, v) or v == 1  # restart jumps to start
+
+    def test_dead_end_restarts(self):
+        graph = build_directed([(1, 2)])
+        walk = random_walk(graph, 1, 5, seed=3)
+        assert set(walk) <= {1, 2}
+
+    def test_ppr_concentrates_near_source(self):
+        graph = build_directed([(1, 2), (2, 1), (3, 4), (4, 3), (2, 3)])
+        scores = approximate_ppr(graph, 1, num_walks=300, seed=4)
+        assert scores[1] > scores.get(4, 0.0)
+        assert sum(scores.values()) == pytest.approx(1.0)
+
+    def test_sample_nodes(self):
+        graph = build_directed([(i, i + 1) for i in range(30)])
+        chosen = sample_nodes(graph, 10, seed=5)
+        assert len(set(chosen)) == 10
+        assert all(graph.has_node(node) for node in chosen)
+
+    def test_sample_too_many_raises(self):
+        graph = build_directed([(1, 2)])
+        with pytest.raises(AlgorithmError):
+            sample_nodes(graph, 10)
+
+
+class TestStatistics:
+    def test_summary_fields(self):
+        graph = build_directed([(1, 2), (2, 1), (1, 1)])
+        summary = summarize(graph)
+        assert summary.num_nodes == 2
+        assert summary.num_edges == 3
+        assert summary.self_loops == 1
+        assert summary.is_directed
+        assert "directed graph" in str(summary)
+
+    def test_degree_distribution_table(self):
+        graph = build_directed([(0, 1), (0, 2), (0, 3)])
+        table = degree_distribution(graph, "out")
+        rows = dict(zip(table.column("Degree").tolist(), table.column("Count").tolist()))
+        assert rows == {0: 3, 3: 1}
+
+    def test_degree_distribution_invalid_mode(self):
+        with pytest.raises(ValueError):
+            degree_distribution(build_directed([(0, 1)]), "sideways")
+
+    def test_reciprocity(self):
+        graph = build_directed([(1, 2), (2, 1), (1, 3)])
+        assert reciprocity(graph) == pytest.approx(2 / 3)
+
+    def test_reciprocity_empty(self):
+        from repro.graphs.directed import DirectedGraph
+
+        assert reciprocity(DirectedGraph()) == 0.0
+
+    def test_assortativity_matches_networkx_sign(self):
+        from repro.algorithms.generators import star_graph
+
+        graph = star_graph(10)
+        # Stars are strongly disassortative.
+        assert degree_assortativity(graph) < 0
+
+    def test_edge_count_in_buckets(self):
+        assert edge_count_in_buckets([5, 50, 500], [10, 100]) == [1, 1, 1]
+        assert edge_count_in_buckets([], [10]) == [0, 0]

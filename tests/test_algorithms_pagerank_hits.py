@@ -1,0 +1,100 @@
+"""Tests for PageRank and HITS, vs networkx references."""
+
+import networkx as nx
+import pytest
+
+from repro.algorithms.hits import hits
+from repro.algorithms.pagerank import pagerank, pagerank_sequential
+from repro.exceptions import RingoError
+
+from tests.helpers import build_directed, random_directed, to_networkx
+
+
+class TestPageRank:
+    def test_ranks_sum_to_one(self):
+        graph = random_directed(50, 200, seed=1)
+        ranks = pagerank(graph)
+        assert sum(ranks.values()) == pytest.approx(1.0)
+
+    def test_sink_receives_more_rank(self):
+        graph = build_directed([(1, 3), (2, 3)])
+        ranks = pagerank(graph)
+        assert ranks[3] > ranks[1]
+
+    def test_empty_graph(self):
+        from repro.graphs.directed import DirectedGraph
+
+        assert pagerank(DirectedGraph()) == {}
+
+    def test_single_node(self):
+        from repro.graphs.directed import DirectedGraph
+
+        graph = DirectedGraph()
+        graph.add_node(7)
+        assert pagerank(graph) == {7: pytest.approx(1.0)}
+
+    def test_matches_networkx(self):
+        graph = random_directed(80, 300, seed=5)
+        ranks = pagerank(graph, tolerance=1e-12)
+        expected = nx.pagerank(to_networkx(graph), alpha=0.85, tol=1e-12)
+        for node, value in expected.items():
+            assert ranks[node] == pytest.approx(value, abs=1e-6)
+
+    def test_matches_networkx_with_dangling_nodes(self):
+        graph = build_directed([(1, 2), (2, 3), (3, 1), (1, 4)])  # 4 dangles
+        ranks = pagerank(graph, tolerance=1e-12)
+        expected = nx.pagerank(to_networkx(graph), alpha=0.85, tol=1e-12)
+        for node, value in expected.items():
+            assert ranks[node] == pytest.approx(value, abs=1e-6)
+
+    def test_fixed_iteration_mode(self):
+        graph = random_directed(30, 100, seed=2)
+        ten = pagerank(graph, iterations=10)
+        assert sum(ten.values()) == pytest.approx(1.0)
+
+    def test_invalid_damping(self):
+        graph = build_directed([(1, 2)])
+        with pytest.raises(RingoError):
+            pagerank(graph, damping=1.5)
+
+    def test_personalized_concentrates_on_seed(self):
+        graph = build_directed([(1, 2), (2, 3), (3, 1), (4, 1)])
+        ranks = pagerank(graph, personalize={4: 1.0}, tolerance=1e-12)
+        uniform = pagerank(graph, tolerance=1e-12)
+        assert ranks[4] > uniform[4]
+
+    def test_personalized_zero_weights_rejected(self):
+        graph = build_directed([(1, 2)])
+        with pytest.raises(RingoError):
+            pagerank(graph, personalize={1: 0.0})
+
+    def test_sequential_matches_vectorized(self):
+        graph = random_directed(40, 150, seed=9)
+        fast = pagerank(graph, iterations=10)
+        slow = pagerank_sequential(graph, iterations=10)
+        for node, value in fast.items():
+            assert slow[node] == pytest.approx(value, abs=1e-12)
+
+
+class TestHits:
+    def test_authority_concentrates_on_target(self):
+        graph = build_directed([(1, 3), (2, 3)])
+        hubs, auths = hits(graph)
+        assert auths[3] > auths[1]
+        assert hubs[1] > hubs[3]
+
+    def test_empty_graph(self):
+        from repro.graphs.directed import DirectedGraph
+
+        assert hits(DirectedGraph()) == ({}, {})
+
+    def test_matches_networkx(self):
+        graph = random_directed(50, 200, seed=13)
+        hubs, auths = hits(graph, max_iterations=500, tolerance=1e-12)
+        nx_hubs, nx_auths = nx.hits(to_networkx(graph), max_iter=500, tol=1e-12)
+        # networkx normalises by L1; renormalise ours for comparison.
+        hub_total = sum(hubs.values())
+        auth_total = sum(auths.values())
+        for node in hubs:
+            assert hubs[node] / hub_total == pytest.approx(nx_hubs[node], abs=1e-5)
+            assert auths[node] / auth_total == pytest.approx(nx_auths[node], abs=1e-5)

@@ -1,0 +1,137 @@
+"""Tests for triangle counting, clustering, and k-cores vs networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.algorithms.cores import core_numbers, degeneracy, k_core
+from repro.algorithms.triangles import (
+    average_clustering,
+    clustering_coefficients,
+    global_clustering,
+    total_triangles,
+    triangle_counts,
+)
+from repro.parallel.executor import WorkerPool
+
+from tests.helpers import (
+    build_directed,
+    build_undirected,
+    random_undirected,
+    to_networkx,
+)
+
+TRIANGLE_PLUS_TAIL = [(1, 2), (2, 3), (3, 1), (3, 4)]
+
+
+class TestTriangles:
+    def test_single_triangle(self):
+        graph = build_undirected(TRIANGLE_PLUS_TAIL)
+        counts = triangle_counts(graph)
+        assert counts == {1: 1, 2: 1, 3: 1, 4: 0}
+        assert total_triangles(graph) == 1
+
+    def test_directed_uses_undirected_projection(self):
+        graph = build_directed([(1, 2), (2, 3), (3, 1)])
+        assert total_triangles(graph) == 1
+
+    def test_self_loops_ignored(self):
+        graph = build_undirected(TRIANGLE_PLUS_TAIL + [(1, 1)])
+        assert total_triangles(graph) == 1
+
+    def test_no_triangles_in_tree(self):
+        graph = build_undirected([(1, 2), (2, 3), (2, 4)])
+        assert total_triangles(graph) == 0
+
+    def test_matches_networkx_on_random_graph(self):
+        graph = random_undirected(60, 250, seed=21)
+        expected = nx.triangles(to_networkx(graph))
+        assert triangle_counts(graph) == expected
+
+    def test_parallel_pool_matches_serial(self):
+        graph = random_undirected(80, 400, seed=22)
+        serial = triangle_counts(graph)
+        with WorkerPool(4) as pool:
+            parallel = triangle_counts(graph, pool=pool)
+        assert serial == parallel
+
+    def test_complete_graph_count(self):
+        from repro.algorithms.generators import complete_graph
+
+        graph = complete_graph(6)
+        assert total_triangles(graph) == 20  # C(6,3)
+
+
+class TestClustering:
+    def test_local_coefficients_match_networkx(self):
+        graph = random_undirected(50, 200, seed=23)
+        ours = clustering_coefficients(graph)
+        expected = nx.clustering(to_networkx(graph))
+        for node, value in expected.items():
+            assert ours[node] == pytest.approx(value)
+
+    def test_average_matches_networkx(self):
+        graph = random_undirected(50, 200, seed=24)
+        assert average_clustering(graph) == pytest.approx(
+            nx.average_clustering(to_networkx(graph))
+        )
+
+    def test_global_matches_networkx_transitivity(self):
+        graph = random_undirected(50, 200, seed=25)
+        assert global_clustering(graph) == pytest.approx(
+            nx.transitivity(to_networkx(graph))
+        )
+
+    def test_empty_graph(self):
+        from repro.graphs.undirected import UndirectedGraph
+
+        assert average_clustering(UndirectedGraph()) == 0.0
+        assert global_clustering(UndirectedGraph()) == 0.0
+
+
+class TestCores:
+    def test_triangle_tail(self):
+        graph = build_undirected(TRIANGLE_PLUS_TAIL)
+        cores = core_numbers(graph)
+        assert cores == {1: 2, 2: 2, 3: 2, 4: 1}
+
+    def test_matches_networkx(self):
+        graph = random_undirected(70, 300, seed=31)
+        reference = to_networkx(graph)
+        reference.remove_edges_from(nx.selfloop_edges(reference))
+        assert core_numbers(graph) == nx.core_number(reference)
+
+    def test_k_core_subgraph(self):
+        graph = build_undirected(TRIANGLE_PLUS_TAIL)
+        core = k_core(graph, 2)
+        assert sorted(core.nodes()) == [1, 2, 3]
+        assert core.num_edges == 3
+
+    def test_three_core_of_clique(self):
+        from repro.algorithms.generators import complete_graph
+
+        graph = complete_graph(5)
+        assert k_core(graph, 3).num_nodes == 5
+        assert k_core(graph, 5).num_nodes == 0
+
+    def test_k_core_matches_networkx(self):
+        graph = random_undirected(60, 240, seed=32)
+        reference = to_networkx(graph)
+        reference.remove_edges_from(nx.selfloop_edges(reference))
+        for k in (2, 3):
+            ours = k_core(graph, k)
+            expected = nx.k_core(reference, k)
+            assert sorted(ours.nodes()) == sorted(expected.nodes())
+
+    def test_degeneracy(self):
+        graph = build_undirected(TRIANGLE_PLUS_TAIL)
+        assert degeneracy(graph) == 2
+
+    def test_degeneracy_empty(self):
+        from repro.graphs.undirected import UndirectedGraph
+
+        assert degeneracy(UndirectedGraph()) == 0
+
+    def test_directed_graph_uses_projection(self):
+        graph = build_directed([(1, 2), (2, 3), (3, 1), (3, 4)])
+        cores = core_numbers(graph)
+        assert cores[1] == 2 and cores[4] == 1

@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInfoAndFunctions:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "registered functions" in out
+        assert "algorithm" in out
+
+    def test_functions_all(self, capsys):
+        assert main(["functions"]) == 0
+        out = capsys.readouterr().out
+        assert "algorithms.pagerank" in out
+
+    def test_functions_filtered(self, capsys):
+        assert main(["functions", "--category", "session"]) == 0
+        out = capsys.readouterr().out
+        assert "ringo.GetPageRank" in out
+        assert "algorithms.pagerank" not in out
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "top-10 Java experts" in out
+        assert "precision@10" in out
+
+    def test_demo_unknown_tag(self, capsys):
+        assert main(["demo", "--tag", "COBOL"]) == 2
+        assert "unknown tag" in capsys.readouterr().err
+
+
+class TestGenerateAndStats:
+    def test_generate_rmat_and_stats(self, tmp_path, capsys):
+        out_path = tmp_path / "edges.txt"
+        assert main([
+            "generate", "--kind", "rmat", "--scale", "8",
+            "--edges", "2000", "--output", str(out_path),
+        ]) == 0
+        assert out_path.exists()
+        assert main(["stats", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "directed graph" in out
+
+    def test_generate_ba(self, tmp_path):
+        out_path = tmp_path / "ba.txt"
+        assert main([
+            "generate", "--kind", "ba", "--nodes", "50",
+            "--attach", "2", "--output", str(out_path),
+        ]) == 0
+        assert out_path.stat().st_size > 0
+
+    def test_generate_er(self, tmp_path):
+        out_path = tmp_path / "er.txt"
+        assert main([
+            "generate", "--kind", "er", "--nodes", "30",
+            "--edges", "40", "--output", str(out_path),
+        ]) == 0
+        assert len(out_path.read_text().splitlines()) == 40
+
+    def test_stats_undirected(self, tmp_path, capsys):
+        path = tmp_path / "e.txt"
+        path.write_text("1\t2\n2\t3\n")
+        assert main(["stats", str(path), "--undirected"]) == 0
+        assert "undirected graph" in capsys.readouterr().out
+
+    def test_module_entrypoint(self):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "info"], capture_output=True, text=True
+        )
+        assert result.returncode == 0
+        assert "registered functions" in result.stdout
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,162 @@
+"""Tests for attribute flow (Figure 2) and the ANF estimator."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.anf import anf_effective_diameter, neighbourhood_function
+from repro.algorithms.diameter import effective_diameter
+from repro.algorithms.generators import ring_graph
+from repro.algorithms.pagerank import pagerank
+from repro.convert.attributes import (
+    attach_node_attribute,
+    network_from_tables,
+    node_attribute_table,
+)
+from repro.exceptions import ConversionError
+from repro.graphs.network import Network
+from repro.tables.table import Table
+
+from tests.helpers import build_undirected, random_undirected
+
+
+class TestNetworkFromTables:
+    def test_edges_only(self):
+        edges = Table.from_columns({"a": [1, 2], "b": [2, 3]})
+        net = network_from_tables(edges, "a", "b")
+        assert net.num_edges == 2
+        assert isinstance(net, Network)
+
+    def test_with_node_attributes(self):
+        edges = Table.from_columns({"a": [1], "b": [2]})
+        nodes = Table.from_columns(
+            {"id": [1, 2, 9], "name": ["ann", "bo", "zed"], "age": [30, 40, 50]}
+        )
+        net = network_from_tables(edges, "a", "b", nodes, node_key="id")
+        assert net.node_attr(1, "name") == "ann"
+        assert net.node_attr(2, "age") == 40
+        # Node 9 appears only in the node table → isolated node.
+        assert net.has_node(9)
+
+    def test_attr_subset(self):
+        edges = Table.from_columns({"a": [1], "b": [2]})
+        nodes = Table.from_columns({"id": [1], "x": [5], "y": [6]})
+        net = network_from_tables(edges, "a", "b", nodes, node_key="id", node_attrs=["x"])
+        assert net.node_attr(1, "x") == 5
+        assert net.node_attr(1, "y") is None
+
+    def test_missing_node_key_rejected(self):
+        edges = Table.from_columns({"a": [1], "b": [2]})
+        nodes = Table.from_columns({"id": [1]})
+        with pytest.raises(ConversionError):
+            network_from_tables(edges, "a", "b", nodes)
+
+    def test_string_endpoint_rejected(self):
+        edges = Table.from_columns({"a": ["x"], "b": [2]})
+        with pytest.raises(ConversionError):
+            network_from_tables(edges, "a", "b")
+
+
+class TestAttachNodeAttribute:
+    def test_skips_unknown_nodes(self):
+        net = Network()
+        net.add_edge(1, 2)
+        table = Table.from_columns({"id": [1, 99], "score": [0.5, 0.9]})
+        touched = attach_node_attribute(net, table, "id", "score")
+        assert touched == 1
+        assert net.node_attr(1, "score") == 0.5
+
+    def test_custom_attr_name(self):
+        net = Network()
+        net.add_node(1)
+        table = Table.from_columns({"id": [1], "v": [7]})
+        attach_node_attribute(net, table, "id", "v", attr_name="renamed")
+        assert net.node_attr(1, "renamed") == 7
+
+    def test_string_key_rejected(self):
+        net = Network()
+        table = Table.from_columns({"id": ["a"], "v": [1]})
+        with pytest.raises(ConversionError):
+            attach_node_attribute(net, table, "id", "v")
+
+
+class TestNodeAttributeTable:
+    def test_float_attribute_roundtrip(self):
+        net = Network()
+        net.add_edge(1, 2)
+        net.set_node_attrs("pr", {1: 0.75, 2: 0.25})
+        table = node_attribute_table(net)
+        assert table.schema.names == ("NodeId", "pr")
+        rows = dict(zip(table.column("NodeId").tolist(), table.column("pr").tolist()))
+        assert rows == {1: 0.75, 2: 0.25}
+
+    def test_int_and_string_typing(self):
+        net = Network()
+        net.add_node(1)
+        net.add_node(2)
+        net.set_node_attr(1, "count", 5)
+        net.set_node_attr(2, "count", 6)
+        net.set_node_attr(1, "label", "hub")
+        table = node_attribute_table(net, attrs=["count", "label"])
+        assert table.schema["count"].value == "int"
+        assert table.schema["label"].value == "string"
+        assert table.values("label") == ["hub", ""]
+
+    def test_default_fills_unset(self):
+        net = Network()
+        net.add_node(1)
+        net.add_node(2)
+        net.set_node_attr(1, "w", 1.5)
+        table = node_attribute_table(net, attrs=["w"], default=-1.0)
+        assert table.column("w").tolist() == [1.5, -1.0]
+
+    def test_clashing_attr_name_rejected(self):
+        net = Network()
+        net.add_node(1)
+        net.set_node_attr(1, "NodeId", 9)
+        with pytest.raises(ConversionError):
+            node_attribute_table(net, attrs=["NodeId"])
+
+    def test_figure2_loop_pagerank_to_table(self):
+        # Full loop: edges → network → analytics → attrs → table.
+        edges = Table.from_columns({"a": [1, 2, 3], "b": [2, 3, 1]})
+        net = network_from_tables(edges, "a", "b")
+        net.set_node_attrs("pr", pagerank(net))
+        table = node_attribute_table(net, attrs=["pr"])
+        assert table.num_rows == 3
+        assert sum(table.column("pr").tolist()) == pytest.approx(1.0)
+
+
+class TestAnf:
+    def test_monotone_nondecreasing(self):
+        graph = random_undirected(60, 150, seed=31)
+        totals = neighbourhood_function(graph, seed=2)
+        assert all(b >= a - 1e-9 for a, b in zip(totals, totals[1:]))
+
+    def test_converges_on_ring(self):
+        graph = ring_graph(12)
+        totals = neighbourhood_function(graph, max_distance=30, seed=3)
+        # A 12-ring saturates by hop 6.
+        assert len(totals) <= 9
+
+    def test_estimate_scale_reasonable(self):
+        graph = ring_graph(40)
+        totals = neighbourhood_function(graph, approximations=128, seed=4)
+        # Saturated value estimates n^2 pairs = 1600 within a factor ~2.
+        assert 700 <= totals[-1] <= 3400
+
+    def test_empty_graph(self):
+        from repro.graphs.undirected import UndirectedGraph
+
+        assert neighbourhood_function(UndirectedGraph()) == [0.0]
+
+    def test_effective_diameter_tracks_exact(self):
+        graph = random_undirected(80, 240, seed=33)
+        exact = effective_diameter(graph)
+        estimated = anf_effective_diameter(graph, approximations=128, seed=5)
+        assert abs(estimated - exact) <= max(1.5, 0.5 * exact)
+
+    def test_effective_diameter_of_clique_small(self):
+        from repro.algorithms.generators import complete_graph
+
+        estimated = anf_effective_diameter(complete_graph(12), approximations=128, seed=6)
+        assert estimated <= 1.5

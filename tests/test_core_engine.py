@@ -1,0 +1,148 @@
+"""Tests for the Ringo session API and the function registry."""
+
+import pytest
+
+from repro.core.engine import Ringo
+from repro.core.registry import FunctionRegistry, build_default_registry
+from repro.exceptions import RingoError
+from repro.workflows.stackoverflow import StackOverflowConfig, generate_stackoverflow
+
+
+@pytest.fixture(scope="module")
+def ringo():
+    session = Ringo(workers=1)
+    yield session
+    session.close()
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        registry = FunctionRegistry()
+        registry.register("f", lambda: 1, "test")
+        assert registry.get("f").func() == 1
+        assert "f" in registry
+
+    def test_duplicate_rejected(self):
+        registry = FunctionRegistry()
+        registry.register("f", lambda: 1, "test")
+        with pytest.raises(RingoError):
+            registry.register("f", lambda: 2, "test")
+
+    def test_unknown_name(self):
+        with pytest.raises(RingoError):
+            FunctionRegistry().get("nope")
+
+    def test_names_filtered_by_category(self):
+        registry = FunctionRegistry()
+        registry.register("a", lambda: 1, "x")
+        registry.register("b", lambda: 1, "y")
+        assert registry.names("x") == ["a"]
+
+    def test_default_registry_exceeds_two_hundred(self):
+        # The paper: "over 200 different graph analytics algorithms".
+        registry = build_default_registry()
+        assert len(registry) > 200
+
+    def test_every_entry_is_callable_with_description(self):
+        for entry in build_default_registry():
+            assert callable(entry.func)
+            assert entry.description
+
+    def test_categories_cover_the_stack(self):
+        categories = set(build_default_registry().categories())
+        assert {"algorithm", "table", "conversion", "graph-object", "session"} <= categories
+
+
+class TestSessionBasics:
+    def test_context_manager(self):
+        with Ringo(workers=1) as session:
+            assert session.NumFunctions() > 200
+
+    def test_tables_share_session_pool(self, ringo):
+        a = ringo.TableFromColumns({"s": ["x"]})
+        b = ringo.TableFromColumns({"s": ["y"]})
+        assert a.pool is b.pool is ringo.pool
+
+    def test_select_and_join(self, ringo):
+        users = ringo.TableFromColumns({"Id": [1, 2], "Name": ["ann", "bo"]})
+        posts = ringo.TableFromColumns({"UserId": [2, 2]})
+        joined = ringo.Join(users, posts, "Id", "UserId")
+        assert joined.num_rows == 2
+
+    def test_to_graph_and_back(self, ringo):
+        table = ringo.TableFromColumns({"a": [1, 2, 3], "b": [2, 3, 1]})
+        graph = ringo.ToGraph(table, "a", "b")
+        edge_table = ringo.GetEdgeTable(graph)
+        assert edge_table.num_rows == 3
+        node_table = ringo.GetNodeTable(graph, include_degrees=True)
+        assert node_table.num_rows == 3
+
+    def test_analytics_surface(self, ringo):
+        table = ringo.TableFromColumns({"a": [1, 2, 3, 1], "b": [2, 3, 1, 3]})
+        graph = ringo.ToGraph(table, "a", "b")
+        assert set(ringo.GetPageRank(graph)) == {1, 2, 3}
+        hubs, auths = ringo.GetHits(graph)
+        assert len(hubs) == 3
+        assert ringo.GetTriangles(graph) == 1
+        assert ringo.GetScc(graph)[1] == ringo.GetScc(graph)[2]
+        assert ringo.GetWcc(graph)[1] == ringo.GetWcc(graph)[3]
+        assert ringo.GetSssp(graph, 1)[3] == 1.0
+        assert ringo.GetBfsLevels(graph, 1)[2] == 1
+        assert ringo.GetDiameter(graph) == 1
+        assert ringo.GetCoreNumbers(graph)[1] == 2
+
+    def test_generators(self, ringo):
+        assert ringo.GenRMat(6, 200, seed=1).num_nodes > 10
+        assert ringo.GenPrefAttach(30, 2, seed=1).num_nodes == 30
+        assert ringo.GenErdosRenyi(20, 30, seed=1).num_edges == 30
+
+    def test_table_ops_facade(self, ringo):
+        table = ringo.TableFromColumns({"k": [2, 1, 2], "v": [1.0, 2.0, 3.0]})
+        assert ringo.OrderBy(table, "k").column("k").tolist() == [1, 2, 2]
+        assert ringo.GroupBy(table, "k").num_rows == 2
+        assert ringo.Project(table, ["v"]).num_cols == 1
+        assert ringo.Rename(table, {"v": "w"}).schema.names == ("k", "w")
+        other = ringo.TableFromColumns({"k": [2], "v": [1.0]})
+        assert ringo.Union(table, other).num_rows == 3
+        assert ringo.Intersect(table, other).num_rows == 1
+        assert ringo.Minus(table, other).num_rows == 2
+
+    def test_simjoin_nextk_facade(self, ringo):
+        events = ringo.TableFromColumns({"t": [0.0, 0.3, 5.0]})
+        assert ringo.SimJoin(events, events, "t", threshold=0.5).num_rows == 5
+        log = ringo.TableFromColumns({"t": [1, 2, 3]})
+        assert ringo.NextK(log, "t", k=1).num_rows == 2
+
+    def test_functions_listing(self, ringo):
+        names = ringo.Functions(category="session")
+        assert "ringo.GetPageRank" in names
+
+
+class TestPaperDemoPipeline:
+    """Runs the §4.1 listing end to end on synthetic StackOverflow data."""
+
+    def test_find_java_experts(self, tmp_path):
+        from repro.workflows.stackoverflow import POSTS_SCHEMA, write_posts_tsv
+
+        data = generate_stackoverflow(
+            StackOverflowConfig(num_users=300, num_questions=1500, seed=11)
+        )
+        path = tmp_path / "posts.tsv"
+        write_posts_tsv(data, path)
+
+        with Ringo(workers=1) as ringo:
+            posts = ringo.LoadTableTSV(POSTS_SCHEMA, path)
+            java = ringo.Select(posts, "Tag=Java")
+            questions = ringo.Select(java, "Type=question")
+            answers = ringo.Select(java, "Type=answer")
+            qa = ringo.Join(questions, answers, "AnswerId", "PostId")
+            graph = ringo.ToGraph(qa, "UserId-1", "UserId-2")
+            ranks = ringo.GetPageRank(graph)
+            scores = ringo.TableFromHashMap(ranks, "User", "Scr")
+            top = ringo.OrderBy(scores, "Scr", ascending=False)
+
+        top_ten = top.column("User").tolist()[:10]
+        java_experts = set(data.experts_for("Java"))
+        hits = sum(1 for user in top_ten if user in java_experts)
+        # The planted Java experts should dominate the PageRank top-10.
+        assert hits >= 7

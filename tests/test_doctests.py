@@ -1,0 +1,30 @@
+"""Run every docstring example in the package as a test.
+
+The public API's doctests double as its minimal usage documentation;
+this keeps them executable so they can never drift from the code.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules():
+    names = ["repro"]
+    for module_info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(module_info.name)
+    return sorted(names)
+
+
+@pytest.mark.parametrize("module_name", _all_modules())
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(
+        module,
+        optionflags=doctest.NORMALIZE_WHITESPACE | doctest.ELLIPSIS,
+    )
+    assert results.failed == 0, f"{results.failed} doctest failures in {module_name}"

@@ -1,0 +1,71 @@
+"""Smoke tests: every shipped example runs cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        output = run_example("quickstart.py")
+        assert "PageRank scores" in output
+        assert "234" in output or "functions" in output
+
+    def test_stackoverflow_experts_default_tag(self):
+        output = run_example("stackoverflow_experts.py")
+        assert "Top-10 Java experts" in output
+        assert "Precision@10" in output
+        precision = int(output.split("Precision@10:")[1].split("%")[0].strip())
+        assert precision >= 70
+
+    def test_stackoverflow_experts_other_tag(self):
+        output = run_example("stackoverflow_experts.py", "Python")
+        assert "Top-10 Python experts" in output
+
+    def test_stackoverflow_unknown_tag_fails_cleanly(self):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES / "stackoverflow_experts.py"), "COBOL"],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode != 0
+        assert "unknown tag" in result.stderr
+
+    def test_graph_construction(self):
+        output = run_example("graph_construction.py")
+        assert "NextK" in output
+        assert "SimJoin" in output
+        assert "propagation graph" in output
+
+    def test_performance_demo(self):
+        output = run_example("performance_demo.py")
+        assert "lj-scaled" in output
+        assert "table -> graph" in output
+        assert "triangles" in output
+
+    def test_temporal_cascades(self):
+        output = run_example("temporal_cascades.py")
+        assert "windowed snapshots" in output
+        assert "cumulative growth" in output
+        assert "most central participants" in output
+
+    def test_community_structure(self):
+        output = run_example("community_structure.py")
+        assert "communities found: 4" in output
+        assert "modularity" in output
+        assert "predictions inside a planted community" in output

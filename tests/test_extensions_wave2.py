@@ -1,0 +1,166 @@
+"""Tests for weighted PageRank, egonets, graph merging, and describe."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms.pagerank import pagerank, pagerank_weighted
+from repro.exceptions import AlgorithmError, GraphError
+from repro.graphs.directed import DirectedGraph
+from repro.graphs.network import Network
+from repro.graphs.ops import ego_network, intersect_graphs, merge_graphs
+from repro.graphs.undirected import UndirectedGraph
+from repro.tables.describe import describe
+from repro.tables.table import Table
+
+from tests.helpers import build_directed, build_undirected, to_networkx
+
+
+def weighted_network(edges):
+    net = Network()
+    for u, v, w in edges:
+        net.add_edge(u, v)
+        net.set_edge_attr(u, v, "w", w)
+    return net
+
+
+class TestWeightedPageRank:
+    def test_heavier_edge_carries_more_rank(self):
+        net = weighted_network([(1, 2, 9.0), (1, 3, 1.0)])
+        ranks = pagerank_weighted(net, "w")
+        assert ranks[2] > ranks[3]
+        assert sum(ranks.values()) == pytest.approx(1.0)
+
+    def test_uniform_weights_match_unweighted(self):
+        net = weighted_network([(1, 2, 2.0), (2, 3, 2.0), (3, 1, 2.0), (1, 3, 2.0)])
+        weighted = pagerank_weighted(net, "w", tolerance=1e-13)
+        plain = pagerank(net, tolerance=1e-13)
+        for node, score in plain.items():
+            assert weighted[node] == pytest.approx(score, abs=1e-9)
+
+    def test_matches_networkx_weighted(self):
+        edges = [(0, 1, 3.0), (1, 2, 1.0), (2, 0, 2.0), (0, 2, 4.0)]
+        net = weighted_network(edges)
+        ranks = pagerank_weighted(net, "w", tolerance=1e-13)
+        reference = nx.DiGraph()
+        reference.add_weighted_edges_from(edges)
+        expected = nx.pagerank(reference, alpha=0.85, weight="weight", tol=1e-13)
+        for node, score in expected.items():
+            assert ranks[node] == pytest.approx(score, abs=1e-7)
+
+    def test_missing_weights_use_default(self):
+        net = Network()
+        net.add_edge(1, 2)
+        ranks = pagerank_weighted(net, "w", default_weight=1.0)
+        assert sum(ranks.values()) == pytest.approx(1.0)
+
+    def test_zero_out_weight_is_dangling(self):
+        net = weighted_network([(1, 2, 0.0), (2, 1, 1.0)])
+        ranks = pagerank_weighted(net, "w")
+        assert sum(ranks.values()) == pytest.approx(1.0)
+
+    def test_negative_weight_rejected(self):
+        net = weighted_network([(1, 2, -1.0)])
+        with pytest.raises(AlgorithmError):
+            pagerank_weighted(net, "w")
+
+    def test_plain_graph_rejected(self):
+        graph = build_directed([(1, 2)])
+        with pytest.raises(AlgorithmError):
+            pagerank_weighted(graph, "w")
+
+    def test_engine_facade(self):
+        from repro.core.engine import Ringo
+
+        net = weighted_network([(1, 2, 5.0)])
+        with Ringo(workers=1) as ringo:
+            assert sum(ringo.GetWeightedPageRank(net, "w").values()) == pytest.approx(1.0)
+
+
+class TestEgoNetwork:
+    def test_radius_one(self):
+        graph = build_directed([(1, 2), (2, 3), (3, 4)])
+        ego = ego_network(graph, 2, radius=1)
+        assert sorted(ego.nodes()) == [1, 2, 3]
+        assert ego.has_edge(1, 2) and ego.has_edge(2, 3)
+
+    def test_radius_two(self):
+        graph = build_directed([(1, 2), (2, 3), (3, 4)])
+        assert sorted(ego_network(graph, 1, radius=2, direction="out").nodes()) == [1, 2, 3]
+
+    def test_direction_out_only(self):
+        graph = build_directed([(1, 2), (3, 1)])
+        assert sorted(ego_network(graph, 1, direction="out").nodes()) == [1, 2]
+
+    def test_undirected(self):
+        graph = build_undirected([(1, 2), (2, 3)])
+        assert sorted(ego_network(graph, 1).nodes()) == [1, 2]
+
+    def test_invalid_radius(self):
+        graph = build_directed([(1, 2)])
+        with pytest.raises(Exception):
+            ego_network(graph, 1, radius=0)
+
+
+class TestMergeIntersect:
+    def test_merge_unions_nodes_and_edges(self):
+        a = build_directed([(1, 2)])
+        b = build_directed([(2, 3)])
+        b.add_node(99)
+        merged = merge_graphs(a, b)
+        assert merged.num_edges == 2
+        assert merged.has_node(99)
+        # Inputs untouched.
+        assert a.num_edges == 1
+
+    def test_merge_overlapping_edges_dedup(self):
+        a = build_directed([(1, 2)])
+        b = build_directed([(1, 2)])
+        assert merge_graphs(a, b).num_edges == 1
+
+    def test_intersect(self):
+        a = build_directed([(1, 2), (2, 3)])
+        b = build_directed([(1, 2), (3, 4)])
+        common = intersect_graphs(a, b)
+        assert sorted(common.edges()) == [(1, 2)]
+        assert common.has_node(3)
+        assert not common.has_node(4)
+
+    def test_kind_mismatch_rejected(self):
+        with pytest.raises(GraphError):
+            merge_graphs(DirectedGraph(), UndirectedGraph())
+        with pytest.raises(GraphError):
+            intersect_graphs(UndirectedGraph(), DirectedGraph())
+
+    def test_merge_undirected(self):
+        a = build_undirected([(1, 2)])
+        b = build_undirected([(2, 1), (2, 3)])
+        assert merge_graphs(a, b).num_edges == 2
+
+
+class TestDescribe:
+    def test_shapes_and_stats(self):
+        table = Table.from_columns(
+            {"x": [1, 2, 2], "y": [0.5, 1.5, 2.5], "s": ["b", "a", "b"]}
+        )
+        result = describe(table)
+        assert result.num_rows == 3
+        rows = {r["Column"]: r for r in result.iter_rows()}
+        assert rows["x"]["Distinct"] == 2
+        assert rows["x"]["Min"] == 1.0 and rows["x"]["Max"] == 2.0
+        assert rows["y"]["Mean"] == pytest.approx(1.5)
+        assert rows["s"]["MinText"] == "a" and rows["s"]["MaxText"] == "b"
+
+    def test_empty_table(self):
+        result = describe(Table.empty([("x", "int")]))
+        row = result.row(0)
+        assert row["Count"] == 0
+        assert np.isnan(row["Mean"])
+
+    def test_engine_facade(self):
+        from repro.core.engine import Ringo
+
+        with Ringo(workers=1) as ringo:
+            table = ringo.TableFromColumns({"x": [1, 2]})
+            result = ringo.Describe(table)
+            assert result.pool is ringo.pool

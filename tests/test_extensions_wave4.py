@@ -1,0 +1,213 @@
+"""Tests for left joins, configuration model, rewiring, and cycles."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms.cycles import find_cycle, girth, has_cycle
+from repro.algorithms.generators import (
+    configuration_model,
+    complete_graph,
+    grid_graph,
+    rewire,
+    ring_graph,
+)
+from repro.exceptions import AlgorithmError, TypeMismatchError
+from repro.tables.join import join
+from repro.tables.table import Table
+
+from tests.helpers import build_directed, build_undirected, to_networkx
+
+
+class TestLeftJoin:
+    def test_keeps_unmatched_left_rows(self):
+        users = Table.from_columns({"Id": [1, 2, 3], "Name": ["a", "b", "c"]})
+        posts = Table.from_columns({"UserId": [2], "Score": [0.5]})
+        result = join(users, posts, "Id", "UserId", how="left")
+        assert result.num_rows == 3
+        rows = {r["Id"]: r for r in result.iter_rows()}
+        assert rows[2]["Score"] == 0.5
+        assert rows[1]["Score"] == 0.0  # int/float fill is zero
+        assert rows[1]["UserId"] == 0
+
+    def test_string_fill_is_empty(self):
+        left = Table.from_columns({"k": [1, 2]})
+        right = Table.from_columns({"k2": [1], "tag": ["x"]})
+        result = join(left, right, "k", "k2", how="left")
+        rows = {r["k"]: r for r in result.iter_rows()}
+        assert rows[2]["tag"] == ""
+
+    def test_matched_rows_identical_to_inner(self):
+        left = Table.from_columns({"k": [1, 2, 3]})
+        right = Table.from_columns({"k2": [1, 3], "v": [10, 30]})
+        inner = join(left, right, "k", "k2")
+        outer = join(left, right, "k", "k2", how="left")
+        inner_rows = sorted(zip(inner.column("k"), inner.column("v")))
+        outer_matched = sorted(
+            (k, v) for k, v in zip(outer.column("k"), outer.column("v")) if v != 0
+        )
+        assert inner_rows == outer_matched
+
+    def test_provenance_marks_unmatched(self):
+        left = Table.from_columns({"k": [1, 2]})
+        right = Table.from_columns({"k2": [1]})
+        result = join(left, right, "k", "k2", how="left", include_provenance=True)
+        rows = {r["k"]: r for r in result.iter_rows()}
+        assert rows[1]["DstRowId"] == 0
+        assert rows[2]["DstRowId"] == -1
+
+    def test_empty_right_table(self):
+        left = Table.from_columns({"k": [5, 6]})
+        right = Table.from_columns({"k2": np.empty(0, dtype=np.int64)})
+        result = join(left, right, "k", "k2", how="left")
+        assert result.num_rows == 2
+
+    def test_duplicates_still_expand(self):
+        left = Table.from_columns({"k": [1, 9]})
+        right = Table.from_columns({"k2": [1, 1]})
+        result = join(left, right, "k", "k2", how="left")
+        assert result.num_rows == 3  # two matches + one unmatched
+
+    def test_unknown_how_rejected(self):
+        left = Table.from_columns({"k": [1]})
+        with pytest.raises(TypeMismatchError):
+            join(left, left, "k", how="right")
+
+
+class TestConfigurationModel:
+    def test_degrees_bounded_by_targets(self):
+        degrees = [3, 3, 2, 2, 1, 1]
+        graph = configuration_model(degrees, seed=3)
+        for node, target in enumerate(degrees):
+            assert graph.degree(node) <= target
+
+    def test_sparse_sequence_mostly_exact(self):
+        rng = np.random.default_rng(0)
+        degrees = rng.integers(1, 4, size=100)
+        if degrees.sum() % 2:
+            degrees[0] += 1
+        graph = configuration_model(degrees, seed=4)
+        realised = sum(graph.degree(n) for n in graph.nodes())
+        assert realised >= 0.8 * degrees.sum()
+
+    def test_odd_sum_rejected(self):
+        with pytest.raises(AlgorithmError):
+            configuration_model([1, 1, 1])
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(AlgorithmError):
+            configuration_model([-1, 1])
+
+    def test_empty_sequence(self):
+        assert configuration_model([]).num_nodes == 0
+
+    def test_deterministic(self):
+        a = configuration_model([2, 2, 2, 2], seed=5)
+        b = configuration_model([2, 2, 2, 2], seed=5)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+
+class TestRewire:
+    def test_degree_sequence_preserved_exactly(self):
+        graph = grid_graph(5, 5)
+        shuffled = rewire(graph, seed=6)
+        before = sorted(graph.degree(n) for n in graph.nodes())
+        after = sorted(shuffled.degree(n) for n in shuffled.nodes())
+        assert before == after
+
+    def test_edge_count_preserved(self):
+        graph = grid_graph(4, 6)
+        assert rewire(graph, seed=7).num_edges == graph.num_edges
+
+    def test_actually_randomises(self):
+        graph = ring_graph(30)
+        shuffled = rewire(graph, seed=8)
+        assert sorted(shuffled.edges()) != sorted(graph.edges())
+
+    def test_original_untouched(self):
+        graph = ring_graph(10)
+        edges_before = sorted(graph.edges())
+        rewire(graph, seed=9)
+        assert sorted(graph.edges()) == edges_before
+
+    def test_too_few_edges_noop(self):
+        graph = build_undirected([(1, 2)])
+        assert sorted(rewire(graph).edges()) == [(1, 2)]
+
+    def test_directed_rejected(self):
+        with pytest.raises(AlgorithmError):
+            rewire(build_directed([(1, 2)]))
+
+    def test_clustering_destroyed_by_null_model(self):
+        # The point of the null model: rewiring a clustered graph keeps
+        # degrees but kills triangles.
+        from repro.algorithms.generators import planted_partition
+        from repro.algorithms.triangles import total_triangles
+
+        graph = planted_partition(3, 12, p_in=0.8, p_out=0.02, seed=10)
+        shuffled = rewire(graph, seed=11)
+        assert total_triangles(shuffled) < total_triangles(graph) / 2
+
+
+class TestCycles:
+    def test_finds_directed_cycle(self):
+        graph = build_directed([(1, 2), (2, 3), (3, 1), (3, 4)])
+        cycle = find_cycle(graph)
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        for u, v in zip(cycle, cycle[1:]):
+            assert graph.has_edge(u, v)
+
+    def test_dag_has_no_cycle(self):
+        graph = build_directed([(1, 2), (2, 3), (1, 3)])
+        assert find_cycle(graph) is None
+        assert not has_cycle(graph)
+
+    def test_self_loop_cycle(self):
+        graph = build_directed([(1, 1)])
+        cycle = find_cycle(graph)
+        assert cycle == [1, 1]
+
+    def test_agrees_with_topological_sort(self):
+        from repro.algorithms.ordering import is_dag
+        from tests.helpers import random_directed
+
+        for seed in range(6):
+            graph = random_directed(15, 25, seed=seed)
+            assert has_cycle(graph) == (not is_dag(graph))
+
+    def test_girth_of_ring(self):
+        assert girth(ring_graph(7)) == 7
+
+    def test_girth_of_clique(self):
+        assert girth(complete_graph(5)) == 3
+
+    def test_girth_of_tree_is_none(self):
+        graph = build_undirected([(1, 2), (2, 3), (2, 4)])
+        assert girth(graph) is None
+
+    def test_girth_self_loop(self):
+        graph = build_directed([(1, 1), (1, 2)])
+        assert girth(graph) == 1
+
+    def test_girth_grid_is_four(self):
+        assert girth(grid_graph(3, 3)) == 4
+
+    def test_girth_matches_networkx(self):
+        from tests.helpers import random_undirected
+
+        for seed in range(5):
+            graph = random_undirected(15, 25, seed=seed)
+            reference = to_networkx(graph)
+            reference.remove_edges_from(nx.selfloop_edges(reference))
+            has_loop = any(graph.has_edge(n, n) for n in graph.nodes())
+            try:
+                expected = nx.girth(reference)
+            except Exception:
+                expected = float("inf")
+            if has_loop:
+                assert girth(graph) == 1
+            elif expected == float("inf"):
+                assert girth(graph) is None
+            else:
+                assert girth(graph) == expected

@@ -1,0 +1,111 @@
+"""Tests for TSV schema inference and the traversal iterators."""
+
+import pytest
+
+from repro.algorithms.bfs import bfs_edges, bfs_levels, dfs_preorder
+from repro.exceptions import SchemaError
+from repro.tables.io_tsv import infer_schema_tsv, load_table_tsv
+from repro.tables.schema import ColumnType
+
+from tests.helpers import build_directed
+
+
+class TestInferSchema:
+    def write(self, tmp_path, text, name="data.tsv"):
+        path = tmp_path / name
+        path.write_text(text)
+        return path
+
+    def test_basic_types(self, tmp_path):
+        path = self.write(tmp_path, "1\t2.5\tabc\n")
+        schema = infer_schema_tsv(path)
+        assert [t for _, t in schema] == [
+            ColumnType.INT, ColumnType.FLOAT, ColumnType.STRING,
+        ]
+        assert schema.names == ("col0", "col1", "col2")
+
+    def test_widening_across_rows(self, tmp_path):
+        path = self.write(tmp_path, "1\n2.5\n")
+        schema = infer_schema_tsv(path)
+        assert schema["col0"] is ColumnType.FLOAT
+
+    def test_string_wins(self, tmp_path):
+        path = self.write(tmp_path, "1\nx\n")
+        assert infer_schema_tsv(path)["col0"] is ColumnType.STRING
+
+    def test_header_names_used(self, tmp_path):
+        path = self.write(tmp_path, "id\tscore\n1\t0.5\n")
+        schema = infer_schema_tsv(path, has_header=True)
+        assert schema.names == ("id", "score")
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = self.write(tmp_path, "")
+        with pytest.raises(SchemaError):
+            infer_schema_tsv(path)
+
+    def test_inconsistent_width_rejected(self, tmp_path):
+        path = self.write(tmp_path, "1\t2\n3\n")
+        with pytest.raises(SchemaError):
+            infer_schema_tsv(path)
+
+    def test_load_with_inferred_schema(self, tmp_path):
+        path = self.write(tmp_path, "1\t2.5\tabc\n2\t3.5\tdef\n")
+        table = load_table_tsv(None, path)
+        assert table.num_rows == 2
+        assert table.column("col0").tolist() == [1, 2]
+        assert table.values("col2") == ["abc", "def"]
+
+    def test_load_inferred_with_header(self, tmp_path):
+        path = self.write(tmp_path, "id\ttag\n7\tx\n")
+        table = load_table_tsv(None, path, has_header=True)
+        assert table.schema.names == ("id", "tag")
+        assert table.column("id").tolist() == [7]
+
+    def test_sample_limit_respected(self, tmp_path):
+        # The widening value appears after the sample window.
+        rows = "\n".join(["1"] * 50 + ["oops"]) + "\n"
+        path = self.write(tmp_path, rows)
+        schema = infer_schema_tsv(path, sample_rows=10)
+        assert schema["col0"] is ColumnType.INT
+
+    def test_negative_and_scientific(self, tmp_path):
+        path = self.write(tmp_path, "-5\t1e3\n")
+        schema = infer_schema_tsv(path)
+        assert schema["col0"] is ColumnType.INT
+        assert schema["col1"] is ColumnType.FLOAT
+
+
+class TestTraversalIterators:
+    def test_bfs_edges_form_tree(self):
+        graph = build_directed([(1, 2), (1, 3), (2, 4), (3, 4)])
+        edges = list(bfs_edges(graph, 1))
+        children = [child for _, child in edges]
+        assert len(children) == len(set(children))  # each node entered once
+        assert set(children) | {1} == set(bfs_levels(graph, 1))
+
+    def test_bfs_edges_respect_levels(self):
+        graph = build_directed([(1, 2), (2, 3), (1, 3)])
+        levels = bfs_levels(graph, 1)
+        for parent, child in bfs_edges(graph, 1):
+            assert levels[child] == levels[parent] + 1
+
+    def test_dfs_preorder_chain(self):
+        graph = build_directed([(1, 2), (2, 3)])
+        assert dfs_preorder(graph, 1) == [1, 2, 3]
+
+    def test_dfs_preorder_branching(self):
+        graph = build_directed([(1, 2), (1, 3), (2, 4)])
+        assert dfs_preorder(graph, 1) == [1, 2, 4, 3]
+
+    def test_dfs_covers_reachable_only(self):
+        graph = build_directed([(1, 2), (3, 4)])
+        assert set(dfs_preorder(graph, 1)) == {1, 2}
+
+    def test_dfs_handles_cycles(self):
+        graph = build_directed([(1, 2), (2, 1)])
+        assert dfs_preorder(graph, 1) == [1, 2]
+
+    def test_deep_graph_no_recursion_error(self):
+        graph = build_directed([(i, i + 1) for i in range(20_000)])
+        order = dfs_preorder(graph, 0)
+        assert len(order) == 20_001

@@ -1,0 +1,132 @@
+"""Tests for k-truss decomposition and the weighted-network builder."""
+
+import networkx as nx
+import pytest
+
+from repro.algorithms.pagerank import pagerank_weighted
+from repro.algorithms.truss import edge_trussness, k_truss, max_trussness
+from repro.convert.attributes import weighted_network_from_edges
+from repro.exceptions import ConversionError, RingoError
+from repro.tables.table import Table
+
+from tests.helpers import build_undirected, random_undirected, to_networkx
+
+TRIANGLE_TAIL = [(1, 2), (2, 3), (3, 1), (3, 4)]
+
+
+class TestTrussness:
+    def test_triangle_and_tail(self):
+        trussness = edge_trussness(build_undirected(TRIANGLE_TAIL))
+        assert trussness[(1, 2)] == 3
+        assert trussness[(2, 3)] == 3
+        assert trussness[(3, 4)] == 2
+
+    def test_complete_graph(self):
+        from repro.algorithms.generators import complete_graph
+
+        trussness = edge_trussness(complete_graph(5))
+        assert all(level == 5 for level in trussness.values())
+        assert max_trussness(complete_graph(5)) == 5
+
+    def test_empty_graph(self):
+        from repro.graphs.undirected import UndirectedGraph
+
+        assert edge_trussness(UndirectedGraph()) == {}
+        assert max_trussness(UndirectedGraph()) == 0
+
+    def test_every_edge_labeled(self):
+        graph = random_undirected(30, 120, seed=61)
+        trussness = edge_trussness(graph)
+        expected = {(u, v) for u, v in graph.edges() if u != v}
+        assert set(trussness) == expected
+
+    def test_truss_nested_in_lower_truss(self):
+        graph = random_undirected(40, 200, seed=62)
+        three = {frozenset(e) for e in k_truss(graph, 3).edges()}
+        four = {frozenset(e) for e in k_truss(graph, 4).edges()}
+        assert four <= three
+
+
+class TestKTruss:
+    def test_matches_networkx(self):
+        graph = random_undirected(35, 160, seed=63)
+        reference = to_networkx(graph)
+        reference.remove_edges_from(nx.selfloop_edges(reference))
+        for k in (3, 4):
+            ours = k_truss(graph, k)
+            expected = nx.k_truss(reference, k)
+            our_edges = {frozenset(e) for e in ours.edges() if e[0] != e[1]}
+            nx_edges = {frozenset(e) for e in expected.edges()}
+            assert our_edges == nx_edges
+
+    def test_k2_keeps_all_non_loop_edges(self):
+        graph = build_undirected(TRIANGLE_TAIL)
+        assert k_truss(graph, 2).num_edges == 4
+
+    def test_high_k_is_empty(self):
+        graph = build_undirected(TRIANGLE_TAIL)
+        assert k_truss(graph, 6).num_edges == 0
+
+    def test_invalid_k(self):
+        with pytest.raises(RingoError):
+            k_truss(build_undirected(TRIANGLE_TAIL), 1)
+
+    def test_self_loops_dropped(self):
+        graph = build_undirected(TRIANGLE_TAIL + [(1, 1)])
+        truss = k_truss(graph, 3)
+        assert not truss.has_edge(1, 1)
+
+    def test_engine_facade(self):
+        from repro.core.engine import Ringo
+
+        with Ringo(workers=1) as ringo:
+            graph = ringo.GenErdosRenyi(20, 60, seed=1)
+            truss = ringo.GetKTruss(graph, 3)
+            assert truss.num_edges <= graph.num_edges
+
+
+class TestWeightedNetworkBuilder:
+    def test_counts_duplicates(self):
+        table = Table.from_columns({"a": [1, 1, 2], "b": [2, 2, 3]})
+        net = weighted_network_from_edges(table, "a", "b")
+        assert net.num_edges == 2
+        assert net.edge_attr(1, 2, "weight") == 2.0
+        assert net.edge_attr(2, 3, "weight") == 1.0
+
+    def test_sums_weight_column(self):
+        table = Table.from_columns(
+            {"a": [1, 1], "b": [2, 2], "amount": [0.5, 1.5]}
+        )
+        net = weighted_network_from_edges(table, "a", "b", weight_col="amount")
+        assert net.edge_attr(1, 2, "weight") == 2.0
+
+    def test_custom_attr_name(self):
+        table = Table.from_columns({"a": [1], "b": [2]})
+        net = weighted_network_from_edges(table, "a", "b", weight_attr="n")
+        assert net.edge_attr(1, 2, "n") == 1.0
+
+    def test_empty_table(self):
+        table = Table.empty([("a", "int"), ("b", "int")])
+        assert weighted_network_from_edges(table, "a", "b").num_nodes == 0
+
+    def test_string_weight_rejected(self):
+        table = Table.from_columns({"a": [1], "b": [2], "w": ["x"]})
+        with pytest.raises(ConversionError):
+            weighted_network_from_edges(table, "a", "b", weight_col="w")
+
+    def test_feeds_weighted_pagerank(self):
+        # End-to-end: event log → weighted network → weighted PageRank.
+        table = Table.from_columns(
+            {"a": [1, 1, 1, 1, 1], "b": [2, 2, 2, 2, 3]}
+        )
+        net = weighted_network_from_edges(table, "a", "b")
+        ranks = pagerank_weighted(net, "weight")
+        assert ranks[2] > ranks[3]
+
+    def test_engine_facade(self):
+        from repro.core.engine import Ringo
+
+        with Ringo(workers=1) as ringo:
+            table = ringo.TableFromColumns({"a": [1, 1], "b": [2, 2]})
+            net = ringo.ToWeightedNetwork(table, "a", "b")
+            assert net.edge_attr(1, 2, "weight") == 2.0

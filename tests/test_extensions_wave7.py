@@ -1,0 +1,85 @@
+"""Tests for SCC condensation and the double-sweep diameter bound."""
+
+import networkx as nx
+import pytest
+
+from repro.algorithms.components import condensation, strongly_connected_components
+from repro.algorithms.diameter import diameter, double_sweep_lower_bound
+from repro.algorithms.generators import balanced_tree, ring_graph
+from repro.algorithms.ordering import is_dag
+from repro.exceptions import AlgorithmError
+
+from tests.helpers import build_directed, random_directed, random_undirected, to_networkx
+
+
+class TestCondensation:
+    def test_two_sccs_with_bridge(self):
+        graph = build_directed([(1, 2), (2, 1), (2, 3), (3, 4), (4, 3)])
+        dag = condensation(graph)
+        assert dag.num_nodes == 2
+        assert dag.num_edges == 1
+
+    def test_result_is_always_a_dag(self):
+        for seed in range(5):
+            graph = random_directed(25, 90, seed=seed)
+            assert is_dag(condensation(graph))
+
+    def test_accepts_precomputed_labels(self):
+        graph = build_directed([(1, 2), (2, 1)])
+        labels = strongly_connected_components(graph)
+        dag = condensation(graph, labels)
+        assert dag.num_nodes == 1
+        assert dag.num_edges == 0
+
+    def test_node_ids_are_labels(self):
+        graph = build_directed([(1, 2)])
+        labels = strongly_connected_components(graph)
+        dag = condensation(graph, labels)
+        assert sorted(dag.nodes()) == sorted(set(labels.values()))
+
+    def test_matches_networkx_shape(self):
+        graph = random_directed(20, 60, seed=7)
+        reference = nx.condensation(to_networkx(graph))
+        dag = condensation(graph)
+        assert dag.num_nodes == reference.number_of_nodes()
+        assert dag.num_edges == reference.number_of_edges()
+
+    def test_dag_input_is_isomorphic_copy(self):
+        graph = build_directed([(1, 2), (2, 3), (1, 3)])
+        dag = condensation(graph)
+        assert dag.num_nodes == 3
+        assert dag.num_edges == 3
+
+
+class TestDoubleSweep:
+    def test_exact_on_paths(self):
+        from tests.helpers import build_undirected
+
+        path = build_undirected([(0, 1), (1, 2), (2, 3), (3, 4)])
+        assert double_sweep_lower_bound(path) == 4
+
+    def test_exact_on_trees(self):
+        tree = balanced_tree(2, 4)
+        assert double_sweep_lower_bound(tree) == diameter(tree)
+
+    def test_lower_bounds_exact_diameter(self):
+        for seed in range(5):
+            graph = random_undirected(40, 100, seed=seed)
+            assert double_sweep_lower_bound(graph, seed=seed) <= diameter(graph)
+
+    def test_usually_tight_on_rings(self):
+        graph = ring_graph(20)
+        assert double_sweep_lower_bound(graph, sweeps=6) == 10
+
+    def test_empty_graph_rejected(self):
+        from repro.graphs.undirected import UndirectedGraph
+
+        with pytest.raises(AlgorithmError):
+            double_sweep_lower_bound(UndirectedGraph())
+
+    def test_invalid_sweeps(self):
+        from tests.helpers import build_undirected
+
+        graph = build_undirected([(1, 2)])
+        with pytest.raises(Exception):
+            double_sweep_lower_bound(graph, sweeps=0)

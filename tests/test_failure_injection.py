@@ -1,0 +1,140 @@
+"""Failure injection: malformed inputs must fail loudly and precisely.
+
+An interactive system's errors are part of its UX — every corruption
+here must surface as a typed RingoError (or a clean subclass), never a
+silent wrong answer or a bare traceback from numpy internals.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError, RingoError, SchemaError
+from repro.graphs.serialize import load_edge_list, load_graph, save_graph
+from repro.tables.io_tsv import load_table_tsv
+from repro.tables.table import Table
+
+SCHEMA = [("id", "int"), ("score", "float"), ("tag", "string")]
+
+
+class TestCorruptTsv:
+    def test_too_few_fields(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("1\t2.0\tx\n3\t4.0\n")
+        with pytest.raises(SchemaError, match=":2"):
+            load_table_tsv(SCHEMA, path)
+
+    def test_too_many_fields(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("1\t2.0\tx\textra\n")
+        with pytest.raises(SchemaError, match="expected 3"):
+            load_table_tsv(SCHEMA, path)
+
+    def test_non_numeric_int(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("NaNID\t2.0\tx\n")
+        with pytest.raises(SchemaError, match="'id'"):
+            load_table_tsv(SCHEMA, path)
+
+    def test_non_numeric_float(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("1\tnotafloat\tx\n")
+        with pytest.raises(SchemaError, match="'score'"):
+            load_table_tsv(SCHEMA, path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_table_tsv(SCHEMA, tmp_path / "nope.tsv")
+
+    def test_unicode_content_survives(self, tmp_path):
+        path = tmp_path / "uni.tsv"
+        path.write_text("1\t0.5\tcafé ☕\n", encoding="utf-8")
+        table = load_table_tsv(SCHEMA, path)
+        assert table.values("tag") == ["café ☕"]
+
+    def test_whitespace_only_lines_skipped_if_blank(self, tmp_path):
+        path = tmp_path / "ws.tsv"
+        path.write_text("1\t0.5\tx\n\n2\t0.5\ty\n")
+        assert load_table_tsv(SCHEMA, path).num_rows == 2
+
+
+class TestCorruptEdgeList:
+    def test_single_field_line(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("1\n")
+        with pytest.raises(GraphError, match="malformed"):
+            load_edge_list(path)
+
+    def test_non_integer_endpoint(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("1\ttwo\n")
+        with pytest.raises(ValueError):
+            load_edge_list(path)
+
+    def test_negative_node_id(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("-1\t2\n")
+        with pytest.raises(RingoError):
+            load_edge_list(path)
+
+
+class TestCorruptGraphArchive:
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "graph.npz"
+        np.savez(
+            path,
+            version=np.int64(99),
+            directed=np.int64(1),
+            nodes=np.array([1]),
+            sources=np.array([], dtype=np.int64),
+            targets=np.array([], dtype=np.int64),
+        )
+        with pytest.raises(GraphError, match="version"):
+            load_graph(path)
+
+    def test_truncated_file(self, tmp_path):
+        from repro.graphs.directed import DirectedGraph
+
+        graph = DirectedGraph()
+        graph.add_edge(1, 2)
+        path = tmp_path / "graph.npz"
+        save_graph(graph, path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(Exception):
+            load_graph(path)
+
+
+class TestNanAndExtremes:
+    def test_nan_in_float_select(self):
+        table = Table.from_columns({"x": [1.0, float("nan"), 3.0]})
+        kept = table.select("x > 0")
+        # NaN compares false, so the NaN row is dropped — documented
+        # numpy semantics, not a crash.
+        assert kept.num_rows == 2
+
+    def test_nan_not_equal_to_itself(self):
+        table = Table.from_columns({"x": [float("nan")]})
+        assert table.select("x = x").num_rows == 0
+
+    def test_int64_extremes_roundtrip(self, tmp_path):
+        big = 2**62
+        table = Table.from_columns({"x": [big, -big]})
+        from repro.tables.io_tsv import save_table_tsv
+
+        path = tmp_path / "big.tsv"
+        save_table_tsv(table, path)
+        loaded = load_table_tsv([("x", "int")], path)
+        assert loaded.column("x").tolist() == [big, -big]
+
+    def test_huge_node_ids(self):
+        from repro.convert.table_to_graph import graph_from_edge_arrays
+
+        graph = graph_from_edge_arrays(
+            np.array([2**40]), np.array([2**41])
+        )
+        assert graph.has_edge(2**40, 2**41)
+
+    def test_empty_string_cells(self):
+        table = Table.from_columns({"s": ["", "a", ""]})
+        assert table.values("s") == ["", "a", ""]
+        assert table.select("s = ''").num_rows == 2

@@ -1,0 +1,265 @@
+"""Tests for DirectedGraph — the paper's hash-of-nodes representation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import EdgeNotFoundError, GraphError, NodeNotFoundError
+from repro.graphs.base import sorted_contains, sorted_insert, sorted_remove
+from repro.graphs.directed import DirectedGraph
+
+
+class TestSortedArrayHelpers:
+    def test_insert_keeps_sorted(self):
+        array = np.array([1, 5, 9], dtype=np.int64)
+        result, inserted = sorted_insert(array, 4)
+        assert inserted
+        assert result.tolist() == [1, 4, 5, 9]
+
+    def test_insert_duplicate_is_noop(self):
+        array = np.array([1, 5], dtype=np.int64)
+        result, inserted = sorted_insert(array, 5)
+        assert not inserted
+        assert result is array
+
+    def test_remove(self):
+        array = np.array([1, 5, 9], dtype=np.int64)
+        result, removed = sorted_remove(array, 5)
+        assert removed
+        assert result.tolist() == [1, 9]
+
+    def test_remove_absent_is_noop(self):
+        array = np.array([1, 9], dtype=np.int64)
+        result, removed = sorted_remove(array, 5)
+        assert not removed
+        assert result is array
+
+    def test_contains(self):
+        array = np.array([2, 4, 6], dtype=np.int64)
+        assert sorted_contains(array, 4)
+        assert not sorted_contains(array, 5)
+        assert not sorted_contains(array, 7)
+
+
+class TestBasicStructure:
+    def test_empty_graph(self):
+        graph = DirectedGraph()
+        assert graph.num_nodes == 0
+        assert graph.num_edges == 0
+        assert list(graph.nodes()) == []
+
+    def test_add_node(self):
+        graph = DirectedGraph()
+        assert graph.add_node(5)
+        assert not graph.add_node(5)
+        assert graph.has_node(5)
+        assert 5 in graph
+
+    def test_negative_node_rejected(self):
+        with pytest.raises(GraphError):
+            DirectedGraph().add_node(-1)
+
+    def test_add_edge_creates_endpoints(self):
+        graph = DirectedGraph()
+        assert graph.add_edge(1, 2)
+        assert graph.num_nodes == 2
+        assert graph.num_edges == 1
+
+    def test_add_edge_duplicate_ignored(self):
+        graph = DirectedGraph()
+        graph.add_edge(1, 2)
+        assert not graph.add_edge(1, 2)
+        assert graph.num_edges == 1
+
+    def test_direction_matters(self):
+        graph = DirectedGraph()
+        graph.add_edge(1, 2)
+        assert graph.has_edge(1, 2)
+        assert not graph.has_edge(2, 1)
+
+    def test_adjacency_vectors_sorted(self):
+        graph = DirectedGraph()
+        for dst in [5, 2, 9, 1]:
+            graph.add_edge(0, dst)
+        assert graph.out_neighbors(0).tolist() == [1, 2, 5, 9]
+
+    def test_in_neighbors(self):
+        graph = DirectedGraph()
+        graph.add_edge(3, 1)
+        graph.add_edge(2, 1)
+        assert graph.in_neighbors(1).tolist() == [2, 3]
+
+    def test_degrees(self):
+        graph = DirectedGraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(3, 1)
+        assert graph.out_degree(1) == 1
+        assert graph.in_degree(1) == 1
+        assert graph.degree(1) == 2
+
+    def test_missing_node_raises(self):
+        graph = DirectedGraph()
+        with pytest.raises(NodeNotFoundError):
+            graph.out_neighbors(404)
+
+    def test_neighbors_view_readonly(self):
+        graph = DirectedGraph()
+        graph.add_edge(1, 2)
+        with pytest.raises(ValueError):
+            graph.out_neighbors(1)[0] = 9
+
+    def test_edges_iterator(self):
+        graph = DirectedGraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 3)
+        assert sorted(graph.edges()) == [(1, 2), (2, 3)]
+
+    def test_edge_arrays(self):
+        graph = DirectedGraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(1, 3)
+        src, dst = graph.edge_arrays()
+        assert src.tolist() == [1, 1]
+        assert dst.tolist() == [2, 3]
+
+    def test_node_array(self):
+        graph = DirectedGraph()
+        graph.add_node(9)
+        graph.add_node(3)
+        assert sorted(graph.node_array().tolist()) == [3, 9]
+
+    def test_max_node_id(self):
+        graph = DirectedGraph()
+        assert graph.max_node_id() == -1
+        graph.add_node(17)
+        assert graph.max_node_id() == 17
+
+
+class TestSelfLoops:
+    def test_self_loop_counts_once(self):
+        graph = DirectedGraph()
+        graph.add_edge(1, 1)
+        assert graph.num_edges == 1
+        assert graph.has_edge(1, 1)
+
+    def test_self_loop_in_both_vectors(self):
+        graph = DirectedGraph()
+        graph.add_edge(1, 1)
+        assert graph.out_neighbors(1).tolist() == [1]
+        assert graph.in_neighbors(1).tolist() == [1]
+
+    def test_delete_self_loop(self):
+        graph = DirectedGraph()
+        graph.add_edge(1, 1)
+        graph.del_edge(1, 1)
+        assert graph.num_edges == 0
+
+    def test_del_node_with_self_loop(self):
+        graph = DirectedGraph()
+        graph.add_edge(1, 1)
+        graph.add_edge(1, 2)
+        graph.del_node(1)
+        assert graph.num_edges == 0
+        assert graph.num_nodes == 1
+
+
+class TestDeletion:
+    def test_del_edge(self):
+        graph = DirectedGraph()
+        graph.add_edge(1, 2)
+        graph.del_edge(1, 2)
+        assert graph.num_edges == 0
+        assert not graph.has_edge(1, 2)
+        assert graph.has_node(1) and graph.has_node(2)
+
+    def test_del_missing_edge_raises(self):
+        graph = DirectedGraph()
+        graph.add_edge(1, 2)
+        with pytest.raises(EdgeNotFoundError):
+            graph.del_edge(2, 1)
+
+    def test_del_edge_unknown_source_raises(self):
+        with pytest.raises(EdgeNotFoundError):
+            DirectedGraph().del_edge(1, 2)
+
+    def test_del_node_removes_incident_edges(self):
+        graph = DirectedGraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 3)
+        graph.add_edge(3, 1)
+        graph.del_node(2)
+        assert graph.num_nodes == 2
+        assert graph.num_edges == 1
+        assert graph.has_edge(3, 1)
+
+    def test_del_missing_node_raises(self):
+        with pytest.raises(NodeNotFoundError):
+            DirectedGraph().del_node(1)
+
+
+class TestDerivedGraphs:
+    def test_reverse_flips_edges(self):
+        graph = DirectedGraph()
+        graph.add_edge(1, 2)
+        reversed_graph = graph.reverse()
+        assert reversed_graph.has_edge(2, 1)
+        assert not reversed_graph.has_edge(1, 2)
+        assert reversed_graph.num_edges == 1
+
+    def test_to_undirected_merges(self):
+        graph = DirectedGraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 1)
+        graph.add_edge(2, 3)
+        und = graph.to_undirected()
+        assert und.num_edges == 2
+
+    def test_copy_is_independent(self):
+        graph = DirectedGraph()
+        graph.add_edge(1, 2)
+        copy = graph.copy()
+        copy.del_edge(1, 2)
+        assert graph.has_edge(1, 2)
+        assert not copy.has_edge(1, 2)
+
+    def test_memory_bytes_grows_with_edges(self):
+        graph = DirectedGraph()
+        graph.add_node(1)
+        before = graph.memory_bytes()
+        graph.add_edge(1, 2)
+        assert graph.memory_bytes() > before
+
+
+class TestInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15)), max_size=80))
+    def test_matches_reference_edge_set(self, edge_list):
+        graph = DirectedGraph()
+        reference: set[tuple[int, int]] = set()
+        for src, dst in edge_list:
+            graph.add_edge(src, dst)
+            reference.add((src, dst))
+        assert graph.num_edges == len(reference)
+        assert sorted(graph.edges()) == sorted(reference)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.tuples(st.integers(0, 10), st.integers(0, 10)), min_size=1, max_size=50),
+        st.randoms(use_true_random=False),
+    )
+    def test_interleaved_insert_delete(self, edge_list, rng):
+        graph = DirectedGraph()
+        reference: set[tuple[int, int]] = set()
+        for src, dst in edge_list:
+            if reference and rng.random() < 0.3:
+                victim = rng.choice(sorted(reference))
+                graph.del_edge(*victim)
+                reference.discard(victim)
+            graph.add_edge(src, dst)
+            reference.add((src, dst))
+        assert graph.num_edges == len(reference)
+        assert sorted(graph.edges()) == sorted(reference)
+        # In-neighbour symmetry: u->v iff v lists u as in-neighbour.
+        for src, dst in reference:
+            assert src in graph.in_neighbors(dst).tolist()

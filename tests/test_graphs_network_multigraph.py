@@ -1,0 +1,168 @@
+"""Tests for the attributed Network and the DirectedMultigraph."""
+
+import pytest
+
+from repro.exceptions import EdgeNotFoundError, GraphError, NodeNotFoundError
+from repro.graphs.multigraph import DirectedMultigraph
+from repro.graphs.network import Network
+
+
+class TestNetworkAttributes:
+    def test_node_attr_roundtrip(self):
+        net = Network()
+        net.add_node(1)
+        net.set_node_attr(1, "name", "ann")
+        assert net.node_attr(1, "name") == "ann"
+
+    def test_node_attr_default(self):
+        net = Network()
+        net.add_node(1)
+        assert net.node_attr(1, "missing", default=0) == 0
+
+    def test_attr_on_missing_node_raises(self):
+        net = Network()
+        with pytest.raises(NodeNotFoundError):
+            net.set_node_attr(1, "x", 1)
+        with pytest.raises(NodeNotFoundError):
+            net.node_attr(1, "x")
+
+    def test_bulk_set_node_attrs(self):
+        net = Network()
+        net.add_edge(1, 2)
+        net.set_node_attrs("pr", {1: 0.7, 2: 0.3})
+        assert net.node_attr(2, "pr") == 0.3
+
+    def test_bulk_set_unknown_node_raises(self):
+        net = Network()
+        net.add_node(1)
+        with pytest.raises(NodeNotFoundError):
+            net.set_node_attrs("pr", {9: 1.0})
+
+    def test_attr_names_and_iteration(self):
+        net = Network()
+        net.add_node(1)
+        net.set_node_attr(1, "a", 10)
+        assert net.node_attr_names() == ("a",)
+        assert list(net.iter_node_attr("a")) == [(1, 10)]
+
+    def test_iter_unknown_attr_raises(self):
+        with pytest.raises(GraphError):
+            Network().iter_node_attr("nope")
+
+    def test_edge_attr_roundtrip(self):
+        net = Network()
+        net.add_edge(1, 2)
+        net.set_edge_attr(1, 2, "w", 2.5)
+        assert net.edge_attr(1, 2, "w") == 2.5
+        assert net.edge_attr_names() == ("w",)
+
+    def test_edge_attr_missing_edge_raises(self):
+        net = Network()
+        with pytest.raises(EdgeNotFoundError):
+            net.set_edge_attr(1, 2, "w", 1)
+
+    def test_del_edge_clears_attrs(self):
+        net = Network()
+        net.add_edge(1, 2)
+        net.set_edge_attr(1, 2, "w", 1)
+        net.del_edge(1, 2)
+        net.add_edge(1, 2)
+        assert net.edge_attr(1, 2, "w") is None
+
+    def test_del_node_clears_attrs(self):
+        net = Network()
+        net.add_edge(1, 2)
+        net.set_node_attr(1, "x", 5)
+        net.set_edge_attr(1, 2, "w", 1)
+        net.del_node(1)
+        net.add_node(1)
+        assert net.node_attr(1, "x") is None
+
+    def test_network_is_a_directed_graph(self):
+        net = Network()
+        net.add_edge(1, 2)
+        assert net.has_edge(1, 2)
+        assert net.out_neighbors(1).tolist() == [2]
+
+
+class TestDirectedMultigraph:
+    def test_parallel_edges_allowed(self):
+        graph = DirectedMultigraph()
+        e1 = graph.add_edge(1, 2)
+        e2 = graph.add_edge(1, 2)
+        assert e1 != e2
+        assert graph.num_edges == 2
+        assert graph.edge_count(1, 2) == 2
+
+    def test_edge_endpoints(self):
+        graph = DirectedMultigraph()
+        eid = graph.add_edge(3, 4)
+        assert graph.edge_endpoints(eid) == (3, 4)
+
+    def test_degrees_count_multiplicity(self):
+        graph = DirectedMultigraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 1)
+        assert graph.out_degree(1) == 2
+        assert graph.in_degree(1) == 1
+
+    def test_del_edge_by_id(self):
+        graph = DirectedMultigraph()
+        eid = graph.add_edge(1, 2)
+        graph.add_edge(1, 2)
+        graph.del_edge(eid)
+        assert graph.num_edges == 1
+        assert not graph.has_edge_id(eid)
+
+    def test_del_deleted_edge_raises(self):
+        graph = DirectedMultigraph()
+        eid = graph.add_edge(1, 2)
+        graph.del_edge(eid)
+        with pytest.raises(EdgeNotFoundError):
+            graph.del_edge(eid)
+
+    def test_endpoints_of_deleted_edge_raises(self):
+        graph = DirectedMultigraph()
+        eid = graph.add_edge(1, 2)
+        graph.del_edge(eid)
+        with pytest.raises(EdgeNotFoundError):
+            graph.edge_endpoints(eid)
+
+    def test_edges_iterator_skips_deleted(self):
+        graph = DirectedMultigraph()
+        e1 = graph.add_edge(1, 2)
+        e2 = graph.add_edge(2, 3)
+        graph.del_edge(e1)
+        assert list(graph.edges()) == [(e2, 2, 3)]
+
+    def test_out_edges(self):
+        graph = DirectedMultigraph()
+        e1 = graph.add_edge(1, 2)
+        e2 = graph.add_edge(1, 3)
+        assert list(graph.out_edges(1)) == [(e1, 2), (e2, 3)]
+
+    def test_edge_arrays_with_deletions(self):
+        graph = DirectedMultigraph()
+        e1 = graph.add_edge(1, 2)
+        graph.add_edge(3, 4)
+        graph.del_edge(e1)
+        src, dst = graph.edge_arrays()
+        assert src.tolist() == [3]
+        assert dst.tolist() == [4]
+
+    def test_to_simple_collapses_parallels(self):
+        graph = DirectedMultigraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(1, 2)
+        graph.add_node(9)
+        simple = graph.to_simple()
+        assert simple.num_edges == 1
+        assert simple.has_node(9)
+
+    def test_negative_node_rejected(self):
+        with pytest.raises(GraphError):
+            DirectedMultigraph().add_node(-1)
+
+    def test_edge_count_missing_node(self):
+        assert DirectedMultigraph().edge_count(1, 2) == 0

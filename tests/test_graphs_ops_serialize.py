@@ -1,0 +1,143 @@
+"""Tests for graph structural ops and binary serialization."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.directed import DirectedGraph
+from repro.graphs.ops import (
+    degree_array,
+    filter_by_degree,
+    remove_self_loops,
+    renumber,
+    subgraph,
+)
+from repro.graphs.serialize import (
+    load_edge_list,
+    load_graph,
+    save_edge_list,
+    save_graph,
+)
+from repro.graphs.undirected import UndirectedGraph
+
+
+def triangle_plus_tail():
+    graph = DirectedGraph()
+    graph.add_edge(1, 2)
+    graph.add_edge(2, 3)
+    graph.add_edge(3, 1)
+    graph.add_edge(3, 4)
+    return graph
+
+
+class TestSubgraph:
+    def test_induced_edges_only(self):
+        sub = subgraph(triangle_plus_tail(), [1, 2, 3])
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 3
+
+    def test_absent_nodes_ignored(self):
+        sub = subgraph(triangle_plus_tail(), [1, 2, 99])
+        assert sub.num_nodes == 2
+        assert sub.num_edges == 1
+
+    def test_undirected_subgraph(self):
+        graph = UndirectedGraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 3)
+        sub = subgraph(graph, [1, 2])
+        assert not sub.is_directed
+        assert sub.num_edges == 1
+
+    def test_undirected_subgraph_keeps_self_loop(self):
+        graph = UndirectedGraph()
+        graph.add_edge(1, 1)
+        sub = subgraph(graph, [1])
+        assert sub.num_edges == 1
+
+
+class TestRemoveSelfLoops:
+    def test_removes_and_counts(self):
+        graph = triangle_plus_tail()
+        graph.add_edge(2, 2)
+        assert remove_self_loops(graph) == 1
+        assert graph.num_edges == 4
+
+    def test_noop_when_none(self):
+        assert remove_self_loops(triangle_plus_tail()) == 0
+
+
+class TestFilterByDegree:
+    def test_keeps_high_degree_nodes(self):
+        result = filter_by_degree(triangle_plus_tail(), min_degree=2)
+        assert sorted(result.nodes()) == [1, 2, 3]
+
+
+class TestRenumber:
+    def test_dense_relabel(self):
+        graph = DirectedGraph()
+        graph.add_edge(100, 205)
+        graph.add_edge(205, 999)
+        dense, mapping = renumber(graph)
+        assert sorted(dense.nodes()) == [0, 1, 2]
+        assert mapping == {100: 0, 205: 1, 999: 2}
+        assert dense.has_edge(0, 1)
+
+
+class TestDegreeArray:
+    def test_matches_per_node_degree(self):
+        graph = triangle_plus_tail()
+        degrees = degree_array(graph)
+        expected = [graph.degree(node) for node in graph.nodes()]
+        assert degrees.tolist() == expected
+
+
+class TestSerialization:
+    def test_directed_roundtrip(self, tmp_path):
+        graph = triangle_plus_tail()
+        path = tmp_path / "graph.npz"
+        save_graph(graph, path)
+        loaded = load_graph(path)
+        assert loaded.is_directed
+        assert sorted(loaded.edges()) == sorted(graph.edges())
+
+    def test_undirected_roundtrip(self, tmp_path):
+        graph = UndirectedGraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 2)
+        path = tmp_path / "graph.npz"
+        save_graph(graph, path)
+        loaded = load_graph(path)
+        assert not loaded.is_directed
+        assert loaded.num_edges == 2
+
+    def test_isolated_nodes_preserved(self, tmp_path):
+        graph = DirectedGraph()
+        graph.add_edge(1, 2)
+        graph.add_node(42)
+        path = tmp_path / "graph.npz"
+        save_graph(graph, path)
+        assert load_graph(path).has_node(42)
+
+    def test_edge_list_roundtrip(self, tmp_path):
+        graph = triangle_plus_tail()
+        path = tmp_path / "edges.txt"
+        assert save_edge_list(graph, path) == 4
+        loaded = load_edge_list(path)
+        assert sorted(loaded.edges()) == sorted(graph.edges())
+
+    def test_edge_list_skips_comments(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# header\n1\t2\n")
+        assert load_edge_list(path).num_edges == 1
+
+    def test_edge_list_malformed_line(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("1\n")
+        with pytest.raises(GraphError):
+            load_edge_list(path)
+
+    def test_edge_list_space_separated(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("1 2\n3 4\n")
+        assert load_edge_list(path, sep=" ").num_edges == 2

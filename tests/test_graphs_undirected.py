@@ -1,0 +1,135 @@
+"""Tests for UndirectedGraph."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import EdgeNotFoundError, GraphError, NodeNotFoundError
+from repro.graphs.undirected import UndirectedGraph
+
+
+class TestBasics:
+    def test_edge_is_symmetric(self):
+        graph = UndirectedGraph()
+        graph.add_edge(1, 2)
+        assert graph.has_edge(1, 2)
+        assert graph.has_edge(2, 1)
+        assert graph.num_edges == 1
+
+    def test_duplicate_either_direction_ignored(self):
+        graph = UndirectedGraph()
+        graph.add_edge(1, 2)
+        assert not graph.add_edge(2, 1)
+        assert graph.num_edges == 1
+
+    def test_neighbors_sorted(self):
+        graph = UndirectedGraph()
+        for nbr in [9, 3, 7]:
+            graph.add_edge(5, nbr)
+        assert graph.neighbors(5).tolist() == [3, 7, 9]
+
+    def test_degree(self):
+        graph = UndirectedGraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(1, 3)
+        assert graph.degree(1) == 2
+        assert graph.degree(2) == 1
+
+    def test_negative_node_rejected(self):
+        with pytest.raises(GraphError):
+            UndirectedGraph().add_node(-3)
+
+    def test_missing_node_raises(self):
+        with pytest.raises(NodeNotFoundError):
+            UndirectedGraph().neighbors(1)
+
+    def test_edges_listed_once(self):
+        graph = UndirectedGraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 3)
+        assert sorted(graph.edges()) == [(1, 2), (2, 3)]
+
+    def test_edge_arrays_canonical_order(self):
+        graph = UndirectedGraph()
+        graph.add_edge(5, 2)
+        src, dst = graph.edge_arrays()
+        assert (src <= dst).all()
+        assert len(src) == 1
+
+
+class TestSelfLoops:
+    def test_self_loop_once(self):
+        graph = UndirectedGraph()
+        graph.add_edge(4, 4)
+        assert graph.num_edges == 1
+        assert graph.degree(4) == 1
+        assert graph.has_edge(4, 4)
+
+    def test_self_loop_in_edges(self):
+        graph = UndirectedGraph()
+        graph.add_edge(4, 4)
+        assert list(graph.edges()) == [(4, 4)]
+
+    def test_delete_self_loop(self):
+        graph = UndirectedGraph()
+        graph.add_edge(4, 4)
+        graph.del_edge(4, 4)
+        assert graph.num_edges == 0
+
+    def test_del_node_with_self_loop(self):
+        graph = UndirectedGraph()
+        graph.add_edge(4, 4)
+        graph.add_edge(4, 5)
+        graph.del_node(4)
+        assert graph.num_edges == 0
+
+
+class TestDeletion:
+    def test_del_edge_both_directions(self):
+        graph = UndirectedGraph()
+        graph.add_edge(1, 2)
+        graph.del_edge(2, 1)
+        assert not graph.has_edge(1, 2)
+        assert graph.num_edges == 0
+
+    def test_del_missing_edge_raises(self):
+        with pytest.raises(EdgeNotFoundError):
+            UndirectedGraph().del_edge(1, 2)
+
+    def test_del_node(self):
+        graph = UndirectedGraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 3)
+        graph.del_node(2)
+        assert graph.num_nodes == 2
+        assert graph.num_edges == 0
+
+    def test_copy_independent(self):
+        graph = UndirectedGraph()
+        graph.add_edge(1, 2)
+        copy = graph.copy()
+        copy.del_edge(1, 2)
+        assert graph.num_edges == 1
+
+
+class TestInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 12), st.integers(0, 12)), max_size=60))
+    def test_matches_reference_edge_set(self, edge_list):
+        graph = UndirectedGraph()
+        reference: set[tuple[int, int]] = set()
+        for u, v in edge_list:
+            graph.add_edge(u, v)
+            reference.add((min(u, v), max(u, v)))
+        assert graph.num_edges == len(reference)
+        assert sorted(graph.edges()) == sorted(reference)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 12), st.integers(0, 12)), max_size=60))
+    def test_neighbor_symmetry(self, edge_list):
+        graph = UndirectedGraph()
+        for u, v in edge_list:
+            graph.add_edge(u, v)
+        for node in graph.nodes():
+            for nbr in graph.neighbors(node).tolist():
+                assert node in graph.neighbors(nbr).tolist()

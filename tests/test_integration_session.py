@@ -1,0 +1,123 @@
+"""Integration: a realistic trial-and-error exploration session.
+
+The paper's thesis is the *workflow* — rapid iteration between tables
+and graphs. This test drives one long session end to end, checking
+consistency invariants after every step, the way §4.1's "open
+exploration" segment would exercise the system.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import Ringo
+from repro.workflows.stackoverflow import (
+    POSTS_SCHEMA,
+    StackOverflowConfig,
+    generate_stackoverflow,
+    write_posts_tsv,
+)
+
+
+@pytest.fixture(scope="module")
+def session_data(tmp_path_factory):
+    data = generate_stackoverflow(
+        StackOverflowConfig(num_users=400, num_questions=2500, seed=99)
+    )
+    path = tmp_path_factory.mktemp("session") / "posts.tsv"
+    write_posts_tsv(data, path)
+    return data, path
+
+
+class TestExploratorySession:
+    def test_full_session(self, session_data):
+        data, path = session_data
+        with Ringo(workers=1) as ringo:
+            # -- Step 1: load and profile the raw data -----------------
+            posts = ringo.LoadTableTSV(POSTS_SCHEMA, path)
+            assert posts.num_rows == data.posts.num_rows
+            profile = ringo.Describe(posts)
+            assert profile.num_rows == len(POSTS_SCHEMA)
+
+            tag_counts = ringo.ValueCounts(posts, "Tag")
+            assert int(tag_counts.column("Count").sum()) == posts.num_rows
+
+            # -- Step 2: first attempt — accepted-answer graph ---------
+            java = ringo.Select(posts, "Tag=Java")
+            questions = ringo.Select(java, "Type=question")
+            answers = ringo.Select(java, "Type=answer")
+            qa = ringo.Join(questions, answers, "AnswerId", "PostId")
+            accepted_graph = ringo.ToGraph(qa, "UserId-1", "UserId-2")
+            ranks = ringo.GetPageRank(accepted_graph)
+            assert sum(ranks.values()) == pytest.approx(1.0)
+
+            # -- Step 3: trial-and-error — alternative construction ----
+            # "A different way is to connect StackOverflow users that
+            # answered the same question."
+            co_graph = ringo.ToCoOccurrenceGraph(answers, "ParentId", "UserId")
+            assert not co_graph.is_directed
+            assert co_graph.num_edges > 0
+            # Experts answer a lot, so they should sit in the co-answer
+            # graph's densest region.
+            cores = ringo.GetCoreNumbers(co_graph)
+            experts = set(data.experts_for("Java"))
+            expert_cores = [c for node, c in cores.items() if node in experts]
+            other_cores = [c for node, c in cores.items() if node not in experts]
+            assert np.mean(expert_cores) > np.mean(other_cores)
+
+            # -- Step 4: results back to tables and re-filter -----------
+            scores = ringo.TableFromHashMap(ranks, "User", "Scr")
+            ringo.WithColumn(scores, "Milli", "Scr * 1000")
+            strong = ringo.Select(scores, "Milli > 1.0")
+            assert strong.num_rows <= scores.num_rows
+            top = ringo.TopK(scores, "Scr", 10)
+            hits = sum(1 for u in top.column("User").tolist() if u in experts)
+            assert hits >= 7
+
+            # -- Step 5: compare measures on the same graph -------------
+            hubs, auths = ringo.GetHits(accepted_graph)
+            auth_table = ringo.TableFromHashMap(auths, "User", "Auth")
+            merged = ringo.Join(scores, auth_table, "User")
+            assert merged.num_rows == scores.num_rows
+            # Both measures agree on who the top experts are (top-10
+            # overlap of at least half).
+            top_pr = set(ringo.TopK(scores, "Scr", 10).column("User").tolist())
+            top_auth = set(ringo.TopK(auth_table, "Auth", 10).column("User").tolist())
+            assert len(top_pr & top_auth) >= 5
+
+            # -- Step 6: structural exploration --------------------------
+            wcc = ringo.GetWcc(accepted_graph)
+            assert len(wcc) == accepted_graph.num_nodes
+            ego = ringo.GetEgonet(accepted_graph, max(ranks, key=ranks.get), radius=1)
+            assert ego.num_nodes >= 1
+            edge_table = ringo.GetEdgeTable(accepted_graph)
+            assert edge_table.num_rows == accepted_graph.num_edges
+
+            # -- Step 7: persistence round trip ---------------------------
+            snapshot_graph = sorted(accepted_graph.edges())
+            rebuilt = ringo.ToGraph(edge_table, "SrcId", "DstId")
+            assert sorted(rebuilt.edges()) == snapshot_graph
+
+    def test_session_pool_consistency_across_steps(self, session_data):
+        _, path = session_data
+        with Ringo(workers=1) as ringo:
+            posts = ringo.LoadTableTSV(POSTS_SCHEMA, path)
+            java = ringo.Select(posts, "Tag=Java")
+            python_posts = ringo.Select(posts, "Tag=Python")
+            # Cross-table set ops work because all session tables share
+            # one pool.
+            both = ringo.Union(java, python_posts)
+            assert both.num_rows == java.num_rows + python_posts.num_rows
+
+    def test_repeated_selects_preserve_identity(self, session_data):
+        _, path = session_data
+        with Ringo(workers=1) as ringo:
+            posts = ringo.LoadTableTSV(POSTS_SCHEMA, path)
+            original = {
+                int(rid): value
+                for rid, value in zip(posts.row_ids, posts.column("PostId"))
+            }
+            narrowed = posts
+            for predicate in ("Type=answer", "UserId >= 10", "PostId > 100"):
+                narrowed = ringo.Select(narrowed, predicate)
+            for rid, post_id in zip(narrowed.row_ids, narrowed.column("PostId")):
+                assert original[int(rid)] == post_id

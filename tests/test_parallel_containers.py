@@ -1,0 +1,200 @@
+"""Tests for the concurrent hash table, vector, and atomic counter."""
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.atomics import AtomicCounter
+from repro.parallel.concurrent_hash import LinearProbingHashTable
+from repro.parallel.concurrent_vector import ConcurrentVector
+
+
+class TestAtomicCounter:
+    def test_fetch_add_returns_previous(self):
+        counter = AtomicCounter(5)
+        assert counter.fetch_add(3) == 5
+        assert counter.value == 8
+
+    def test_reset(self):
+        counter = AtomicCounter(9)
+        counter.reset()
+        assert counter.value == 0
+
+    def test_concurrent_claims_are_unique_and_dense(self):
+        counter = AtomicCounter()
+        claims = []
+        lock = threading.Lock()
+
+        def claim_many():
+            local = [counter.fetch_add(1) for _ in range(500)]
+            with lock:
+                claims.extend(local)
+
+        threads = [threading.Thread(target=claim_many) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sorted(claims) == list(range(2000))
+
+
+class TestLinearProbingHashTable:
+    def test_insert_lookup_roundtrip(self):
+        table = LinearProbingHashTable()
+        table.insert(42, 7)
+        assert table.lookup(42) == 7
+        assert 42 in table
+
+    def test_missing_key_returns_none(self):
+        table = LinearProbingHashTable()
+        assert table.lookup(99) is None
+        assert 99 not in table
+
+    def test_negative_key_rejected_on_insert(self):
+        table = LinearProbingHashTable()
+        with pytest.raises(ValueError):
+            table.insert(-1, 0)
+
+    def test_negative_key_lookup_is_none(self):
+        assert LinearProbingHashTable().lookup(-5) is None
+
+    def test_overwrite_updates_value(self):
+        table = LinearProbingHashTable()
+        table.insert(1, 10)
+        table.insert(1, 20)
+        assert table.lookup(1) == 20
+        assert len(table) == 1
+
+    def test_insert_if_absent_returns_existing(self):
+        table = LinearProbingHashTable()
+        assert table.insert_if_absent(5, 100) == 100
+        assert table.insert_if_absent(5, 200) == 100
+
+    def test_growth_preserves_contents(self):
+        table = LinearProbingHashTable(expected=4)
+        for key in range(1000):
+            table.insert(key, key * 2)
+        assert len(table) == 1000
+        assert table.capacity >= 1000
+        for key in range(1000):
+            assert table.lookup(key) == key * 2
+
+    def test_load_factor_bounded(self):
+        table = LinearProbingHashTable()
+        for key in range(5000):
+            table.insert(key, key)
+        assert table.load_factor <= 0.7
+
+    def test_insert_many_and_lookup_many(self):
+        table = LinearProbingHashTable()
+        keys = np.arange(100, dtype=np.int64)
+        table.insert_many(keys, keys * 3)
+        probe = np.array([0, 50, 99, 1000], dtype=np.int64)
+        result = table.lookup_many(probe)
+        assert result.tolist() == [0, 150, 297, -1]
+
+    def test_insert_many_length_mismatch(self):
+        table = LinearProbingHashTable()
+        with pytest.raises(ValueError):
+            table.insert_many(np.arange(3), np.arange(2))
+
+    def test_insert_many_negative_keys_rejected(self):
+        table = LinearProbingHashTable()
+        with pytest.raises(ValueError):
+            table.insert_many(np.array([-1]), np.array([0]))
+
+    def test_items_yields_all_pairs(self):
+        table = LinearProbingHashTable()
+        expected = {key: key + 1 for key in range(50)}
+        for key, value in expected.items():
+            table.insert(key, value)
+        assert dict(table.items()) == expected
+
+    def test_concurrent_inserts_all_land(self):
+        table = LinearProbingHashTable(expected=4)
+
+        def insert_span(start):
+            for key in range(start, start + 500):
+                table.insert(key, key)
+
+        threads = [threading.Thread(target=insert_span, args=(i * 500,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(table) == 2000
+        for key in range(2000):
+            assert table.lookup(key) == key
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.dictionaries(st.integers(min_value=0, max_value=10**12), st.integers(min_value=-(10**9), max_value=10**9), max_size=200))
+    def test_behaves_like_dict(self, mapping):
+        table = LinearProbingHashTable()
+        for key, value in mapping.items():
+            table.insert(key, value)
+        assert len(table) == len(mapping)
+        for key, value in mapping.items():
+            assert table.lookup(key) == value
+
+
+class TestConcurrentVector:
+    def test_append_returns_claim_index(self):
+        vec = ConcurrentVector()
+        assert vec.append(3) == 0
+        assert vec.append(1) == 1
+        assert vec.to_array().tolist() == [3, 1]
+
+    def test_extend_claims_block(self):
+        vec = ConcurrentVector(capacity=2)
+        start, stop = vec.extend(np.array([4, 5, 6]))
+        assert (start, stop) == (0, 3)
+        assert len(vec) == 3
+
+    def test_extend_empty_is_noop(self):
+        vec = ConcurrentVector()
+        vec.append(1)
+        start, stop = vec.extend(np.array([], dtype=np.int64))
+        assert start == stop == 1
+        assert len(vec) == 1
+
+    def test_growth_beyond_initial_capacity(self):
+        vec = ConcurrentVector(capacity=1)
+        for value in range(100):
+            vec.append(value)
+        assert vec.to_array().tolist() == list(range(100))
+
+    def test_sort_orders_committed_values(self):
+        vec = ConcurrentVector()
+        vec.extend(np.array([3, 1, 2]))
+        vec.sort()
+        assert vec.to_array().tolist() == [1, 2, 3]
+
+    def test_concurrent_appends_preserve_all_values(self):
+        vec = ConcurrentVector(capacity=1)
+
+        def append_span(start):
+            for value in range(start, start + 1000):
+                vec.append(value)
+
+        threads = [threading.Thread(target=append_span, args=(i * 1000,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sorted(vec.to_array().tolist()) == list(range(4000))
+
+    def test_concurrent_extends_preserve_all_values(self):
+        vec = ConcurrentVector(capacity=1)
+
+        def extend_span(start):
+            vec.extend(np.arange(start, start + 1000))
+
+        threads = [threading.Thread(target=extend_span, args=(i * 1000,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sorted(vec.to_array().tolist()) == list(range(4000))

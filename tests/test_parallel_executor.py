@@ -1,0 +1,74 @@
+"""Tests for repro.parallel.executor."""
+
+import threading
+
+import pytest
+
+from repro.exceptions import RingoError
+from repro.parallel.executor import WorkerPool, effective_worker_count, serial_pool
+
+
+class TestEffectiveWorkerCount:
+    def test_explicit_value_wins(self):
+        assert effective_worker_count(3) == 3
+
+    def test_zero_rejected(self):
+        with pytest.raises(RingoError):
+            effective_worker_count(0)
+
+    def test_env_variable_respected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert effective_worker_count() == 7
+
+    def test_default_at_least_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert effective_worker_count() >= 1
+
+
+class TestWorkerPool:
+    def test_single_worker_runs_inline(self):
+        main_thread = threading.current_thread()
+        seen = []
+        with WorkerPool(1) as pool:
+            pool.map_range(5, lambda lo, hi: seen.append(threading.current_thread()))
+        assert all(thread is main_thread for thread in seen)
+
+    def test_map_range_partitions_and_orders_results(self):
+        with WorkerPool(4) as pool:
+            results = pool.map_range(100, lambda lo, hi: (lo, hi))
+        assert results == [(0, 25), (25, 50), (50, 75), (75, 100)]
+
+    def test_map_range_combines_to_full_sum(self):
+        with WorkerPool(3) as pool:
+            partials = pool.map_range(1000, lambda lo, hi: sum(range(lo, hi)))
+        assert sum(partials) == sum(range(1000))
+
+    def test_map_range_empty(self):
+        with WorkerPool(2) as pool:
+            assert pool.map_range(0, lambda lo, hi: 1) == []
+
+    def test_map_chunks(self):
+        with WorkerPool(2) as pool:
+            assert pool.map_chunks([[1, 2], [3]], sum) == [3, 3]
+
+    def test_run_tasks_preserves_order(self):
+        with WorkerPool(4) as pool:
+            results = pool.run_tasks([lambda i=i: i * i for i in range(8)])
+        assert results == [i * i for i in range(8)]
+
+    def test_exception_in_kernel_propagates(self):
+        def boom(lo, hi):
+            raise ValueError("kernel failure")
+
+        with WorkerPool(2) as pool:
+            with pytest.raises(ValueError, match="kernel failure"):
+                pool.map_range(10, boom)
+
+    def test_close_is_idempotent(self):
+        pool = WorkerPool(2)
+        pool.close()
+        pool.close()
+
+    def test_serial_pool_is_shared_singleton(self):
+        assert serial_pool() is serial_pool()
+        assert serial_pool().workers == 1

@@ -1,0 +1,114 @@
+"""Property tests: max-flow/min-cut duality and join algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.flow import max_flow, min_cut_partition
+from repro.graphs.network import Network
+from repro.tables.join import join
+from repro.tables.table import Table
+
+WEIGHTED_EDGES = st.lists(
+    st.tuples(
+        st.integers(0, 7), st.integers(0, 7),
+        st.floats(min_value=0.0, max_value=10.0),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+def build_network(edges):
+    net = Network()
+    net.add_node(0)
+    net.add_node(7)
+    for u, v, w in edges:
+        if u != v:
+            if net.add_edge(u, v):
+                net.set_edge_attr(u, v, "cap", w)
+    return net
+
+
+class TestFlowDuality:
+    @settings(max_examples=40, deadline=None)
+    @given(WEIGHTED_EDGES)
+    def test_min_cut_capacity_equals_max_flow(self, edges):
+        net = build_network(edges)
+        flow = max_flow(net, 0, 7, capacity="cap")
+        source_side, sink_side = min_cut_partition(net, 0, 7, capacity="cap")
+        assert 0 in source_side and 7 in sink_side
+        crossing = sum(
+            float(net.edge_attr(u, v, "cap"))
+            for u, v in net.edges()
+            if u in source_side and v in sink_side
+        )
+        assert crossing == pytest.approx(flow, abs=1e-6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(WEIGHTED_EDGES)
+    def test_flow_bounded_by_source_capacity(self, edges):
+        net = build_network(edges)
+        flow = max_flow(net, 0, 7, capacity="cap")
+        out_capacity = sum(
+            float(net.edge_attr(0, v, "cap")) for v in net.out_neighbors(0).tolist()
+        )
+        assert flow <= out_capacity + 1e-9
+
+
+ROWS = st.lists(st.integers(0, 5), min_size=0, max_size=25)
+
+
+class TestJoinAlgebra:
+    @settings(max_examples=50, deadline=None)
+    @given(ROWS, ROWS)
+    def test_join_row_count_from_key_histograms(self, left_keys, right_keys):
+        left = (
+            Table.from_columns({"k": left_keys})
+            if left_keys else Table.empty([("k", "int")])
+        )
+        right = (
+            Table.from_columns({"k2": right_keys})
+            if right_keys else Table.empty([("k2", "int")])
+        )
+        result = join(left, right, "k", "k2")
+        expected = sum(
+            left_keys.count(key) * right_keys.count(key) for key in set(left_keys)
+        )
+        assert result.num_rows == expected
+
+    @settings(max_examples=50, deadline=None)
+    @given(ROWS, ROWS)
+    def test_left_join_count(self, left_keys, right_keys):
+        left = (
+            Table.from_columns({"k": left_keys})
+            if left_keys else Table.empty([("k", "int")])
+        )
+        right = (
+            Table.from_columns({"k2": right_keys})
+            if right_keys else Table.empty([("k2", "int")])
+        )
+        result = join(left, right, "k", "k2", how="left")
+        expected = sum(
+            max(right_keys.count(key), 1) for key in left_keys
+        )
+        assert result.num_rows == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(ROWS, ROWS)
+    def test_join_symmetric_up_to_column_names(self, left_keys, right_keys):
+        left = (
+            Table.from_columns({"k": left_keys})
+            if left_keys else Table.empty([("k", "int")])
+        )
+        right = (
+            Table.from_columns({"k2": right_keys})
+            if right_keys else Table.empty([("k2", "int")])
+        )
+        forward = join(left, right, "k", "k2")
+        backward = join(right, left, "k2", "k")
+        assert forward.num_rows == backward.num_rows
+        assert sorted(forward.column("k").tolist()) == sorted(
+            backward.column("k").tolist()
+        )

@@ -1,0 +1,186 @@
+"""Cross-cutting property-based invariants.
+
+Relational-algebra identities on the table engine, relabeling
+invariance of graph analytics, and conversion round-trips — the
+system-level contracts a downstream user relies on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.triangles import total_triangles
+from repro.convert.graph_to_table import to_edge_table
+from repro.convert.table_to_graph import graph_from_edge_arrays, to_graph
+from repro.tables.groupby import group_by
+from repro.tables.order import order_by
+from repro.tables.project import project
+from repro.tables.select import select
+from repro.tables.setops import union
+from repro.tables.table import Table
+
+ROWS = st.lists(
+    st.tuples(st.integers(0, 9), st.integers(-20, 20)), min_size=1, max_size=60
+)
+EDGES = st.lists(
+    st.tuples(st.integers(0, 20), st.integers(0, 20)), min_size=1, max_size=100
+)
+
+
+def make_table(rows):
+    return Table.from_columns(
+        {"k": [r[0] for r in rows], "v": [r[1] for r in rows]}
+    )
+
+
+def row_contents(table):
+    return sorted(zip(table.column("k").tolist(), table.column("v").tolist()))
+
+
+class TestRelationalIdentities:
+    @settings(max_examples=50, deadline=None)
+    @given(ROWS, st.integers(-20, 20), st.integers(0, 9))
+    def test_select_composition_equals_conjunction(self, rows, cutoff, key):
+        table = make_table(rows)
+        chained = select(select(table, f"v > {cutoff}"), f"k = {key}")
+        combined = select(table, f"v > {cutoff} and k = {key}")
+        assert chained.row_ids.tolist() == combined.row_ids.tolist()
+        assert row_contents(chained) == row_contents(combined)
+
+    @settings(max_examples=50, deadline=None)
+    @given(ROWS, st.integers(-20, 20))
+    def test_select_partitions_table(self, rows, cutoff):
+        table = make_table(rows)
+        kept = select(table, f"v > {cutoff}")
+        dropped = select(table, f"not v > {cutoff}")
+        assert kept.num_rows + dropped.num_rows == table.num_rows
+        merged = sorted(kept.row_ids.tolist() + dropped.row_ids.tolist())
+        assert merged == table.row_ids.tolist()
+
+    @settings(max_examples=50, deadline=None)
+    @given(ROWS, ROWS)
+    def test_union_commutative_on_content(self, left_rows, right_rows):
+        left = make_table(left_rows)
+        right = make_table(right_rows)
+        forward = union(left, right)
+        backward = union(right, left)
+        assert row_contents(forward) == row_contents(backward)
+
+    @settings(max_examples=50, deadline=None)
+    @given(ROWS)
+    def test_union_self_is_distinct(self, rows):
+        table = make_table(rows)
+        result = union(table, table)
+        assert row_contents(result) == sorted(set(zip(
+            table.column("k").tolist(), table.column("v").tolist()
+        )))
+
+    @settings(max_examples=50, deadline=None)
+    @given(ROWS, st.integers(-20, 20))
+    def test_project_select_commute(self, rows, cutoff):
+        table = make_table(rows)
+        a = project(select(table, f"v > {cutoff}"), ["v"])
+        b = select(project(table, ["v"]), f"v > {cutoff}")
+        assert a.column("v").tolist() == b.column("v").tolist()
+        assert a.row_ids.tolist() == b.row_ids.tolist()
+
+    @settings(max_examples=50, deadline=None)
+    @given(ROWS)
+    def test_groupby_sum_totals_column(self, rows):
+        table = make_table(rows)
+        grouped = group_by(table, "k", {"S": ("sum", "v")})
+        assert int(grouped.column("S").sum()) == int(table.column("v").sum())
+        assert int(grouped.num_rows) == len({r[0] for r in rows})
+
+    @settings(max_examples=50, deadline=None)
+    @given(ROWS)
+    def test_sort_idempotent(self, rows):
+        table = make_table(rows)
+        once = order_by(table, ["k", "v"])
+        twice = order_by(once, ["k", "v"])
+        assert once.column("k").tolist() == twice.column("k").tolist()
+        assert once.row_ids.tolist() == twice.row_ids.tolist()
+
+    @settings(max_examples=50, deadline=None)
+    @given(ROWS)
+    def test_row_ids_track_content_through_pipeline(self, rows):
+        # §2.3's fine-grained tracking: after select+sort, each row id
+        # still names its original record.
+        table = make_table(rows)
+        original = {
+            int(rid): (int(k), int(v))
+            for rid, k, v in zip(
+                table.row_ids, table.column("k"), table.column("v")
+            )
+        }
+        result = order_by(select(table, "v >= 0"), "v")
+        for rid, k, v in zip(
+            result.row_ids, result.column("k"), result.column("v")
+        ):
+            assert original[int(rid)] == (int(k), int(v))
+
+
+class TestGraphRelabelingInvariance:
+    @settings(max_examples=30, deadline=None)
+    @given(EDGES, st.randoms(use_true_random=False))
+    def test_pagerank_invariant_under_relabeling(self, edges, rng):
+        src = np.array([e[0] for e in edges])
+        dst = np.array([e[1] for e in edges])
+        graph = graph_from_edge_arrays(src, dst)
+        nodes = sorted(graph.nodes())
+        shuffled = nodes[:]
+        rng.shuffle(shuffled)
+        mapping = dict(zip(nodes, shuffled))
+        relabeled = graph_from_edge_arrays(
+            np.array([mapping[int(s)] for s in src]),
+            np.array([mapping[int(d)] for d in dst]),
+        )
+        original = pagerank(graph, tolerance=1e-12)
+        renamed = pagerank(relabeled, tolerance=1e-12)
+        for node, score in original.items():
+            assert renamed[mapping[node]] == pytest.approx(score, abs=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(EDGES, st.randoms(use_true_random=False))
+    def test_triangles_invariant_under_relabeling(self, edges, rng):
+        src = np.array([e[0] for e in edges])
+        dst = np.array([e[1] for e in edges])
+        graph = graph_from_edge_arrays(src, dst, directed=False)
+        nodes = sorted(graph.nodes())
+        shuffled = nodes[:]
+        rng.shuffle(shuffled)
+        mapping = dict(zip(nodes, shuffled))
+        relabeled = graph_from_edge_arrays(
+            np.array([mapping[int(s)] for s in src]),
+            np.array([mapping[int(d)] for d in dst]),
+            directed=False,
+        )
+        assert total_triangles(graph) == total_triangles(relabeled)
+
+
+class TestConversionRoundTrips:
+    @settings(max_examples=40, deadline=None)
+    @given(EDGES)
+    def test_graph_table_graph_identity(self, edges):
+        graph = graph_from_edge_arrays(
+            np.array([e[0] for e in edges]), np.array([e[1] for e in edges])
+        )
+        table = to_edge_table(graph)
+        rebuilt = to_graph(table, "SrcId", "DstId")
+        assert sorted(rebuilt.edges()) == sorted(graph.edges())
+
+    @settings(max_examples=40, deadline=None)
+    @given(EDGES)
+    def test_pagerank_equal_across_representations(self, edges):
+        # The same analytics answer whether computed from the dynamic
+        # graph or its freshly rebuilt twin.
+        src = np.array([e[0] for e in edges])
+        dst = np.array([e[1] for e in edges])
+        graph = graph_from_edge_arrays(src, dst)
+        rebuilt = to_graph(to_edge_table(graph), "SrcId", "DstId")
+        a = pagerank(graph, iterations=10)
+        b = pagerank(rebuilt, iterations=10)
+        for node, score in a.items():
+            assert b[node] == pytest.approx(score, abs=1e-12)

@@ -1,0 +1,90 @@
+"""Property tests: serialization round-trips and attribute-flow loops."""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.convert.attributes import (
+    network_from_tables,
+    node_attribute_table,
+    weighted_network_from_edges,
+)
+from repro.convert.table_to_graph import graph_from_edge_arrays
+from repro.graphs.serialize import load_graph, save_graph
+from repro.tables.io_npz import load_table_npz, save_table_npz
+from repro.tables.table import Table
+
+EDGES = st.lists(
+    st.tuples(st.integers(0, 15), st.integers(0, 15)), min_size=0, max_size=60
+)
+
+
+class TestGraphSerializationProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(EDGES, st.booleans())
+    def test_save_load_identity(self, edges, directed):
+        src = np.array([e[0] for e in edges], dtype=np.int64)
+        dst = np.array([e[1] for e in edges], dtype=np.int64)
+        graph = graph_from_edge_arrays(src, dst, directed=directed)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "g.npz"
+            save_graph(graph, path)
+            loaded = load_graph(path)
+        assert loaded.is_directed == directed
+        assert sorted(loaded.edges()) == sorted(graph.edges())
+        assert sorted(loaded.nodes()) == sorted(graph.nodes())
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(-1000, 1000), max_size=40),
+        st.lists(st.text(max_size=6), max_size=40),
+    )
+    def test_table_npz_roundtrip(self, ints, strings):
+        length = min(len(ints), len(strings))
+        if length == 0:
+            table = Table.empty([("i", "int"), ("s", "string")])
+        else:
+            table = Table.from_columns(
+                {"i": ints[:length], "s": strings[:length]}
+            )
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "t.npz"
+            save_table_npz(table, path)
+            loaded = load_table_npz(path)
+        assert loaded.column("i").tolist() == table.column("i").tolist()
+        assert loaded.values("s") == table.values("s")
+        assert loaded.row_ids.tolist() == table.row_ids.tolist()
+
+
+class TestAttributeFlowProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.dictionaries(st.integers(0, 20), st.floats(-10, 10), min_size=1, max_size=20))
+    def test_attrs_survive_table_roundtrip(self, scores):
+        nodes = sorted(scores)
+        edges = Table.from_columns(
+            {"a": nodes, "b": [nodes[0]] * len(nodes)}
+        )
+        net = network_from_tables(edges, "a", "b")
+        net.set_node_attrs("score", scores)
+        table = node_attribute_table(net, attrs=["score"])
+        back = dict(zip(table.column("NodeId").tolist(), table.column("score").tolist()))
+        for node, value in scores.items():
+            assert back[node] == pytest.approx(value)
+
+    @settings(max_examples=30, deadline=None)
+    @given(EDGES)
+    def test_weighted_network_conserves_row_count(self, edges):
+        if not edges:
+            return
+        table = Table.from_columns(
+            {"a": [e[0] for e in edges], "b": [e[1] for e in edges]}
+        )
+        net = weighted_network_from_edges(table, "a", "b")
+        total_weight = sum(
+            float(net.edge_attr(u, v, "weight")) for u, v in net.edges()
+        )
+        assert total_weight == pytest.approx(len(edges))

@@ -1,0 +1,203 @@
+"""Tests for computed columns and the convenience table operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ExpressionError, SchemaError, TypeMismatchError
+from repro.tables.compute import evaluate_expression, with_column
+from repro.tables.extras import (
+    concat_rows,
+    distinct,
+    limit,
+    sample_rows,
+    top_k,
+    value_counts,
+)
+from repro.tables.schema import ColumnType
+from repro.tables.table import Table
+
+
+@pytest.fixture
+def table():
+    return Table.from_columns(
+        {
+            "a": [1, 2, 3, 4],
+            "b": [10.0, 20.0, 30.0, 40.0],
+            "tag": ["x", "y", "x", "x"],
+        }
+    )
+
+
+class TestEvaluateExpression:
+    def test_column_plus_constant(self, table):
+        assert evaluate_expression(table, "a + 1").tolist() == [2, 3, 4, 5]
+
+    def test_precedence(self, table):
+        assert evaluate_expression(table, "a + b * 2").tolist() == [21, 42, 63, 84]
+
+    def test_parentheses(self, table):
+        assert evaluate_expression(table, "(a + 1) * 2").tolist() == [4, 6, 8, 10]
+
+    def test_unary_minus(self, table):
+        assert evaluate_expression(table, "-a").tolist() == [-1, -2, -3, -4]
+
+    def test_double_unary(self, table):
+        assert evaluate_expression(table, "--a").tolist() == [1, 2, 3, 4]
+
+    def test_division(self, table):
+        assert evaluate_expression(table, "b / a").tolist() == [10, 10, 10, 10]
+
+    def test_modulo(self, table):
+        assert evaluate_expression(table, "a % 2").tolist() == [1, 0, 1, 0]
+
+    def test_division_by_zero_yields_inf(self, table):
+        result = evaluate_expression(table, "b / (a - 1)")
+        assert np.isinf(result[0])
+
+    def test_float_literal(self, table):
+        assert evaluate_expression(table, "a * 0.5").tolist() == [0.5, 1.0, 1.5, 2.0]
+
+    def test_string_column_rejected(self, table):
+        with pytest.raises(TypeMismatchError):
+            evaluate_expression(table, "tag + 1")
+
+    def test_unknown_column_rejected(self, table):
+        with pytest.raises(Exception):
+            evaluate_expression(table, "zz + 1")
+
+    def test_empty_expression_rejected(self, table):
+        with pytest.raises(ExpressionError):
+            evaluate_expression(table, "  ")
+
+    def test_trailing_garbage_rejected(self, table):
+        with pytest.raises(ExpressionError):
+            evaluate_expression(table, "a + 1 2")
+
+    def test_unclosed_paren_rejected(self, table):
+        with pytest.raises(ExpressionError):
+            evaluate_expression(table, "(a + 1")
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=30))
+    def test_matches_python_arithmetic(self, values):
+        t = Table.from_columns({"x": values})
+        result = evaluate_expression(t, "x * 3 - 7")
+        assert result.tolist() == [v * 3 - 7 for v in values]
+
+
+class TestWithColumn:
+    def test_appends_float_column(self, table):
+        with_column(table, "c", "a + b")
+        assert table.schema["c"] is ColumnType.FLOAT
+        assert table.column("c").tolist() == [11, 22, 33, 44]
+
+    def test_as_int_truncates(self, table):
+        with_column(table, "half", "a / 2", as_int=True)
+        assert table.schema["half"] is ColumnType.INT
+        assert table.column("half").tolist() == [0, 1, 1, 2]
+
+    def test_returns_table_for_chaining(self, table):
+        assert with_column(table, "c", "a") is table
+
+
+class TestDistinct:
+    def test_whole_row_distinct(self):
+        t = Table.from_columns({"x": [1, 1, 2], "y": [5, 5, 5]})
+        assert distinct(t).num_rows == 2
+
+    def test_distinct_on_subset(self, table):
+        result = distinct(table, ["tag"])
+        assert result.num_rows == 2
+        assert result.values("tag") == ["x", "y"]
+
+    def test_first_occurrence_kept(self, table):
+        result = distinct(table, ["tag"])
+        assert result.row_ids.tolist() == [0, 1]
+
+    def test_empty_column_list_rejected(self, table):
+        with pytest.raises(SchemaError):
+            distinct(table, [])
+
+
+class TestLimitAndTopK:
+    def test_limit(self, table):
+        assert limit(table, 2).column("a").tolist() == [1, 2]
+
+    def test_limit_beyond_length(self, table):
+        assert limit(table, 99).num_rows == 4
+
+    def test_limit_zero(self, table):
+        assert limit(table, 0).num_rows == 0
+
+    def test_top_k_largest(self, table):
+        assert top_k(table, "b", 2).column("b").tolist() == [40.0, 30.0]
+
+    def test_top_k_smallest(self, table):
+        assert top_k(table, "b", 2, ascending=True).column("b").tolist() == [10.0, 20.0]
+
+    def test_top_k_invalid(self, table):
+        with pytest.raises(Exception):
+            top_k(table, "b", 0)
+
+
+class TestValueCounts:
+    def test_counts_descending(self, table):
+        result = value_counts(table, "tag")
+        assert result.values("tag") == ["x", "y"]
+        assert result.column("Count").tolist() == [3, 1]
+
+    def test_numeric_column(self):
+        t = Table.from_columns({"x": [5, 5, 7]})
+        result = value_counts(t, "x")
+        assert result.column("x").tolist() == [5, 7]
+
+    def test_tie_breaks_by_value(self):
+        t = Table.from_columns({"x": [2, 1]})
+        result = value_counts(t, "x")
+        assert result.column("x").tolist() == [1, 2]
+
+
+class TestSampleAndConcat:
+    def test_sample_distinct_rows(self, table):
+        result = sample_rows(table, 2, seed=1)
+        assert result.num_rows == 2
+        assert len(set(result.row_ids.tolist())) == 2
+
+    def test_sample_deterministic(self, table):
+        a = sample_rows(table, 2, seed=3).row_ids.tolist()
+        b = sample_rows(table, 2, seed=3).row_ids.tolist()
+        assert a == b
+
+    def test_sample_too_many(self, table):
+        with pytest.raises(SchemaError):
+            sample_rows(table, 10)
+
+    def test_concat(self):
+        a = Table.from_columns({"x": [1, 2]})
+        b = Table.from_columns({"x": [3]})
+        assert concat_rows([a, b]).column("x").tolist() == [1, 2, 3]
+
+    def test_concat_schema_mismatch(self):
+        a = Table.from_columns({"x": [1]})
+        b = Table.from_columns({"y": [1]})
+        with pytest.raises(SchemaError):
+            concat_rows([a, b])
+
+    def test_concat_empty_list(self):
+        with pytest.raises(SchemaError):
+            concat_rows([])
+
+    def test_engine_facade(self):
+        from repro.core.engine import Ringo
+
+        with Ringo(workers=1) as ringo:
+            t = ringo.TableFromColumns({"x": [3, 1, 2, 2]})
+            assert ringo.Distinct(t).num_rows == 3
+            assert ringo.Limit(t, 1).num_rows == 1
+            assert ringo.TopK(t, "x", 1).column("x").tolist() == [3]
+            assert ringo.ValueCounts(t, "x").column("Count").tolist() == [2, 1, 1]
+            ringo.WithColumn(t, "y", "x * 10", as_int=True)
+            assert t.column("y").tolist() == [30, 10, 20, 20]
+            assert ringo.Sample(t, 2, seed=1).num_rows == 2

@@ -1,0 +1,187 @@
+"""Tests for the predicate parser and evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExpressionError, TypeMismatchError
+from repro.tables.expressions import (
+    Comparison,
+    MaskPredicate,
+    as_predicate,
+    parse_predicate,
+)
+from repro.tables.table import Table
+
+
+@pytest.fixture
+def table():
+    return Table.from_columns(
+        {
+            "Type": ["question", "answer", "question", "comment"],
+            "Tag": ["Java", "Java", "python", "Java"],
+            "Score": [5, -1, 3, 0],
+            "Weight": [0.5, 1.5, 2.5, 3.5],
+            "Other": [5, 5, 1, 1],
+        }
+    )
+
+
+class TestPaperSyntax:
+    def test_bareword_string_equality(self, table):
+        mask = parse_predicate("Tag=Java").mask(table)
+        assert mask.tolist() == [True, True, False, True]
+
+    def test_type_question_example(self, table):
+        mask = parse_predicate("Type=question").mask(table)
+        assert mask.tolist() == [True, False, True, False]
+
+    def test_quoted_string(self, table):
+        mask = parse_predicate("Tag = 'python'").mask(table)
+        assert mask.tolist() == [False, False, True, False]
+
+    def test_unknown_string_matches_nothing(self, table):
+        assert not parse_predicate("Tag=NoSuchTag").mask(table).any()
+
+    def test_unknown_string_not_equal_matches_everything(self, table):
+        assert parse_predicate("Tag != NoSuchTag").mask(table).all()
+
+
+class TestNumericComparisons:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("Score = 3", [False, False, True, False]),
+            ("Score == 3", [False, False, True, False]),
+            ("Score != 3", [True, True, False, True]),
+            ("Score > 0", [True, False, True, False]),
+            ("Score >= 0", [True, False, True, True]),
+            ("Score < 0", [False, True, False, False]),
+            ("Score <= -1", [False, True, False, False]),
+        ],
+    )
+    def test_operators(self, table, expr, expected):
+        assert parse_predicate(expr).mask(table).tolist() == expected
+
+    def test_float_literal(self, table):
+        mask = parse_predicate("Weight >= 2.0").mask(table)
+        assert mask.tolist() == [False, False, True, True]
+
+    def test_scientific_notation(self, table):
+        mask = parse_predicate("Weight < 1e0").mask(table)
+        assert mask.tolist() == [True, False, False, False]
+
+    def test_negative_literal(self, table):
+        mask = parse_predicate("Score <= -1").mask(table)
+        assert mask.tolist() == [False, True, False, False]
+
+
+class TestColumnVsColumn:
+    def test_numeric_columns_compare(self, table):
+        mask = parse_predicate("Score = Other").mask(table)
+        assert mask.tolist() == [True, False, False, False]
+
+    def test_string_columns_compare_by_value(self, table):
+        extra = Table.from_columns(
+            {"a": ["x", "y"], "b": ["x", "z"]}, pool=table.pool
+        )
+        mask = parse_predicate("a = b").mask(extra)
+        assert mask.tolist() == [True, False]
+
+    def test_string_ordering_uses_collation(self):
+        extra = Table.from_columns({"a": ["b", "a"], "b": ["a", "b"]})
+        mask = parse_predicate("a < b").mask(extra)
+        assert mask.tolist() == [False, True]
+
+    def test_string_vs_numeric_column_rejected(self, table):
+        with pytest.raises(TypeMismatchError):
+            parse_predicate("Tag = Score").mask(table)
+
+
+class TestCombinators:
+    def test_and(self, table):
+        mask = parse_predicate("Tag=Java and Score > 0").mask(table)
+        assert mask.tolist() == [True, False, False, False]
+
+    def test_ampersand_alias(self, table):
+        mask = parse_predicate("Tag=Java & Score > 0").mask(table)
+        assert mask.tolist() == [True, False, False, False]
+
+    def test_or(self, table):
+        mask = parse_predicate("Score > 4 or Score < 0").mask(table)
+        assert mask.tolist() == [True, True, False, False]
+
+    def test_pipe_alias(self, table):
+        mask = parse_predicate("Score > 4 | Score < 0").mask(table)
+        assert mask.tolist() == [True, True, False, False]
+
+    def test_not(self, table):
+        mask = parse_predicate("not Tag=Java").mask(table)
+        assert mask.tolist() == [False, False, True, False]
+
+    def test_parentheses_change_grouping(self, table):
+        grouped = parse_predicate("Tag=Java and (Score > 4 or Score < 0)").mask(table)
+        assert grouped.tolist() == [True, True, False, False]
+
+    def test_precedence_and_binds_tighter(self, table):
+        mask = parse_predicate("Score > 4 or Score < 0 and Tag=Java").mask(table)
+        # and binds tighter: Score>4 or (Score<0 and Tag=Java)
+        assert mask.tolist() == [True, True, False, False]
+
+    def test_operator_overloads(self, table):
+        pred = parse_predicate("Tag=Java") & ~parse_predicate("Score < 0")
+        assert pred.mask(table).tolist() == [True, False, False, True]
+
+
+class TestErrors:
+    def test_empty_predicate(self):
+        with pytest.raises(ExpressionError):
+            parse_predicate("   ")
+
+    def test_garbage_token(self):
+        with pytest.raises(ExpressionError):
+            parse_predicate("Tag ~ Java")
+
+    def test_trailing_tokens(self):
+        with pytest.raises(ExpressionError, match="trailing"):
+            parse_predicate("Score > 1 2")
+
+    def test_missing_operand(self):
+        with pytest.raises(ExpressionError):
+            parse_predicate("Score >")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(ExpressionError):
+            parse_predicate("(Score > 1")
+
+    def test_numeric_column_vs_string_rejected(self, table):
+        with pytest.raises(TypeMismatchError):
+            parse_predicate("Score = 'abc'").mask(table)
+
+    def test_string_column_vs_number_rejected(self, table):
+        with pytest.raises(TypeMismatchError):
+            parse_predicate("Tag = 5").mask(table)
+
+    def test_unsupported_comparison_op(self):
+        with pytest.raises(ExpressionError):
+            Comparison("x", "~", 1)
+
+
+class TestAsPredicate:
+    def test_accepts_string(self, table):
+        assert as_predicate("Score > 0").mask(table).tolist() == [True, False, True, False]
+
+    def test_accepts_mask(self, table):
+        mask = np.array([True, False, True, False])
+        assert as_predicate(mask).mask(table).tolist() == mask.tolist()
+
+    def test_mask_length_checked(self, table):
+        with pytest.raises(ExpressionError):
+            MaskPredicate(np.array([True])).mask(table)
+
+    def test_accepts_predicate(self, table):
+        pred = parse_predicate("Score > 0")
+        assert as_predicate(pred) is pred
+
+    def test_rejects_other_types(self):
+        with pytest.raises(ExpressionError):
+            as_predicate(42)

@@ -1,0 +1,188 @@
+"""Tests for group & aggregate and the set operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SchemaError, TypeMismatchError
+from repro.tables.groupby import add_group_column, group_by, group_ids
+from repro.tables.setops import intersect, minus, union
+from repro.tables.table import Table
+
+
+@pytest.fixture
+def events():
+    return Table.from_columns(
+        {
+            "user": [1, 2, 1, 3, 2, 1],
+            "kind": ["q", "a", "q", "q", "q", "a"],
+            "score": [1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        }
+    )
+
+
+class TestGroupIds:
+    def test_labels_by_first_appearance(self, events):
+        assert group_ids(events, "user").tolist() == [0, 1, 0, 2, 1, 0]
+
+    def test_multi_key_labels(self, events):
+        labels = group_ids(events, ["user", "kind"]).tolist()
+        assert labels == [0, 1, 0, 2, 3, 4]
+
+    def test_empty_keys_rejected(self, events):
+        with pytest.raises(SchemaError):
+            group_ids(events, [])
+
+    def test_string_key(self, events):
+        assert group_ids(events, "kind").tolist() == [0, 1, 0, 0, 0, 1]
+
+    def test_add_group_column_in_place(self, events):
+        add_group_column(events, "user", out="G")
+        assert events.column("G").tolist() == [0, 1, 0, 2, 1, 0]
+
+
+class TestGroupBy:
+    def test_default_count(self, events):
+        result = group_by(events, "user")
+        assert result.column("user").tolist() == [1, 2, 3]
+        assert result.column("Count").tolist() == [3, 2, 1]
+
+    def test_sum(self, events):
+        result = group_by(events, "user", {"Total": ("sum", "score")})
+        assert result.column("Total").tolist() == [10.0, 7.0, 4.0]
+
+    def test_int_sum_stays_int(self):
+        t = Table.from_columns({"k": [1, 1], "v": [2, 3]})
+        result = group_by(t, "k", {"S": ("sum", "v")})
+        assert result.column("S").dtype == np.int64
+
+    def test_mean(self, events):
+        result = group_by(events, "user", {"Avg": ("mean", "score")})
+        assert result.column("Avg").tolist() == pytest.approx([10 / 3, 3.5, 4.0])
+
+    def test_min_max(self, events):
+        result = group_by(
+            events, "user", {"Lo": ("min", "score"), "Hi": ("max", "score")}
+        )
+        assert result.column("Lo").tolist() == [1.0, 2.0, 4.0]
+        assert result.column("Hi").tolist() == [6.0, 5.0, 4.0]
+
+    def test_first(self, events):
+        result = group_by(events, "user", {"FirstKind": ("first", "kind")})
+        assert result.values("FirstKind") == ["q", "a", "q"]
+
+    def test_string_min_is_lexicographic(self, events):
+        result = group_by(events, "user", {"K": ("min", "kind")})
+        assert result.values("K") == ["a", "a", "q"]
+
+    def test_string_sum_rejected(self, events):
+        with pytest.raises(TypeMismatchError):
+            group_by(events, "user", {"Bad": ("sum", "kind")})
+
+    def test_unknown_aggregate_rejected(self, events):
+        with pytest.raises(SchemaError, match="unknown aggregate"):
+            group_by(events, "user", {"Bad": ("median", "score")})
+
+    def test_output_name_clash_rejected(self, events):
+        with pytest.raises(SchemaError, match="clashes"):
+            group_by(events, "user", {"user": ("count", "score")})
+
+    def test_multi_key_group(self, events):
+        result = group_by(events, ["user", "kind"])
+        assert result.num_rows == 5
+
+    def test_empty_table(self):
+        t = Table.empty([("k", "int"), ("v", "float")])
+        result = group_by(t, "k", {"S": ("sum", "v")})
+        assert result.num_rows == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers(-10, 10)), min_size=1, max_size=60))
+    def test_sum_matches_python_reference(self, pairs):
+        t = Table.from_columns(
+            {"k": [p[0] for p in pairs], "v": [p[1] for p in pairs]}
+        )
+        result = group_by(t, "k", {"S": ("sum", "v")})
+        expected: dict[int, int] = {}
+        for key, value in pairs:
+            expected[key] = expected.get(key, 0) + value
+        got = dict(zip(result.column("k").tolist(), result.column("S").tolist()))
+        assert got == expected
+
+
+class TestSetOps:
+    def make(self, rows):
+        return Table.from_columns(
+            {"a": [r[0] for r in rows], "s": [r[1] for r in rows]}
+        ) if rows else Table.empty([("a", "int"), ("s", "string")])
+
+    def rows_of(self, table):
+        return sorted(zip(table.column("a").tolist(), table.values("s")))
+
+    def test_union_distinct(self):
+        left = self.make([(1, "x"), (2, "y"), (1, "x")])
+        right = self.make([(2, "y"), (3, "z")])
+        assert self.rows_of(union(left, right)) == [(1, "x"), (2, "y"), (3, "z")]
+
+    def test_union_all_keeps_duplicates(self):
+        left = self.make([(1, "x")])
+        right = self.make([(1, "x")])
+        assert union(left, right, distinct=False).num_rows == 2
+
+    def test_union_all_row_ids_unique(self):
+        left = self.make([(1, "x"), (2, "y")])
+        right = self.make([(3, "z")])
+        ids = union(left, right, distinct=False).row_ids.tolist()
+        assert len(set(ids)) == 3
+
+    def test_intersect(self):
+        left = self.make([(1, "x"), (2, "y"), (2, "y")])
+        right = self.make([(2, "y"), (9, "q")])
+        assert self.rows_of(intersect(left, right)) == [(2, "y")]
+
+    def test_intersect_respects_all_columns(self):
+        left = self.make([(1, "x")])
+        right = self.make([(1, "y")])
+        assert intersect(left, right).num_rows == 0
+
+    def test_minus(self):
+        left = self.make([(1, "x"), (2, "y"), (1, "x")])
+        right = self.make([(2, "y")])
+        assert self.rows_of(minus(left, right)) == [(1, "x")]
+
+    def test_minus_keeps_left_row_ids(self):
+        left = self.make([(1, "x"), (2, "y")])
+        right = self.make([(1, "x")])
+        assert minus(left, right).row_ids.tolist() == [1]
+
+    def test_schema_mismatch_rejected(self):
+        left = self.make([(1, "x")])
+        other = Table.from_columns({"b": [1]})
+        with pytest.raises(TypeMismatchError):
+            union(left, other)
+
+    def test_empty_right(self):
+        left = self.make([(1, "x")])
+        right = self.make([])
+        assert union(left, right).num_rows == 1
+        assert minus(left, right).num_rows == 1
+        assert intersect(left, right).num_rows == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(0, 6), max_size=30),
+        st.lists(st.integers(0, 6), max_size=30),
+    )
+    def test_setops_match_python_sets(self, left_vals, right_vals):
+        left = Table.from_columns({"a": left_vals}) if left_vals else Table.empty([("a", "int")])
+        right = Table.from_columns({"a": right_vals}) if right_vals else Table.empty([("a", "int")])
+        assert sorted(union(left, right).column("a").tolist()) == sorted(
+            set(left_vals) | set(right_vals)
+        )
+        assert sorted(intersect(left, right).column("a").tolist()) == sorted(
+            set(left_vals) & set(right_vals)
+        )
+        assert sorted(minus(left, right).column("a").tolist()) == sorted(
+            set(left_vals) - set(right_vals)
+        )

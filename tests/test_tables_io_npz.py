@@ -1,0 +1,112 @@
+"""Tests for binary table snapshots and the planted-partition generator."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.community import label_propagation, modularity
+from repro.algorithms.generators import planted_partition
+from repro.exceptions import RingoError
+from repro.tables.io_npz import load_table_npz, save_table_npz
+from repro.tables.strings import StringPool
+from repro.tables.table import Table
+
+
+class TestTableNpz:
+    def test_roundtrip_all_types(self, tmp_path):
+        table = Table.from_columns(
+            {"i": [1, -2], "f": [0.5, 2.5], "s": ["ab", "cd"]}
+        )
+        path = tmp_path / "table.npz"
+        save_table_npz(table, path)
+        loaded = load_table_npz(path)
+        assert loaded.schema == table.schema
+        assert loaded.column("i").tolist() == [1, -2]
+        assert loaded.column("f").tolist() == [0.5, 2.5]
+        assert loaded.values("s") == ["ab", "cd"]
+
+    def test_row_ids_preserved(self, tmp_path):
+        table = Table.from_columns({"x": [1, 2, 3]})
+        table.filter_in_place(np.array([False, True, True]))
+        path = tmp_path / "table.npz"
+        save_table_npz(table, path)
+        assert load_table_npz(path).row_ids.tolist() == [1, 2]
+
+    def test_loads_into_given_pool(self, tmp_path):
+        table = Table.from_columns({"s": ["hello"]})
+        path = tmp_path / "table.npz"
+        save_table_npz(table, path)
+        pool = StringPool()
+        loaded = load_table_npz(path, pool=pool)
+        assert loaded.pool is pool
+        assert "hello" in pool
+
+    def test_empty_table(self, tmp_path):
+        table = Table.empty([("x", "int"), ("s", "string")])
+        path = tmp_path / "table.npz"
+        save_table_npz(table, path)
+        loaded = load_table_npz(path)
+        assert loaded.num_rows == 0
+        assert loaded.schema.names == ("x", "s")
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, version=np.int64(99))
+        with pytest.raises(RingoError):
+            load_table_npz(path)
+
+    def test_engine_facade(self, tmp_path):
+        from repro.core.engine import Ringo
+
+        with Ringo(workers=1) as ringo:
+            table = ringo.TableFromColumns({"x": [1], "s": ["a"]})
+            path = tmp_path / "snap.npz"
+            ringo.SaveTableBinary(table, path)
+            loaded = ringo.LoadTableBinary(path)
+            assert loaded.pool is ringo.pool
+            assert loaded.values("s") == ["a"]
+
+
+class TestPlantedPartition:
+    def test_shape(self):
+        graph = planted_partition(3, 10, p_in=0.9, p_out=0.01, seed=1)
+        assert graph.num_nodes == 30
+        assert not graph.is_directed
+
+    def test_no_self_loops(self):
+        graph = planted_partition(2, 8, p_in=1.0, p_out=0.5, seed=2)
+        assert all(u != v for u, v in graph.edges())
+
+    def test_extreme_probabilities(self):
+        cliques = planted_partition(2, 5, p_in=1.0, p_out=0.0, seed=3)
+        # Two disjoint 5-cliques.
+        assert cliques.num_edges == 2 * 10
+
+    def test_communities_recoverable(self):
+        graph = planted_partition(4, 25, p_in=0.6, p_out=0.005, seed=4)
+        found = label_propagation(graph, seed=1)
+        planted = {node: node // 25 for node in graph.nodes()}
+        assert modularity(graph, found) > 0.5
+        assert modularity(graph, planted) > 0.5
+
+    def test_deterministic(self):
+        a = planted_partition(2, 6, 0.5, 0.1, seed=9)
+        b = planted_partition(2, 6, 0.5, 0.1, seed=9)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_engine_facade(self):
+        from repro.core.engine import Ringo
+
+        with Ringo(workers=1) as ringo:
+            graph = ringo.GenPlantedPartition(2, 5, 1.0, 0.0)
+            assert graph.num_nodes == 10
+            census = ringo.GetTriadCensus(ringo.GenRMat(5, 60, seed=1))
+            assert sum(census.values()) > 0
+            assert ringo.GetKatz(graph)
+            assert isinstance(ringo.IsBipartite(graph), bool)
+            colors = ringo.GetColoring(graph)
+            assert len(colors) == 10
+            chain = ringo.GenErdosRenyi(10, 9, seed=2)
+            assert isinstance(ringo.GetArticulationPoints(chain), set)
+            assert isinstance(ringo.GetBridges(chain), set)
+            predictions = ringo.GetLinkPredictions(graph, k=3)
+            assert len(predictions) <= 3

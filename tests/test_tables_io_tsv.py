@@ -1,0 +1,118 @@
+"""Tests for TSV load/save round-tripping."""
+
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SchemaError
+from repro.tables.io_tsv import load_table_tsv, save_table_tsv
+from repro.tables.table import Table
+
+SCHEMA = [("id", "int"), ("score", "float"), ("tag", "string")]
+
+
+def write(tmp_path, text, name="data.tsv"):
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+class TestLoad:
+    def test_basic_load(self, tmp_path):
+        path = write(tmp_path, "1\t0.5\tjava\n2\t1.5\tgo\n")
+        table = load_table_tsv(SCHEMA, path)
+        assert table.num_rows == 2
+        assert table.column("id").tolist() == [1, 2]
+        assert table.column("score").tolist() == [0.5, 1.5]
+        assert table.values("tag") == ["java", "go"]
+
+    def test_skips_comments_and_blank_lines(self, tmp_path):
+        path = write(tmp_path, "# comment\n\n1\t0.0\tx\n")
+        assert load_table_tsv(SCHEMA, path).num_rows == 1
+
+    def test_header_skipped_when_requested(self, tmp_path):
+        path = write(tmp_path, "id\tscore\ttag\n1\t0.0\tx\n")
+        table = load_table_tsv(SCHEMA, path, has_header=True)
+        assert table.num_rows == 1
+
+    def test_field_count_mismatch_reports_line(self, tmp_path):
+        path = write(tmp_path, "1\t0.0\tx\n2\t0.0\n")
+        with pytest.raises(SchemaError, match=":2"):
+            load_table_tsv(SCHEMA, path)
+
+    def test_bad_int_reports_column(self, tmp_path):
+        path = write(tmp_path, "notanint\t0.0\tx\n")
+        with pytest.raises(SchemaError, match="'id'"):
+            load_table_tsv(SCHEMA, path)
+
+    def test_empty_file(self, tmp_path):
+        path = write(tmp_path, "")
+        table = load_table_tsv(SCHEMA, path)
+        assert table.num_rows == 0
+        assert table.schema.names == ("id", "score", "tag")
+
+    def test_custom_separator(self, tmp_path):
+        path = write(tmp_path, "1,0.0,x\n")
+        table = load_table_tsv(SCHEMA, path, sep=",")
+        assert table.values("tag") == ["x"]
+
+    def test_crlf_line_endings(self, tmp_path):
+        path = write(tmp_path, "1\t0.0\tx\r\n2\t1.0\ty\r\n")
+        table = load_table_tsv(SCHEMA, path)
+        assert table.values("tag") == ["x", "y"]
+
+
+class TestSaveAndRoundTrip:
+    def test_save_returns_row_count(self, tmp_path):
+        table = Table.from_columns({"x": [1, 2, 3]})
+        assert save_table_tsv(table, tmp_path / "out.tsv") == 3
+
+    def test_header_written_when_requested(self, tmp_path):
+        table = Table.from_columns({"x": [1]})
+        path = tmp_path / "out.tsv"
+        save_table_tsv(table, path, write_header=True)
+        assert path.read_text().splitlines()[0] == "x"
+
+    def test_roundtrip_preserves_values(self, tmp_path):
+        table = Table.from_columns(
+            {"id": [3, 1], "score": [0.1, -2.5], "tag": ["a b", "c"]}
+        )
+        path = tmp_path / "round.tsv"
+        save_table_tsv(table, path)
+        loaded = load_table_tsv(SCHEMA, path)
+        assert loaded.column("id").tolist() == [3, 1]
+        assert loaded.column("score").tolist() == [0.1, -2.5]
+        assert loaded.values("tag") == ["a b", "c"]
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(-(10**9), 10**9),
+                st.floats(allow_nan=False, allow_infinity=False, width=32),
+                st.text(
+                    alphabet=st.characters(
+                        blacklist_characters="\t\n\r#", blacklist_categories=("Cs",)
+                    ),
+                    min_size=1,
+                    max_size=8,
+                ),
+            ),
+            max_size=25,
+        )
+    )
+    def test_roundtrip_arbitrary_rows(self, rows):
+        table = Table.from_rows(SCHEMA, rows)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "fuzz.tsv"
+            save_table_tsv(table, path)
+            loaded = load_table_tsv(SCHEMA, path)
+        assert loaded.num_rows == len(rows)
+        assert loaded.column("id").tolist() == [r[0] for r in rows]
+        assert loaded.column("score").tolist() == pytest.approx(
+            [float(r[1]) for r in rows]
+        )
+        assert loaded.values("tag") == [r[2] for r in rows]

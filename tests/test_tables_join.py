@@ -1,0 +1,171 @@
+"""Tests for the equi-join, including the paper's StackOverflow shape."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import TypeMismatchError
+from repro.tables.join import composite_keys, join, join_indices
+from repro.tables.strings import StringPool
+from repro.tables.table import Table
+
+
+class TestJoinIndices:
+    def test_unique_keys(self):
+        left = np.array([1, 2, 3])
+        right = np.array([2, 3, 4])
+        li, ri = join_indices(left, right)
+        assert list(zip(left[li], right[ri])) == [(2, 2), (3, 3)]
+
+    def test_duplicates_produce_cross_product(self):
+        left = np.array([7, 7])
+        right = np.array([7, 7, 7])
+        li, ri = join_indices(left, right)
+        assert len(li) == 6
+
+    def test_no_matches(self):
+        li, ri = join_indices(np.array([1]), np.array([2]))
+        assert len(li) == 0
+
+    def test_empty_inputs(self):
+        li, ri = join_indices(np.array([], dtype=np.int64), np.array([1]))
+        assert len(li) == 0
+
+    def test_interleaved_runs(self):
+        left = np.array([5, 1, 5, 9])
+        right = np.array([9, 5, 1, 5])
+        li, ri = join_indices(left, right)
+        pairs = sorted(zip(left[li].tolist(), right[ri].tolist()))
+        assert pairs == [(1, 1), (5, 5), (5, 5), (5, 5), (5, 5), (9, 9)]
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.integers(0, 8), max_size=40),
+        st.lists(st.integers(0, 8), max_size=40),
+    )
+    def test_matches_nested_loop_reference(self, left_list, right_list):
+        left = np.array(left_list, dtype=np.int64)
+        right = np.array(right_list, dtype=np.int64)
+        li, ri = join_indices(left, right)
+        got = sorted(zip(li.tolist(), ri.tolist()))
+        expected = sorted(
+            (i, j)
+            for i, lv in enumerate(left_list)
+            for j, rv in enumerate(right_list)
+            if lv == rv
+        )
+        assert got == expected
+
+
+class TestCompositeKeys:
+    def test_equal_tuples_get_equal_ids(self):
+        left_ids, right_ids = composite_keys(
+            [np.array([1, 1, 2]), np.array([5, 6, 5])],
+            [np.array([1, 2]), np.array([6, 5])],
+        )
+        assert left_ids[1] == right_ids[0]
+        assert left_ids[2] == right_ids[1]
+        assert left_ids[0] not in right_ids
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            composite_keys([np.array([1])], [])
+
+
+class TestJoin:
+    def test_basic_inner_join(self):
+        users = Table.from_columns({"Id": [1, 2, 3], "Name": ["ann", "bo", "cy"]})
+        posts = Table.from_columns({"UserId": [2, 3, 3, 9], "PostId": [10, 11, 12, 13]})
+        result = join(users, posts, "Id", "UserId")
+        assert result.num_rows == 3
+        assert sorted(result.column("PostId").tolist()) == [10, 11, 12]
+
+    def test_clashing_names_get_paper_suffixes(self):
+        questions = Table.from_columns({"UserId": [1, 2], "AnswerId": [100, 101]})
+        answers = Table.from_columns({"UserId": [5, 6], "PostId": [100, 101]})
+        result = join(questions, answers, "AnswerId", "PostId")
+        assert "UserId-1" in result.schema
+        assert "UserId-2" in result.schema
+        assert result.column("UserId-1").tolist() == [1, 2]
+        assert result.column("UserId-2").tolist() == [5, 6]
+
+    def test_result_is_new_table_with_fresh_ids(self):
+        left = Table.from_columns({"k": [1, 2]})
+        right = Table.from_columns({"k2": [2, 1]})
+        result = join(left, right, "k", "k2")
+        assert result.row_ids.tolist() == [0, 1]
+
+    def test_same_column_name_join(self):
+        left = Table.from_columns({"k": [1, 2], "a": [10, 20]})
+        right = Table.from_columns({"k": [2], "b": [99]})
+        result = join(left, right, "k")
+        assert result.column("a").tolist() == [20]
+        assert result.column("b").tolist() == [99]
+
+    def test_provenance_columns(self):
+        left = Table.from_columns({"k": [5, 6]})
+        right = Table.from_columns({"k2": [6]})
+        result = join(left, right, "k", "k2", include_provenance=True)
+        assert result.column("SrcRowId").tolist() == [1]
+        assert result.column("DstRowId").tolist() == [0]
+
+    def test_string_key_join_via_shared_pool(self):
+        pool = StringPool()
+        left = Table.from_columns({"tag": ["java", "go"]}, pool=pool)
+        right = Table.from_columns({"tag2": ["go", "rust"]}, pool=pool)
+        result = join(left, right, "tag", "tag2")
+        assert result.values("tag") == ["go"]
+
+    def test_string_key_join_different_pools_rejected(self):
+        left = Table.from_columns({"tag": ["a"]}, pool=StringPool())
+        right = Table.from_columns({"tag2": ["a"]}, pool=StringPool())
+        with pytest.raises(TypeMismatchError):
+            join(left, right, "tag", "tag2")
+
+    def test_string_vs_numeric_key_rejected(self):
+        left = Table.from_columns({"tag": ["a"]})
+        right = Table.from_columns({"num": [1]})
+        with pytest.raises(TypeMismatchError):
+            join(left, right, "tag", "num")
+
+    def test_int_float_keys_coerce(self):
+        left = Table.from_columns({"k": [1, 2]})
+        right = Table.from_columns({"k2": [2.0, 3.0]})
+        result = join(left, right, "k", "k2")
+        assert result.column("k").tolist() == [2]
+
+    def test_multi_column_join(self):
+        left = Table.from_columns({"a": [1, 1, 2], "b": [5, 6, 5], "x": [0, 1, 2]})
+        right = Table.from_columns({"a": [1, 2], "b": [6, 5], "y": [10, 20]})
+        result = join(left, right, ["a", "b"])
+        assert sorted(result.column("x").tolist()) == [1, 2]
+        assert sorted(result.column("y").tolist()) == [10, 20]
+
+    def test_empty_key_list_rejected(self):
+        left = Table.from_columns({"a": [1]})
+        with pytest.raises(TypeMismatchError):
+            join(left, left, [])
+
+    def test_key_list_length_mismatch_rejected(self):
+        left = Table.from_columns({"a": [1], "b": [2]})
+        with pytest.raises(TypeMismatchError):
+            join(left, left, ["a"], ["a", "b"])
+
+    def test_duplicate_keys_cross_product_count(self):
+        left = Table.from_columns({"k": [1, 1, 1]})
+        right = Table.from_columns({"k2": [1, 1]})
+        assert join(left, right, "k", "k2").num_rows == 6
+
+    def test_paper_question_answer_pipeline_shape(self):
+        # Mirrors: QA = ringo.Join(Q, A, 'AnswerId', 'PostId')
+        questions = Table.from_columns(
+            {"PostId": [1, 2], "UserId": [100, 200], "AnswerId": [11, 12]}
+        )
+        answers = Table.from_columns(
+            {"PostId": [11, 12, 13], "UserId": [300, 400, 500], "AnswerId": [0, 0, 0]}
+        )
+        qa = join(questions, answers, "AnswerId", "PostId")
+        assert qa.num_rows == 2
+        assert qa.column("UserId-1").tolist() == [100, 200]
+        assert qa.column("UserId-2").tolist() == [300, 400]

@@ -1,0 +1,122 @@
+"""Tests for crosstab and quantiles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import RingoError, SchemaError, TypeMismatchError
+from repro.tables.pivot import crosstab, quantiles
+from repro.tables.table import Table
+
+
+@pytest.fixture
+def activity():
+    return Table.from_columns(
+        {
+            "user": [1, 1, 2, 2, 2, 3],
+            "kind": ["q", "a", "q", "q", "a", "a"],
+            "score": [1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        }
+    )
+
+
+class TestCrosstab:
+    def test_count_shape_and_values(self, activity):
+        wide = crosstab(activity, "user", "kind")
+        assert wide.schema.names == ("user", "kind=a", "kind=q")
+        assert wide.column("user").tolist() == [1, 2, 3]
+        assert wide.column("kind=q").tolist() == [1, 2, 0]
+        assert wide.column("kind=a").tolist() == [1, 1, 1]
+
+    def test_count_totals_match_rows(self, activity):
+        wide = crosstab(activity, "user", "kind")
+        total = int(wide.column("kind=a").sum() + wide.column("kind=q").sum())
+        assert total == activity.num_rows
+
+    def test_sum_aggregate(self, activity):
+        wide = crosstab(activity, "user", "kind", agg="sum", value_col="score")
+        assert wide.column("kind=q").tolist() == pytest.approx([1.0, 7.0, 0.0])
+
+    def test_mean_aggregate(self, activity):
+        wide = crosstab(activity, "user", "kind", agg="mean", value_col="score")
+        assert wide.column("kind=q").tolist() == pytest.approx([1.0, 3.5, 0.0])
+
+    def test_numeric_pivot_column(self):
+        t = Table.from_columns({"r": [1, 1, 2], "c": [7, 8, 7]})
+        wide = crosstab(t, "r", "c")
+        assert wide.schema.names == ("r", "c=7", "c=8")
+
+    def test_sum_requires_value_col(self, activity):
+        with pytest.raises(SchemaError):
+            crosstab(activity, "user", "kind", agg="sum")
+
+    def test_unknown_agg(self, activity):
+        with pytest.raises(SchemaError):
+            crosstab(activity, "user", "kind", agg="median")
+
+    def test_string_value_col_rejected(self, activity):
+        with pytest.raises(TypeMismatchError):
+            crosstab(activity, "user", "score", agg="sum", value_col="kind")
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 4), st.integers(0, 3)), min_size=1, max_size=50))
+    def test_counts_match_python_reference(self, pairs):
+        t = Table.from_columns(
+            {"r": [p[0] for p in pairs], "c": [p[1] for p in pairs]}
+        )
+        wide = crosstab(t, "r", "c")
+        expected: dict[tuple[int, int], int] = {}
+        for r, c in pairs:
+            expected[(r, c)] = expected.get((r, c), 0) + 1
+        rows = wide.column("r").tolist()
+        for name in wide.schema.names[1:]:
+            c_value = int(name.split("=")[1])
+            for row_pos, r_value in enumerate(rows):
+                assert wide.column(name)[row_pos] == expected.get((r_value, c_value), 0)
+
+
+class TestQuantiles:
+    def test_basic(self):
+        t = Table.from_columns({"x": [1, 2, 3, 4]})
+        assert quantiles(t, "x", [0.0, 0.5, 1.0]) == [1.0, 2.5, 4.0]
+
+    def test_float_column(self):
+        t = Table.from_columns({"x": [0.0, 10.0]})
+        assert quantiles(t, "x", [0.25]) == [2.5]
+
+    def test_string_rejected(self):
+        t = Table.from_columns({"s": ["a"]})
+        with pytest.raises(TypeMismatchError):
+            quantiles(t, "s", [0.5])
+
+    def test_empty_rejected(self):
+        t = Table.empty([("x", "int")])
+        with pytest.raises(SchemaError):
+            quantiles(t, "x", [0.5])
+
+    def test_invalid_probability(self):
+        t = Table.from_columns({"x": [1]})
+        with pytest.raises(RingoError):
+            quantiles(t, "x", [1.5])
+
+    def test_engine_facade(self, activity):
+        from repro.core.engine import Ringo
+
+        with Ringo(workers=1) as ringo:
+            wide = ringo.Crosstab(activity, "user", "kind")
+            assert wide.num_rows == 3
+            qs = ringo.Quantiles(activity, "score", [0.5])
+            assert qs == [3.5]
+            # New analytics facades smoke-checked here too.
+            graph = ringo.GenPlantedPartition(2, 8, 0.9, 0.05, seed=1)
+            left, right = ringo.GetSpectralBisection(graph)
+            assert left | right == set(graph.nodes())
+            assert ringo.GetAlgebraicConnectivity(graph) >= 0
+            assert ringo.GetGirth(graph) in (3, 4, 5, None)
+            chain = ringo.GenErdosRenyi(10, 9, seed=3)
+            assert isinstance(ringo.FindCycle(chain) is None, bool)
+            cm = ringo.GenConfigurationModel([2, 2, 2, 2], seed=2)
+            assert cm.num_nodes == 4
+            shuffled = ringo.Rewire(cm, seed=3)
+            assert shuffled.num_edges == cm.num_edges

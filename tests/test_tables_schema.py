@@ -1,0 +1,114 @@
+"""Tests for repro.tables.schema."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ColumnNotFoundError, SchemaError
+from repro.tables.schema import ColumnType, Schema
+
+
+class TestColumnType:
+    def test_dtypes(self):
+        assert ColumnType.INT.dtype == np.dtype(np.int64)
+        assert ColumnType.FLOAT.dtype == np.dtype(np.float64)
+        assert ColumnType.STRING.dtype == np.dtype(np.int32)
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("int", ColumnType.INT), ("FLOAT", ColumnType.FLOAT), ("String", ColumnType.STRING)],
+    )
+    def test_parse_strings(self, text, expected):
+        assert ColumnType.parse(text) is expected
+
+    def test_parse_passthrough(self):
+        assert ColumnType.parse(ColumnType.INT) is ColumnType.INT
+
+    def test_parse_unknown_rejected(self):
+        with pytest.raises(SchemaError, match="unknown column type"):
+            ColumnType.parse("bool")
+
+    def test_infer_int(self):
+        assert ColumnType.infer([1, 2, 3]) is ColumnType.INT
+
+    def test_infer_float_promotes_mixed(self):
+        assert ColumnType.infer([1, 2.5]) is ColumnType.FLOAT
+
+    def test_infer_string_wins(self):
+        assert ColumnType.infer([1, "a"]) is ColumnType.STRING
+
+    def test_infer_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            ColumnType.infer([])
+
+    def test_infer_bool_rejected(self):
+        with pytest.raises(SchemaError):
+            ColumnType.infer([True])
+
+    def test_infer_unsupported_rejected(self):
+        with pytest.raises(SchemaError):
+            ColumnType.infer([object()])
+
+
+class TestSchema:
+    def test_names_in_order(self):
+        schema = Schema([("a", "int"), ("b", "string")])
+        assert schema.names == ("a", "b")
+
+    def test_lookup_and_membership(self):
+        schema = Schema([("a", "int")])
+        assert schema["a"] is ColumnType.INT
+        assert "a" in schema
+        assert "z" not in schema
+
+    def test_missing_column_error_lists_available(self):
+        schema = Schema([("a", "int"), ("b", "float")])
+        with pytest.raises(ColumnNotFoundError, match="available columns: a, b"):
+            schema["z"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema([("a", "int"), ("a", "float")])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([("", "int")])
+
+    def test_equality(self):
+        assert Schema([("a", "int")]) == Schema([("a", ColumnType.INT)])
+        assert Schema([("a", "int")]) != Schema([("a", "float")])
+
+    def test_index_of(self):
+        schema = Schema([("a", "int"), ("b", "float")])
+        assert schema.index_of("b") == 1
+
+    def test_with_column(self):
+        schema = Schema([("a", "int")]).with_column("b", "string")
+        assert schema.names == ("a", "b")
+
+    def test_with_existing_column_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([("a", "int")]).with_column("a", "int")
+
+    def test_without_column(self):
+        schema = Schema([("a", "int"), ("b", "float")]).without_column("a")
+        assert schema.names == ("b",)
+
+    def test_renamed(self):
+        schema = Schema([("a", "int"), ("b", "float")]).renamed("a", "z")
+        assert schema.names == ("z", "b")
+        assert schema["z"] is ColumnType.INT
+
+    def test_renamed_clash_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([("a", "int"), ("b", "float")]).renamed("a", "b")
+
+    def test_select_preserves_requested_order(self):
+        schema = Schema([("a", "int"), ("b", "float"), ("c", "string")])
+        assert schema.select(["c", "a"]).names == ("c", "a")
+
+    def test_iteration_pairs(self):
+        schema = Schema([("a", "int"), ("b", "string")])
+        assert list(schema) == [("a", ColumnType.INT), ("b", ColumnType.STRING)]
+
+    def test_repr_mentions_types(self):
+        assert "a: int" in repr(Schema([("a", "int")]))

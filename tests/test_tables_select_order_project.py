@@ -1,0 +1,144 @@
+"""Tests for select, order_by, project, and rename."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import SchemaError
+from repro.tables.order import order_by, sort_permutation
+from repro.tables.project import project, rename
+from repro.tables.select import count_matching, select
+from repro.tables.table import Table
+
+
+@pytest.fixture
+def table():
+    return Table.from_columns(
+        {
+            "id": [4, 1, 3, 2, 5],
+            "score": [0.0, 2.5, -1.0, 2.5, 1.0],
+            "tag": ["b", "a", "c", "a", "b"],
+        }
+    )
+
+
+class TestSelect:
+    def test_returns_new_table_by_default(self, table):
+        result = select(table, "id > 2")
+        assert result is not table
+        assert table.num_rows == 5
+        assert result.column("id").tolist() == [4, 3, 5]
+
+    def test_preserves_row_ids(self, table):
+        result = select(table, "id > 2")
+        assert result.row_ids.tolist() == [0, 2, 4]
+
+    def test_in_place_modifies_and_returns_input(self, table):
+        result = select(table, "id > 2", in_place=True)
+        assert result is table
+        assert table.num_rows == 3
+
+    def test_accepts_mask(self, table):
+        mask = np.array([True, True, False, False, False])
+        assert select(table, mask).num_rows == 2
+
+    def test_select_everything(self, table):
+        assert select(table, "id >= 1").num_rows == 5
+
+    def test_select_nothing(self, table):
+        result = select(table, "id > 100")
+        assert result.num_rows == 0
+        assert result.schema == table.schema
+
+    def test_count_matching(self, table):
+        assert count_matching(table, "score = 2.5") == 2
+
+    def test_method_facade(self, table):
+        assert table.select("tag=a").num_rows == 2
+
+    @given(st.lists(st.integers(-50, 50), min_size=0, max_size=60), st.integers(-50, 50))
+    def test_select_agrees_with_python_filter(self, values, cutoff):
+        t = Table.from_columns({"x": values}) if values else Table.empty([("x", "int")])
+        kept = select(t, f"x > {cutoff}").column("x").tolist()
+        assert kept == [v for v in values if v > cutoff]
+
+
+class TestOrderBy:
+    def test_sorts_ascending(self, table):
+        result = order_by(table, "id")
+        assert result.column("id").tolist() == [1, 2, 3, 4, 5]
+
+    def test_sorts_descending(self, table):
+        result = order_by(table, "id", ascending=False)
+        assert result.column("id").tolist() == [5, 4, 3, 2, 1]
+
+    def test_in_place(self, table):
+        order_by(table, "id", in_place=True)
+        assert table.column("id").tolist() == [1, 2, 3, 4, 5]
+
+    def test_row_ids_travel_with_rows(self, table):
+        result = order_by(table, "id")
+        assert result.row_ids.tolist() == [1, 3, 2, 0, 4]
+
+    def test_multi_key_sort(self, table):
+        result = order_by(table, ["score", "id"])
+        assert result.column("id").tolist() == [3, 4, 5, 1, 2]
+
+    def test_stability(self):
+        t = Table.from_columns({"k": [1, 1, 1], "v": [30, 10, 20]})
+        result = order_by(t, "k")
+        assert result.column("v").tolist() == [30, 10, 20]
+
+    def test_string_sort_uses_collation_not_codes(self):
+        # Intern "z" before "a" so code order disagrees with collation.
+        t = Table.from_columns({"s": ["z", "a", "m"]})
+        result = order_by(t, "s")
+        assert result.values("s") == ["a", "m", "z"]
+
+    def test_empty_keys_rejected(self, table):
+        with pytest.raises(SchemaError):
+            order_by(table, [])
+
+    def test_sort_permutation_matches_numpy(self, table):
+        perm = sort_permutation(table, "score")
+        assert np.array_equal(
+            table.column("score")[perm], np.sort(table.column("score"))
+        )
+
+    @given(st.lists(st.text(max_size=5), min_size=1, max_size=40))
+    def test_string_sort_matches_python_sorted(self, values):
+        t = Table.from_columns({"s": values})
+        assert order_by(t, "s").values("s") == sorted(values)
+
+
+class TestProject:
+    def test_keeps_selected_columns_in_order(self, table):
+        result = project(table, ["tag", "id"])
+        assert result.schema.names == ("tag", "id")
+        assert result.num_rows == 5
+
+    def test_preserves_row_ids(self, table):
+        assert project(table, ["id"]).row_ids.tolist() == [0, 1, 2, 3, 4]
+
+    def test_empty_projection_rejected(self, table):
+        with pytest.raises(SchemaError):
+            project(table, [])
+
+    def test_duplicate_columns_rejected(self, table):
+        with pytest.raises(SchemaError):
+            project(table, ["id", "id"])
+
+    def test_method_facade(self, table):
+        assert table.project(["id"]).num_cols == 1
+
+
+class TestRename:
+    def test_renames_columns(self, table):
+        result = rename(table, {"id": "Id", "tag": "Label"})
+        assert result.schema.names == ("Id", "score", "Label")
+        assert result.column("Id").tolist() == [4, 1, 3, 2, 5]
+
+    def test_rename_to_existing_rejected(self, table):
+        with pytest.raises(SchemaError):
+            rename(table, {"id": "score"})

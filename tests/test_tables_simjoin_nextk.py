@@ -1,0 +1,201 @@
+"""Tests for the Ringo-specific construction operators SimJoin and NextK."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import RingoError, SchemaError, TypeMismatchError
+from repro.tables.nextk import next_k, next_k_indices
+from repro.tables.simjoin import sim_join, sim_join_indices
+from repro.tables.table import Table
+
+
+class TestSimJoinIndices:
+    def test_one_dimensional_window(self):
+        left = np.array([[0.0], [10.0]])
+        right = np.array([[0.5], [2.0], [9.8]])
+        li, ri, dist = sim_join_indices(left, right, threshold=1.0)
+        pairs = sorted(zip(li.tolist(), ri.tolist()))
+        assert pairs == [(0, 0), (1, 2)]
+        assert dist.tolist() == pytest.approx([0.5, 0.2])
+
+    def test_strictly_less_than_threshold(self):
+        left = np.array([[0.0]])
+        right = np.array([[1.0]])
+        li, _, _ = sim_join_indices(left, right, threshold=1.0)
+        assert len(li) == 0
+
+    def test_empty_inputs(self):
+        li, ri, dist = sim_join_indices(
+            np.empty((0, 1)), np.array([[1.0]]), threshold=1.0
+        )
+        assert len(li) == len(ri) == len(dist) == 0
+
+    def test_invalid_threshold(self):
+        with pytest.raises(RingoError):
+            sim_join_indices(np.array([[1.0]]), np.array([[1.0]]), threshold=0)
+
+    def test_unknown_metric(self):
+        with pytest.raises(TypeMismatchError):
+            sim_join_indices(np.array([[1.0]]), np.array([[1.0]]), 1.0, metric="cosine")
+
+    def test_two_dimensional_l2(self):
+        left = np.array([[0.0, 0.0]])
+        right = np.array([[0.3, 0.4], [1.0, 1.0]])
+        li, ri, dist = sim_join_indices(left, right, threshold=0.6, metric="l2")
+        assert ri.tolist() == [0]
+        assert dist.tolist() == pytest.approx([0.5])
+
+    def test_two_dimensional_linf(self):
+        left = np.array([[0.0, 0.0]])
+        right = np.array([[0.4, 0.9], [0.4, 1.1]])
+        li, ri, _ = sim_join_indices(left, right, threshold=1.0, metric="linf")
+        assert ri.tolist() == [0]
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.floats(-20, 20), max_size=25),
+        st.lists(st.floats(-20, 20), max_size=25),
+        st.floats(min_value=0.1, max_value=5.0),
+    )
+    def test_1d_matches_brute_force(self, left_vals, right_vals, threshold):
+        left = np.array(left_vals, dtype=np.float64).reshape(-1, 1)
+        right = np.array(right_vals, dtype=np.float64).reshape(-1, 1)
+        li, ri, _ = sim_join_indices(left, right, threshold)
+        got = sorted(zip(li.tolist(), ri.tolist()))
+        expected = sorted(
+            (i, j)
+            for i, lv in enumerate(left_vals)
+            for j, rv in enumerate(right_vals)
+            if abs(lv - rv) < threshold
+        )
+        assert got == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.tuples(st.floats(-5, 5), st.floats(-5, 5)), max_size=15),
+        st.lists(st.tuples(st.floats(-5, 5), st.floats(-5, 5)), max_size=15),
+    )
+    def test_2d_grid_matches_brute_force(self, left_pts, right_pts):
+        threshold = 1.5
+        left = np.array(left_pts, dtype=np.float64).reshape(-1, 2) if left_pts else np.empty((0, 2))
+        right = np.array(right_pts, dtype=np.float64).reshape(-1, 2) if right_pts else np.empty((0, 2))
+        li, ri, _ = sim_join_indices(left, right, threshold, metric="l1")
+        got = sorted(zip(li.tolist(), ri.tolist()))
+        expected = sorted(
+            (i, j)
+            for i, lp in enumerate(left_pts)
+            for j, rp in enumerate(right_pts)
+            if abs(lp[0] - rp[0]) + abs(lp[1] - rp[1]) < threshold
+        )
+        assert got == expected
+
+
+class TestSimJoinTable:
+    def test_joins_close_records(self):
+        events = Table.from_columns({"t": [0.0, 5.0], "id": [1, 2]})
+        probes = Table.from_columns({"t": [0.4, 9.0], "pid": [7, 8]})
+        result = sim_join(events, probes, "t", threshold=1.0)
+        assert result.num_rows == 1
+        assert result.column("id").tolist() == [1]
+        assert result.column("pid").tolist() == [7]
+        assert "t-1" in result.schema and "t-2" in result.schema
+
+    def test_include_distance(self):
+        left = Table.from_columns({"x": [0.0]})
+        right = Table.from_columns({"y": [0.25]})
+        result = sim_join(left, right, "x", 1.0, right_on="y", include_distance=True)
+        assert result.column("Distance").tolist() == pytest.approx([0.25])
+
+    def test_string_key_rejected(self):
+        left = Table.from_columns({"s": ["a"]})
+        with pytest.raises(TypeMismatchError):
+            sim_join(left, left, "s", 1.0)
+
+    def test_self_similarity_join(self):
+        points = Table.from_columns({"x": [0.0, 0.1, 5.0]})
+        result = sim_join(points, points, "x", threshold=0.5)
+        # Every point matches itself, plus the close pair both ways.
+        assert result.num_rows == 5
+
+    def test_multi_column_keys(self):
+        left = Table.from_columns({"x": [0.0], "y": [0.0]})
+        right = Table.from_columns({"x": [0.2], "y": [0.2]})
+        assert sim_join(left, right, ["x", "y"], threshold=0.5).num_rows == 1
+
+    def test_key_list_mismatch(self):
+        left = Table.from_columns({"x": [0.0], "y": [0.0]})
+        with pytest.raises(TypeMismatchError):
+            sim_join(left, left, ["x", "y"], 1.0, right_on="x")
+
+
+class TestNextKIndices:
+    def test_chain_with_k1(self):
+        order_vals = np.array([10, 30, 20])
+        pred, succ, rank = next_k_indices(order_vals, k=1)
+        assert list(zip(pred.tolist(), succ.tolist())) == [(0, 2), (2, 1)]
+        assert rank.tolist() == [1, 1]
+
+    def test_k2_produces_skip_pairs(self):
+        order_vals = np.array([1, 2, 3])
+        pred, succ, rank = next_k_indices(order_vals, k=2)
+        pairs = sorted(zip(pred.tolist(), succ.tolist(), rank.tolist()))
+        assert pairs == [(0, 1, 1), (0, 2, 2), (1, 2, 1)]
+
+    def test_groups_block_cross_pairs(self):
+        order_vals = np.array([1, 2, 3, 4])
+        groups = np.array([0, 1, 0, 1])
+        pred, succ, _ = next_k_indices(order_vals, k=3, group_labels=groups)
+        pairs = sorted(zip(pred.tolist(), succ.tolist()))
+        assert pairs == [(0, 2), (1, 3)]
+
+    def test_k_larger_than_table(self):
+        pred, succ, _ = next_k_indices(np.array([1, 2]), k=10)
+        assert list(zip(pred.tolist(), succ.tolist())) == [(0, 1)]
+
+    def test_empty_input(self):
+        pred, succ, rank = next_k_indices(np.array([]), k=2)
+        assert len(pred) == len(succ) == len(rank) == 0
+
+    def test_single_row(self):
+        pred, _, _ = next_k_indices(np.array([5]), k=1)
+        assert len(pred) == 0
+
+    def test_invalid_k(self):
+        with pytest.raises(RingoError):
+            next_k_indices(np.array([1]), k=0)
+
+    def test_group_length_mismatch(self):
+        with pytest.raises(SchemaError):
+            next_k_indices(np.array([1, 2]), k=1, group_labels=np.array([0]))
+
+
+class TestNextKTable:
+    def test_temporal_edges(self):
+        log = Table.from_columns({"t": [3, 1, 2], "node": [30, 10, 20]})
+        pairs = next_k(log, "t", k=1)
+        edges = sorted(zip(pairs.column("node-1").tolist(), pairs.column("node-2").tolist()))
+        assert edges == [(10, 20), (20, 30)]
+
+    def test_rank_column_present_by_default(self):
+        log = Table.from_columns({"t": [1, 2]})
+        assert "Rank" in next_k(log, "t", k=1).schema
+
+    def test_rank_column_optional(self):
+        log = Table.from_columns({"t": [1, 2]})
+        assert "Rank" not in next_k(log, "t", k=1, include_rank=False).schema
+
+    def test_grouped_sessions(self):
+        log = Table.from_columns(
+            {"t": [1, 2, 3, 4], "user": [7, 8, 7, 8], "event": [0, 1, 2, 3]}
+        )
+        pairs = next_k(log, "t", k=2, group_col="user")
+        edges = sorted(zip(pairs.column("event-1").tolist(), pairs.column("event-2").tolist()))
+        assert edges == [(0, 2), (1, 3)]
+
+    def test_string_order_column_sorts_by_collation(self):
+        log = Table.from_columns({"name": ["b", "a", "c"], "id": [2, 1, 3]})
+        pairs = next_k(log, "name", k=1)
+        edges = sorted(zip(pairs.column("id-1").tolist(), pairs.column("id-2").tolist()))
+        assert edges == [(1, 2), (2, 3)]

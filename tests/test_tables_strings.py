@@ -1,0 +1,75 @@
+"""Tests for repro.tables.strings."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tables.strings import MISSING_CODE, StringPool, default_pool
+
+
+class TestStringPool:
+    def test_encode_is_idempotent(self):
+        pool = StringPool()
+        assert pool.encode("Java") == pool.encode("Java")
+
+    def test_codes_are_dense(self):
+        pool = StringPool()
+        codes = [pool.encode(s) for s in ["a", "b", "c"]]
+        assert codes == [0, 1, 2]
+
+    def test_decode_roundtrip(self):
+        pool = StringPool()
+        code = pool.encode("hello")
+        assert pool.decode(code) == "hello"
+
+    def test_decode_missing_code_is_empty(self):
+        assert StringPool().decode(MISSING_CODE) == ""
+
+    def test_decode_unknown_code_raises(self):
+        with pytest.raises(KeyError):
+            StringPool().decode(17)
+
+    def test_try_encode_does_not_intern(self):
+        pool = StringPool()
+        assert pool.try_encode("never-seen") == MISSING_CODE
+        assert len(pool) == 0
+
+    def test_contains(self):
+        pool = StringPool()
+        pool.encode("x")
+        assert "x" in pool
+        assert "y" not in pool
+
+    def test_encode_many_returns_int32(self):
+        pool = StringPool()
+        codes = pool.encode_many(["a", "b", "a"])
+        assert codes.dtype == np.int32
+        assert codes.tolist() == [0, 1, 0]
+
+    def test_decode_many_handles_missing(self):
+        pool = StringPool()
+        pool.encode("a")
+        decoded = pool.decode_many(np.array([0, MISSING_CODE], dtype=np.int32))
+        assert decoded == ["a", ""]
+
+    def test_memory_bytes_grows_with_content(self):
+        pool = StringPool()
+        before = pool.memory_bytes()
+        pool.encode("some string")
+        assert pool.memory_bytes() > before
+
+    def test_default_pool_is_shared(self):
+        assert default_pool() is default_pool()
+
+    @given(st.lists(st.text(max_size=20), max_size=100))
+    def test_roundtrip_arbitrary_strings(self, values):
+        pool = StringPool()
+        codes = pool.encode_many(values)
+        assert pool.decode_many(codes) == values
+
+    @given(st.lists(st.text(max_size=10), min_size=1, max_size=50))
+    def test_pool_size_equals_distinct_values(self, values):
+        pool = StringPool()
+        pool.encode_many(values)
+        assert len(pool) == len(set(values))

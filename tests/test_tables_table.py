@@ -1,0 +1,216 @@
+"""Tests for repro.tables.table.Table core behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SchemaError, TypeMismatchError
+from repro.tables.schema import ColumnType, Schema
+from repro.tables.strings import StringPool
+from repro.tables.table import Table, check_same_layout
+
+
+@pytest.fixture
+def posts():
+    return Table.from_columns(
+        {
+            "PostId": [10, 11, 12, 13],
+            "UserId": [1, 2, 1, 3],
+            "Score": [0.5, 1.5, -2.0, 0.0],
+            "Tag": ["java", "python", "java", "go"],
+        }
+    )
+
+
+class TestConstruction:
+    def test_from_columns_infers_schema(self, posts):
+        assert posts.schema["PostId"] is ColumnType.INT
+        assert posts.schema["Score"] is ColumnType.FLOAT
+        assert posts.schema["Tag"] is ColumnType.STRING
+
+    def test_from_columns_explicit_schema(self):
+        table = Table.from_columns(
+            {"x": [1, 2]}, schema=[("x", "float")]
+        )
+        assert table.schema["x"] is ColumnType.FLOAT
+
+    def test_from_columns_missing_column_rejected(self):
+        with pytest.raises(SchemaError, match="missing"):
+            Table.from_columns({"x": [1]}, schema=[("x", "int"), ("y", "int")])
+
+    def test_extra_data_column_rejected(self):
+        schema = Schema([("x", "int")])
+        with pytest.raises(SchemaError, match="not in schema"):
+            Table(schema, {"x": np.array([1]), "y": np.array([2])})
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(SchemaError, match="rows"):
+            Table.from_columns({"x": [1, 2], "y": [1]})
+
+    def test_from_rows(self):
+        table = Table.from_rows(
+            [("id", "int"), ("name", "string")], [(1, "a"), (2, "b")]
+        )
+        assert table.num_rows == 2
+        assert table.values("name") == ["a", "b"]
+
+    def test_from_rows_wrong_width_rejected(self):
+        with pytest.raises(SchemaError):
+            Table.from_rows([("id", "int")], [(1, 2)])
+
+    def test_empty(self):
+        table = Table.empty([("x", "int"), ("s", "string")])
+        assert table.num_rows == 0
+        assert table.num_cols == 2
+
+    def test_two_dimensional_column_rejected(self):
+        with pytest.raises(SchemaError, match="one-dimensional"):
+            Table(Schema([("x", "int")]), {"x": np.zeros((2, 2), dtype=np.int64)})
+
+    def test_row_ids_default_dense(self, posts):
+        assert posts.row_ids.tolist() == [0, 1, 2, 3]
+
+    def test_row_ids_length_checked(self):
+        with pytest.raises(SchemaError):
+            Table(
+                Schema([("x", "int")]),
+                {"x": np.array([1, 2])},
+                row_ids=np.array([0]),
+            )
+
+
+class TestAccessors:
+    def test_column_is_readonly(self, posts):
+        column = posts.column("PostId")
+        with pytest.raises(ValueError):
+            column[0] = 99
+
+    def test_row_ids_readonly(self, posts):
+        with pytest.raises(ValueError):
+            posts.row_ids[0] = 7
+
+    def test_values_decodes_strings(self, posts):
+        assert posts.values("Tag") == ["java", "python", "java", "go"]
+
+    def test_row_returns_python_types(self, posts):
+        row = posts.row(0)
+        assert row == {"PostId": 10, "UserId": 1, "Score": 0.5, "Tag": "java"}
+        assert isinstance(row["PostId"], int)
+        assert isinstance(row["Score"], float)
+
+    def test_row_negative_index(self, posts):
+        assert posts.row(-1)["PostId"] == 13
+
+    def test_row_out_of_range(self, posts):
+        with pytest.raises(IndexError):
+            posts.row(4)
+
+    def test_iter_rows(self, posts):
+        rows = list(posts.iter_rows())
+        assert len(rows) == 4
+        assert rows[1]["Tag"] == "python"
+
+    def test_len_and_repr(self, posts):
+        assert len(posts) == 4
+        assert "4 rows" in repr(posts)
+
+    def test_head_preview_truncates(self, posts):
+        preview = posts.head(2)
+        assert "more rows" in preview
+        assert preview.splitlines()[0].startswith("PostId")
+
+
+class TestStructuralUpdates:
+    def test_add_column(self, posts):
+        posts.add_column("Views", [5, 6, 7, 8])
+        assert posts.column("Views").tolist() == [5, 6, 7, 8]
+        assert posts.schema["Views"] is ColumnType.INT
+
+    def test_add_string_column(self, posts):
+        posts.add_column("Lang", ["en", "en", "de", "fr"])
+        assert posts.values("Lang") == ["en", "en", "de", "fr"]
+
+    def test_add_column_length_mismatch(self, posts):
+        with pytest.raises(SchemaError):
+            posts.add_column("bad", [1])
+
+    def test_add_column_from_numpy_float(self, posts):
+        posts.add_column("w", np.array([0.1, 0.2, 0.3, 0.4]))
+        assert posts.schema["w"] is ColumnType.FLOAT
+
+    def test_drop_column(self, posts):
+        posts.drop_column("Score")
+        assert "Score" not in posts.schema
+        assert posts.num_cols == 3
+
+    def test_rename_column(self, posts):
+        posts.rename_column("UserId", "Author")
+        assert posts.column("Author").tolist() == [1, 2, 1, 3]
+
+    def test_clone_is_independent(self, posts):
+        copy = posts.clone()
+        copy.filter_in_place(np.array([True, False, False, False]))
+        assert posts.num_rows == 4
+        assert copy.num_rows == 1
+
+
+class TestSubsetting:
+    def test_take_preserves_row_ids(self, posts):
+        subset = posts.take(np.array([2, 0]))
+        assert subset.row_ids.tolist() == [2, 0]
+        assert subset.column("PostId").tolist() == [12, 10]
+
+    def test_filter_in_place_with_mask(self, posts):
+        posts.filter_in_place(posts.column("UserId") == 1)
+        assert posts.num_rows == 2
+        assert posts.row_ids.tolist() == [0, 2]
+
+    def test_filter_in_place_with_indices(self, posts):
+        posts.filter_in_place(np.array([3]))
+        assert posts.row_ids.tolist() == [3]
+
+    def test_filter_mask_length_checked(self, posts):
+        with pytest.raises(SchemaError):
+            posts.filter_in_place(np.array([True, False]))
+
+    def test_reorder_in_place(self, posts):
+        posts.reorder_in_place(np.array([3, 2, 1, 0]))
+        assert posts.column("PostId").tolist() == [13, 12, 11, 10]
+        assert posts.row_ids.tolist() == [3, 2, 1, 0]
+
+    def test_reorder_length_checked(self, posts):
+        with pytest.raises(SchemaError):
+            posts.reorder_in_place(np.array([0, 1]))
+
+    def test_row_ids_survive_chained_operations(self, posts):
+        posts.filter_in_place(posts.column("Tag") == posts.pool.try_encode("java"))
+        posts.reorder_in_place(np.array([1, 0]))
+        assert posts.row_ids.tolist() == [2, 0]
+
+
+class TestMemoryAccounting:
+    def test_memory_bytes_counts_columns_and_ids(self, posts):
+        # 4 rows: 2 int64 + 1 float64 + 1 int32 code column + int64 ids.
+        expected = 4 * (8 + 8 + 8 + 4 + 8)
+        assert posts.memory_bytes() == expected
+
+    def test_empty_table_memory(self):
+        assert Table.empty([("x", "int")]).memory_bytes() == 0
+
+
+class TestCheckSameLayout:
+    def test_same_layout_passes(self):
+        a = Table.from_columns({"x": [1]})
+        b = Table.from_columns({"x": [2]})
+        check_same_layout(a, b)
+
+    def test_different_schema_rejected(self):
+        a = Table.from_columns({"x": [1]})
+        b = Table.from_columns({"y": [2]})
+        with pytest.raises(TypeMismatchError):
+            check_same_layout(a, b)
+
+    def test_different_pool_rejected(self):
+        a = Table.from_columns({"s": ["x"]}, pool=StringPool())
+        b = Table.from_columns({"s": ["x"]}, pool=StringPool())
+        with pytest.raises(TypeMismatchError, match="pool"):
+            check_same_layout(a, b)

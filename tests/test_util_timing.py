@@ -1,0 +1,78 @@
+"""Tests for repro.util.timing."""
+
+import time
+
+import pytest
+
+from repro.util.timing import Stopwatch, Timer, format_duration
+
+
+class TestFormatDuration:
+    def test_sub_resolution_matches_paper_convention(self):
+        assert format_duration(0.05) == "<0.2s"
+        assert format_duration(0.19) == "<0.2s"
+
+    def test_two_decimals_under_ten_seconds(self):
+        assert format_duration(2.764) == "2.76s"
+
+    def test_one_decimal_over_ten_seconds(self):
+        assert format_duration(60.49) == "60.5s"
+
+    def test_boundary_at_point_two(self):
+        assert format_duration(0.2) == "0.20s"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_duration(-1.0)
+
+
+class TestStopwatch:
+    def test_measures_elapsed_time(self):
+        with Stopwatch() as sw:
+            time.sleep(0.01)
+        assert sw.elapsed >= 0.009
+
+    def test_elapsed_while_running(self):
+        sw = Stopwatch()
+        with sw:
+            assert sw.elapsed >= 0.0
+
+    def test_unstarted_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().elapsed
+
+    def test_elapsed_frozen_after_exit(self):
+        with Stopwatch() as sw:
+            pass
+        first = sw.elapsed
+        time.sleep(0.005)
+        assert sw.elapsed == first
+
+
+class TestTimer:
+    def test_records_named_stage(self):
+        timer = Timer()
+        with timer.stage("load"):
+            time.sleep(0.005)
+        assert timer.stages["load"] >= 0.004
+
+    def test_reentering_stage_accumulates(self):
+        timer = Timer()
+        with timer.stage("work"):
+            time.sleep(0.004)
+        first = timer.stages["work"]
+        with timer.stage("work"):
+            time.sleep(0.004)
+        assert timer.stages["work"] > first
+
+    def test_total_sums_stages(self):
+        timer = Timer()
+        timer.stages.update({"a": 1.0, "b": 2.5})
+        assert timer.total == pytest.approx(3.5)
+
+    def test_report_lists_longest_first(self):
+        timer = Timer()
+        timer.stages.update({"short": 0.5, "long": 5.0})
+        lines = timer.report().splitlines()
+        assert lines[0].startswith("long")
+        assert lines[1].startswith("short")

@@ -1,0 +1,51 @@
+"""Tests for repro.util.validation."""
+
+import pytest
+
+from repro.exceptions import RingoError
+from repro.util.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    require,
+)
+
+
+class TestRequire:
+    def test_passes_when_true(self):
+        require(True, "never raised")
+
+    def test_raises_ringo_error(self):
+        with pytest.raises(RingoError, match="boom"):
+            require(False, "boom")
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive(1, "x")
+        check_positive(0.001, "x")
+
+    @pytest.mark.parametrize("value", [0, -1, -0.5])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(RingoError, match="must be positive"):
+            check_positive(value, "x")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        check_non_negative(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(RingoError, match="non-negative"):
+            check_non_negative(-1, "x")
+
+
+class TestCheckFraction:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        check_fraction(value, "p")
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01])
+    def test_rejects_outside(self, value):
+        with pytest.raises(RingoError):
+            check_fraction(value, "p")

@@ -1,0 +1,215 @@
+"""Tests for the benchmark datasets, catalog, and StackOverflow scenario."""
+
+import numpy as np
+import pytest
+
+from repro.tables.strings import StringPool
+from repro.workflows.catalog import (
+    BUCKET_LABELS,
+    PAPER_BUCKET_COUNTS,
+    catalog_histogram,
+    catalog_table,
+    fraction_fitting_in_ram,
+    generate_catalog,
+)
+from repro.workflows.datasets import (
+    BENCHMARK_DATASETS,
+    LJ_SCALED,
+    TW_SCALED,
+    edge_arrays,
+    make_edge_table,
+    make_graph,
+    write_text_file,
+)
+from repro.workflows.stackoverflow import (
+    ANSWER_TYPE,
+    NO_ACCEPTED_ANSWER,
+    QUESTION_TYPE,
+    StackOverflowConfig,
+    generate_stackoverflow,
+    write_posts_tsv,
+)
+
+
+class TestDatasets:
+    def test_two_datasets_with_paper_contrast(self):
+        assert LJ_SCALED.name == "lj-scaled"
+        assert TW_SCALED.name == "tw-scaled"
+        assert TW_SCALED.num_edges > 3 * LJ_SCALED.num_edges
+
+    def test_edge_arrays_deterministic_and_cached(self):
+        a = edge_arrays(LJ_SCALED)
+        b = edge_arrays(LJ_SCALED)
+        assert a[0] is b[0]  # cached
+        assert len(a[0]) == LJ_SCALED.num_edges
+
+    def test_make_edge_table(self):
+        table = make_edge_table(LJ_SCALED)
+        assert table.schema.names == ("SrcId", "DstId")
+        assert table.num_rows == LJ_SCALED.num_edges
+
+    def test_make_graph_is_skewed(self):
+        graph = make_graph(LJ_SCALED)
+        assert graph.num_nodes > 1000
+        degrees = sorted(
+            (graph.out_degree(node) for node in graph.nodes()), reverse=True
+        )
+        assert degrees[0] > 20 * max(degrees[len(degrees) // 2], 1)
+
+    def test_write_text_file(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        size = write_text_file(LJ_SCALED, path)
+        assert size == path.stat().st_size
+        first = path.read_text().splitlines()[0].split("\t")
+        assert len(first) == 2
+
+    def test_scale_factor_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE_FACTOR", "0.1")
+        assert LJ_SCALED.scaled_edges == LJ_SCALED.num_edges // 10
+
+    def test_benchmark_datasets_tuple(self):
+        assert BENCHMARK_DATASETS == (LJ_SCALED, TW_SCALED)
+
+
+class TestCatalog:
+    def test_histogram_matches_table1_exactly(self):
+        entries = generate_catalog(seed=0)
+        assert catalog_histogram(entries) == PAPER_BUCKET_COUNTS
+
+    def test_seventy_one_graphs(self):
+        assert len(generate_catalog()) == 71
+
+    def test_labels_align_with_buckets(self):
+        assert len(BUCKET_LABELS) == len(PAPER_BUCKET_COUNTS)
+
+    def test_ninety_percent_under_100m_edges(self):
+        # The paper: "90% of graphs have less than 100M edges."
+        entries = generate_catalog()
+        small = sum(1 for e in entries if e.num_edges < 100_000_000)
+        assert small / len(entries) >= 0.90
+
+    def test_all_fit_one_tb(self):
+        entries = generate_catalog()
+        assert fraction_fitting_in_ram(entries, 1 << 40) == 1.0
+
+    def test_fit_fraction_monotone(self):
+        entries = generate_catalog()
+        assert fraction_fitting_in_ram(entries, 1 << 30) <= fraction_fitting_in_ram(
+            entries, 1 << 36
+        )
+
+    def test_empty_catalog_fraction(self):
+        assert fraction_fitting_in_ram([], 1 << 30) == 0.0
+
+    def test_catalog_table_shape(self):
+        table = catalog_table(generate_catalog())
+        assert table.num_rows == 71
+        assert table.schema.names == ("Name", "Edges", "RamBytes")
+
+    def test_deterministic(self):
+        a = [e.num_edges for e in generate_catalog(seed=5)]
+        b = [e.num_edges for e in generate_catalog(seed=5)]
+        assert a == b
+
+
+class TestStackOverflow:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return generate_stackoverflow(
+            StackOverflowConfig(num_users=200, num_questions=600, seed=7)
+        )
+
+    def test_schema(self, data):
+        assert data.posts.schema.names == (
+            "PostId", "Type", "UserId", "AnswerId", "ParentId", "Tag",
+        )
+
+    def test_question_count(self, data):
+        questions = data.posts.select("Type=question")
+        assert questions.num_rows == 600
+
+    def test_post_ids_unique(self, data):
+        ids = data.posts.column("PostId")
+        assert len(np.unique(ids)) == len(ids)
+
+    def test_accepted_answers_reference_real_answers(self, data):
+        questions = data.posts.select("Type=question")
+        answers = data.posts.select("Type=answer")
+        answer_ids = set(answers.column("PostId").tolist())
+        for accepted in questions.column("AnswerId").tolist():
+            assert accepted == NO_ACCEPTED_ANSWER or accepted in answer_ids
+
+    def test_accepted_answer_shares_question_tag(self, data):
+        questions = data.posts.select("Type=question")
+        qa = questions.join(data.posts.select("Type=answer"), "AnswerId", "PostId")
+        assert (qa.column("Tag-1") == qa.column("Tag-2")).all()
+
+    def test_answer_rows_carry_no_accepted_id(self, data):
+        answers = data.posts.select("Type=answer")
+        assert (answers.column("AnswerId") == NO_ACCEPTED_ANSWER).all()
+
+    def test_parent_ids_reference_questions(self, data):
+        questions = data.posts.select("Type=question")
+        answers = data.posts.select("Type=answer")
+        question_ids = set(questions.column("PostId").tolist())
+        assert (questions.column("ParentId") == 0).all()
+        for parent in answers.column("ParentId").tolist():
+            assert parent in question_ids
+
+    def test_co_answer_graph_links_same_question_answerers(self, data):
+        # §4.1's alternative construction: users who answered the same
+        # question become neighbours.
+        from repro.convert.cooccurrence import co_occurrence_graph
+
+        answers = data.posts.select("Type=answer")
+        graph = co_occurrence_graph(answers, "ParentId", "UserId")
+        assert graph.num_edges > 0
+        # Spot-check one multi-answer question.
+        import numpy as np
+
+        parents = answers.column("ParentId")
+        values, counts = np.unique(parents, return_counts=True)
+        busy = values[counts >= 2][0]
+        co_answerers = answers.select(f"ParentId = {int(busy)}").column("UserId").tolist()
+        assert graph.has_edge(co_answerers[0], co_answerers[1])
+
+    def test_experts_disjoint_per_tag(self, data):
+        seen: set[int] = set()
+        for tag, ids in data.experts.items():
+            assert not (seen & set(ids))
+            seen.update(ids)
+
+    def test_experts_never_ask_questions(self, data):
+        questions = data.posts.select("Type=question")
+        experts = {u for ids in data.experts.values() for u in ids}
+        assert not (set(questions.column("UserId").tolist()) & experts)
+
+    def test_experts_dominate_accepted_answers(self, data):
+        questions = data.posts.select("Type=question")
+        answers = data.posts.select("Type=answer")
+        qa = questions.join(answers, "AnswerId", "PostId")
+        java_experts = set(data.experts_for("Java"))
+        java_qa = qa.select("Tag-1=Java")
+        answerers = java_qa.column("UserId-2").tolist()
+        expert_share = sum(1 for u in answerers if u in java_experts) / len(answerers)
+        assert expert_share > 0.5
+
+    def test_too_few_users_rejected(self):
+        with pytest.raises(ValueError):
+            generate_stackoverflow(StackOverflowConfig(num_users=10, num_questions=5))
+
+    def test_write_posts_tsv_roundtrip(self, data, tmp_path):
+        from repro.tables.io_tsv import load_table_tsv
+        from repro.workflows.stackoverflow import POSTS_SCHEMA
+
+        path = tmp_path / "posts.tsv"
+        rows = write_posts_tsv(data, path)
+        loaded = load_table_tsv(POSTS_SCHEMA, path, pool=StringPool())
+        assert loaded.num_rows == rows
+
+    def test_deterministic(self):
+        config = StackOverflowConfig(num_users=120, num_questions=100, seed=3)
+        a = generate_stackoverflow(config)
+        b = generate_stackoverflow(config)
+        assert a.posts.column("PostId").tolist() == b.posts.column("PostId").tolist()
+        assert a.posts.values("Tag") == b.posts.values("Tag")
