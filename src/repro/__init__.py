@@ -21,9 +21,20 @@ Subpackages: :mod:`repro.tables` (column-store relational engine),
 """
 
 from repro.core.engine import Ringo
-from repro.exceptions import RingoError
+from repro.exceptions import (
+    ExecutionError,
+    MemoryBudgetError,
+    PoolClosedError,
+    RetryExhaustedError,
+    RingoError,
+    TransientError,
+    WorkerTimeoutError,
+)
+from repro.faults import inject_faults
 from repro.graphs.directed import DirectedGraph
 from repro.graphs.undirected import UndirectedGraph
+from repro.memory.budget import MemoryBudget
+from repro.parallel.resilience import RetryPolicy
 from repro.tables.schema import ColumnType, Schema
 from repro.tables.table import Table
 
@@ -32,10 +43,19 @@ __version__ = "1.0.0"
 __all__ = [
     "ColumnType",
     "DirectedGraph",
+    "ExecutionError",
+    "MemoryBudget",
+    "MemoryBudgetError",
+    "PoolClosedError",
+    "RetryExhaustedError",
+    "RetryPolicy",
     "Ringo",
     "RingoError",
     "Schema",
     "Table",
+    "TransientError",
     "UndirectedGraph",
+    "WorkerTimeoutError",
+    "inject_faults",
     "__version__",
 ]

@@ -18,6 +18,7 @@ from pathlib import Path
 
 from repro import __version__
 from repro.core.engine import Ringo
+from repro.exceptions import RingoError
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -50,10 +51,17 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         print(f"unknown tag {args.tag!r}; pick one of {config.tags}", file=sys.stderr)
         return 2
     data = generate_stackoverflow(config)
+    budget = None
+    if args.memory_budget_mb is not None:
+        budget = args.memory_budget_mb * (1 << 20)
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "posts.tsv"
         write_posts_tsv(data, path)
-        with Ringo() as ringo:
+        with Ringo(
+            workers=args.workers,
+            memory_budget=budget,
+            on_budget_exceeded=args.budget_policy,
+        ) as ringo:
             posts = ringo.LoadTableTSV(POSTS_SCHEMA, path)
             tagged = ringo.Select(posts, f"Tag='{args.tag}'")
             questions = ringo.Select(tagged, "Type=question")
@@ -63,11 +71,26 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             ranks = ringo.GetPageRank(graph)
             scores = ringo.TableFromHashMap(ranks, "User", "Scr")
             top = ringo.TopK(scores, "Scr", 10)
+            health = ringo.health()
     top_users = top.column("User").tolist()
     truth = set(data.experts_for(args.tag))
     hits = sum(1 for user in top_users if user in truth)
     print(f"top-10 {args.tag} experts: {top_users}")
     print(f"precision@10 vs planted experts: {hits}/10")
+    if args.show_health:
+        workers = health["workers"]
+        print(
+            f"health: workers={workers['workers']} calls={workers['calls']} "
+            f"retries={workers['retries']} timeouts={workers['timeouts']} "
+            f"degraded={workers['degraded']}"
+        )
+        if health["memory_budget"] is not None:
+            mb = health["memory_budget"]
+            print(
+                f"budget: limit={mb['limit_bytes']}B admitted={mb['admitted']} "
+                f"denials={mb['denials']} degradations={mb['degradations']}"
+            )
+        print(f"objects published: {health['objects']['published']}")
     return 0
 
 
@@ -130,6 +153,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="run the StackOverflow expert demo")
     demo.add_argument("--tag", default="Java")
+    demo.add_argument("--workers", type=int, default=None)
+    demo.add_argument(
+        "--memory-budget-mb", type=int, default=None,
+        help="session memory budget for conversions/joins, in MiB",
+    )
+    demo.add_argument(
+        "--budget-policy", choices=("raise", "degrade"), default="raise",
+        help="over-budget behaviour: fail fast or degrade to chunked builds",
+    )
+    demo.add_argument(
+        "--show-health", action="store_true",
+        help="print the session health() summary after the demo",
+    )
     demo.set_defaults(func=_cmd_demo)
 
     generate = sub.add_parser("generate", help="emit a synthetic graph edge list")
@@ -159,10 +195,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: "list[str] | None" = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Deliberate package errors (bad budgets, bad ``REPRO_WORKERS``,
+    exceeded memory budgets, ...) are reported as one-line CLI errors
+    with exit code 2 rather than tracebacks.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except RingoError as error:
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -29,6 +29,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ConversionError
+from repro.faults import fault_point
 from repro.graphs.directed import DirectedGraph
 from repro.graphs.undirected import UndirectedGraph
 from repro.parallel.executor import WorkerPool, serial_pool
@@ -72,6 +73,7 @@ def sort_first_directed(
 ) -> DirectedGraph:
     """Build a :class:`DirectedGraph` with the paper's sort-first algorithm."""
     sources, targets = _as_edge_arrays(sources, targets)
+    fault_point("convert.sort_first")
     pool = pool if pool is not None else serial_pool()
     graph = DirectedGraph()
     if len(sources) == 0:
@@ -126,6 +128,7 @@ def sort_first_undirected(
 ) -> UndirectedGraph:
     """Sort-first build of an :class:`UndirectedGraph` (edges symmetrised)."""
     sources, targets = _as_edge_arrays(sources, targets)
+    fault_point("convert.sort_first")
     pool = pool if pool is not None else serial_pool()
     graph = UndirectedGraph()
     if len(sources) == 0:
@@ -195,6 +198,34 @@ def to_graph(
     return graph_from_edge_arrays(
         table.column(src_col), table.column(dst_col), directed=directed, pool=pool
     )
+
+
+def chunked_build(
+    sources: np.ndarray,
+    targets: np.ndarray,
+    directed: bool = True,
+    chunk_edges: int = 1 << 16,
+) -> "DirectedGraph | UndirectedGraph":
+    """Memory-frugal graph build: dynamic inserts over fixed-size chunks.
+
+    The budget-degraded alternative to sort-first: instead of
+    materialising whole-column sorted copies (transient memory
+    proportional to the edge count), edges stream in ``chunk_edges``
+    slices through dynamic ``add_edge`` calls. Slower, but its transient
+    footprint is bounded by one chunk — the graceful-degradation path
+    :class:`repro.memory.budget.MemoryBudget` selects.
+    """
+    sources, targets = _as_edge_arrays(sources, targets)
+    if chunk_edges <= 0:
+        raise ConversionError(f"chunk_edges must be positive, got {chunk_edges}")
+    graph = DirectedGraph() if directed else UndirectedGraph()
+    for start in range(0, len(sources), chunk_edges):
+        stop = start + chunk_edges
+        for src, dst in zip(
+            sources[start:stop].tolist(), targets[start:stop].tolist()
+        ):
+            graph.add_edge(src, dst)
+    return graph
 
 
 # ----------------------------------------------------------------------

@@ -26,7 +26,14 @@ from typing import Mapping, Sequence
 from repro import algorithms as alg
 from repro import convert, tables
 from repro.core.registry import FunctionRegistry, build_default_registry
+from repro.memory.budget import (
+    ADMIT_DEGRADE,
+    MemoryBudget,
+    estimate_graph_build_bytes,
+    estimate_join_bytes,
+)
 from repro.parallel.executor import WorkerPool
+from repro.parallel.resilience import RetryPolicy
 from repro.tables.schema import Schema
 from repro.tables.strings import StringPool
 from repro.tables.table import Table
@@ -35,6 +42,17 @@ from repro.tables.table import Table
 class Ringo:
     """An interactive analytics session.
 
+    ``memory_budget`` caps the estimated transient allocation of big
+    conversions and joins (bytes, or a pre-built
+    :class:`~repro.memory.budget.MemoryBudget`); ``on_budget_exceeded``
+    picks between failing fast (``"raise"``) and degrading to chunked
+    execution (``"degrade"``). ``retry_policy`` arms the worker pool's
+    transparent retries of :class:`~repro.exceptions.TransientError`.
+
+    Objects built by the session are published to its catalog only after
+    a build fully succeeds, so a mid-build failure never leaves a
+    partial table or graph visible through :meth:`Objects`.
+
     >>> ringo = Ringo(workers=1)
     >>> table = ringo.TableFromColumns({"a": [1, 2], "b": [2, 3]})
     >>> graph = ringo.ToGraph(table, "a", "b")
@@ -42,10 +60,37 @@ class Ringo:
     2
     """
 
-    def __init__(self, workers: int | None = None) -> None:
+    def __init__(
+        self,
+        workers: int | None = None,
+        memory_budget: "MemoryBudget | int | None" = None,
+        on_budget_exceeded: str = "raise",
+        retry_policy: RetryPolicy | None = None,
+    ) -> None:
         self.pool = StringPool()
-        self.workers = WorkerPool(workers)
+        self.workers = WorkerPool(workers, retry_policy=retry_policy)
+        self.budget = MemoryBudget.coerce(memory_budget, on_exceed=on_budget_exceeded)
         self.registry: FunctionRegistry = build_default_registry()
+        self._catalog: dict[str, object] = {}
+        self._publish_counter = 0
+
+    # ------------------------------------------------------------------
+    # Catalog: atomic publish of session-built objects
+    # ------------------------------------------------------------------
+
+    def _publish(self, kind: str, obj):
+        """Register a fully built object; called only after success."""
+        self._publish_counter += 1
+        self._catalog[f"{kind}-{self._publish_counter}"] = obj
+        return obj
+
+    def Objects(self) -> list[str]:
+        """Names of objects the session has successfully published."""
+        return list(self._catalog)
+
+    def GetObject(self, name: str):
+        """Look up a published object by catalog name."""
+        return self._catalog[name]
 
     def close(self) -> None:
         """Shut down the worker pool."""
@@ -63,7 +108,8 @@ class Ringo:
 
     def LoadTableTSV(self, schema, path, **kwargs) -> Table:
         """Load a TSV file into a table (paper §4.1 listing, line 1)."""
-        return tables.load_table_tsv(schema, path, pool=self.pool, **kwargs)
+        table = tables.load_table_tsv(schema, path, pool=self.pool, **kwargs)
+        return self._publish("table", table)
 
     def SaveTableTSV(self, table: Table, path, **kwargs) -> int:
         """Write a table as TSV; returns the row count."""
@@ -86,8 +132,21 @@ class Ringo:
         return tables.select(table, predicate, in_place=in_place)
 
     def Join(self, left: Table, right: Table, left_col, right_col=None, **kwargs) -> Table:
-        """Inner equi-join; always a new table, clashes suffixed -1/-2."""
-        return tables.join(left, right, left_col, right_col, **kwargs)
+        """Inner equi-join; always a new table, clashes suffixed -1/-2.
+
+        Under a session memory budget the join's estimated materialisation
+        is admission-checked first; an over-budget join raises
+        :class:`~repro.exceptions.MemoryBudgetError` before any work.
+        """
+        if self.budget is not None:
+            estimated = estimate_join_bytes(
+                left.num_rows, right.num_rows, len(left.schema) + len(right.schema)
+            )
+            # A join has no chunked strategy, so a "degrade" budget only
+            # records the admission; strict budgets refuse outright.
+            self.budget.admit("Join", estimated)
+        joined = tables.join(left, right, left_col, right_col, **kwargs)
+        return self._publish("table", joined)
 
     def Project(self, table: Table, columns: Sequence[str]) -> Table:
         """Keep only the named columns."""
@@ -154,10 +213,28 @@ class Ringo:
     # ------------------------------------------------------------------
 
     def ToGraph(self, table: Table, src_col: str, dst_col: str, directed: bool = True):
-        """Edge table → graph via the sort-first algorithm."""
-        return convert.to_graph(
+        """Edge table → graph via the sort-first algorithm.
+
+        Under a session memory budget the sort-first build's transient
+        allocation is admission-checked; an over-budget conversion either
+        raises :class:`~repro.exceptions.MemoryBudgetError` or (with
+        ``on_budget_exceeded="degrade"``) falls back to the chunked
+        dynamic build. The graph is built privately and published to the
+        session catalog only on success.
+        """
+        if self.budget is not None:
+            estimated = estimate_graph_build_bytes(table.num_rows, directed=directed)
+            if self.budget.admit("ToGraph", estimated) == ADMIT_DEGRADE:
+                for name in (src_col, dst_col):
+                    table.schema.require(name)
+                graph = convert.chunked_build(
+                    table.column(src_col), table.column(dst_col), directed=directed
+                )
+                return self._publish("graph", graph)
+        graph = convert.to_graph(
             table, src_col, dst_col, directed=directed, pool=self.workers
         )
+        return self._publish("graph", graph)
 
     def ToWeightedNetwork(
         self, table: Table, src_col: str, dst_col: str,
@@ -385,11 +462,46 @@ class Ringo:
 
     def LoadTableBinary(self, path) -> Table:
         """Load a binary table snapshot (session-pooled)."""
-        return tables.load_table_npz(path, pool=self.pool)
+        table = tables.load_table_npz(path, pool=self.pool)
+        return self._publish("table", table)
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+
+    def workers_info(self) -> dict:
+        """The worker pool's configuration and lifetime execution counters."""
+        info: dict = {
+            "workers": self.workers.workers,
+            "mode": "serial" if self.workers.workers == 1 else "threads",
+            "closed": self.workers.closed,
+            "retry_policy": (
+                None
+                if self.workers.retry_policy is None
+                else {
+                    "max_attempts": self.workers.retry_policy.max_attempts,
+                    "base_delay": self.workers.retry_policy.base_delay,
+                }
+            ),
+        }
+        info.update(self.workers.stats.snapshot())
+        return info
+
+    def health(self) -> dict:
+        """One structured snapshot of the session's resilience state.
+
+        Reports worker downgrades/retries/timeouts, memory-budget
+        admissions and denials, and the published-object count — the
+        session-level view an operator (or a test) checks after a fault.
+        """
+        return {
+            "workers": self.workers_info(),
+            "memory_budget": None if self.budget is None else self.budget.snapshot(),
+            "objects": {
+                "published": len(self._catalog),
+                "names": list(self._catalog),
+            },
+        }
 
     def Functions(self, category: str | None = None) -> list[str]:
         """Registered function names (optionally one category)."""

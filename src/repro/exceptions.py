@@ -54,6 +54,71 @@ class ExpressionError(RingoError):
     """A selection predicate string could not be parsed or evaluated."""
 
 
+class ExecutionError(RingoError):
+    """Parallel or resilient execution failed (pool, retry, deadline)."""
+
+
+class PoolClosedError(ExecutionError):
+    """A :class:`WorkerPool` was used after ``close()``."""
+
+    def __init__(self, workers: int):
+        self.workers = workers
+        super().__init__(
+            f"worker pool ({workers} workers) was used after close()"
+        )
+
+
+class WorkerTimeoutError(ExecutionError):
+    """A pool call exceeded its deadline; outstanding work was cancelled."""
+
+    def __init__(self, timeout: float, pending: int, cancelled: int):
+        self.timeout = timeout
+        self.pending = pending
+        self.cancelled = cancelled
+        super().__init__(
+            f"parallel call exceeded {timeout:.3f}s deadline; "
+            f"{pending} partition(s) unfinished, {cancelled} cancelled"
+        )
+
+
+class TransientError(ExecutionError):
+    """A retryable failure — a :class:`RetryPolicy` may re-attempt it."""
+
+
+class InjectedFaultError(TransientError):
+    """A fault deliberately raised by :mod:`repro.faults` at a fault site."""
+
+    def __init__(self, site: str, trigger: int):
+        self.site = site
+        self.trigger = trigger
+        super().__init__(f"injected fault at site {site!r} (trigger #{trigger})")
+
+
+class RetryExhaustedError(ExecutionError):
+    """A retried operation kept failing through all allowed attempts."""
+
+    def __init__(self, attempts: int, last_error: BaseException):
+        self.attempts = attempts
+        self.last_error = last_error
+        super().__init__(
+            f"operation failed after {attempts} attempt(s); "
+            f"last error: {type(last_error).__name__}: {last_error}"
+        )
+
+
+class MemoryBudgetError(RingoError):
+    """An operation's estimated allocation exceeds the session budget."""
+
+    def __init__(self, operation: str, estimated: int, limit: int):
+        self.operation = operation
+        self.estimated = estimated
+        self.limit = limit
+        super().__init__(
+            f"{operation} estimated at {estimated} bytes exceeds the "
+            f"session memory budget of {limit} bytes"
+        )
+
+
 class ConversionError(RingoError):
     """A table/graph conversion was requested with invalid inputs."""
 

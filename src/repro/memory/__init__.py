@@ -1,7 +1,20 @@
 """Memory accounting (paper §3: Table 2 object sizes and the
-"memory footprint < 2x graph size" claim)."""
+"memory footprint < 2x graph size" claim) and session memory budgets
+with graceful degradation."""
 
+from repro.memory.budget import (
+    MemoryBudget,
+    estimate_graph_build_bytes,
+    estimate_join_bytes,
+)
 from repro.memory.footprint import peak_footprint
 from repro.memory.sizeof import object_size_bytes, size_report
 
-__all__ = ["object_size_bytes", "peak_footprint", "size_report"]
+__all__ = [
+    "MemoryBudget",
+    "estimate_graph_build_bytes",
+    "estimate_join_bytes",
+    "object_size_bytes",
+    "peak_footprint",
+    "size_report",
+]

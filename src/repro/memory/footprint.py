@@ -23,6 +23,11 @@ def peak_footprint(operation: Callable[[], R]) -> tuple[R, int]:
     not supported (tracemalloc is process-global); if tracing is already
     active, the measurement still works but includes the enclosing
     trace's overhead baseline.
+
+    If the operation raises, the exception still carries the footprint:
+    the peak-so-far is attached as ``error.peak_extra_bytes`` and as an
+    exception note, so a failed (e.g. budget-killed or faulted) run
+    remains diagnosable.
     """
     was_tracing = tracemalloc.is_tracing()
     if not was_tracing:
@@ -32,6 +37,12 @@ def peak_footprint(operation: Callable[[], R]) -> tuple[R, int]:
     try:
         result = operation()
         _, peak = tracemalloc.get_traced_memory()
+    except BaseException as error:
+        _, peak = tracemalloc.get_traced_memory()
+        extra = max(peak - baseline, 0)
+        error.peak_extra_bytes = extra
+        error.add_note(f"peak extra memory before failure: {extra} bytes")
+        raise
     finally:
         if not was_tracing:
             tracemalloc.stop()

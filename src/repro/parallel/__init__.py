@@ -21,14 +21,18 @@ from repro.parallel.concurrent_hash import LinearProbingHashTable
 from repro.parallel.concurrent_vector import ConcurrentVector
 from repro.parallel.executor import WorkerPool, effective_worker_count
 from repro.parallel.partition import balanced_chunks, split_indices, split_range
+from repro.parallel.resilience import PoolStats, RetryPolicy, run_with_retry
 
 __all__ = [
     "AtomicCounter",
     "ConcurrentVector",
     "LinearProbingHashTable",
+    "PoolStats",
+    "RetryPolicy",
     "WorkerPool",
     "balanced_chunks",
     "effective_worker_count",
+    "run_with_retry",
     "split_indices",
     "split_range",
 ]

@@ -18,6 +18,7 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.faults import fault_point
 from repro.util.validation import check_positive
 
 _EMPTY = np.int64(-1)
@@ -79,6 +80,7 @@ class LinearProbingHashTable:
 
     def insert(self, key: int, value: int) -> None:
         """Insert or overwrite ``key`` with ``value``."""
+        fault_point("hash.insert")
         self._check_key(key)
         with self._mutate_lock:
             self._grow_if_needed(1)
@@ -91,6 +93,7 @@ class LinearProbingHashTable:
         may race to register the same node id, and all must agree on one
         stored value.
         """
+        fault_point("hash.insert")
         self._check_key(key)
         with self._mutate_lock:
             self._grow_if_needed(1)
@@ -131,6 +134,7 @@ class LinearProbingHashTable:
             return
         if int(keys.min()) < 0:
             raise ValueError("keys must be non-negative")
+        fault_point("hash.insert")
         with self._mutate_lock:
             self._grow_if_needed(len(keys))
             for key, value in zip(keys.tolist(), values.tolist()):

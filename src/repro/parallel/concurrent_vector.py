@@ -13,6 +13,7 @@ import threading
 
 import numpy as np
 
+from repro.faults import fault_point
 from repro.parallel.atomics import AtomicCounter
 from repro.util.validation import check_positive
 
@@ -41,6 +42,7 @@ class ConcurrentVector:
 
     def append(self, value: int) -> int:
         """Append ``value``; return the index its cell was claimed at."""
+        fault_point("vector.append")
         index = self._claims.fetch_add(1)
         self._ensure_capacity(index + 1)
         # A concurrent grow may snapshot the backing array between our claim

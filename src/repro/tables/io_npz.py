@@ -14,6 +14,7 @@ import os
 import numpy as np
 
 from repro.exceptions import SchemaError
+from repro.faults import fault_point
 from repro.tables.schema import ColumnType, Schema
 from repro.tables.strings import StringPool
 from repro.tables.table import Table
@@ -43,6 +44,7 @@ def load_table_npz(
     path: "str | os.PathLike[str]", pool: StringPool | None = None
 ) -> Table:
     """Load a table saved by :func:`save_table_npz`."""
+    fault_point("io.npz.load")
     with np.load(path) as archive:
         version = int(archive["version"])
         if version != _FORMAT_VERSION:

@@ -13,6 +13,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.exceptions import SchemaError
+from repro.faults import active_plan
 from repro.tables.schema import ColumnType, Schema
 from repro.tables.strings import StringPool
 from repro.tables.table import Table
@@ -120,6 +121,9 @@ def load_table_tsv(
     expected_fields = len(schema)
     raw_columns: list[list[str]] = [[] for _ in range(expected_fields)]
     skipped_header = not has_header
+    # Hoisted so the per-row fault check costs nothing when no plan is
+    # armed (the common case) and one dict lookup when one is.
+    fault_plan = active_plan()
     with open(path, "r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.rstrip("\n").rstrip("\r")
@@ -128,6 +132,8 @@ def load_table_tsv(
             if not skipped_header:
                 skipped_header = True
                 continue
+            if fault_plan is not None:
+                fault_plan.check("io.tsv.parse_row")
             fields = line.split(sep)
             if len(fields) != expected_fields:
                 raise SchemaError(

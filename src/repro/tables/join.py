@@ -16,6 +16,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.exceptions import TypeMismatchError
+from repro.faults import fault_point
 from repro.tables.schema import ColumnType, Schema
 from repro.tables.table import Table
 
@@ -138,6 +139,7 @@ def join(
         raise TypeMismatchError("join needs at least one key column")
     for l_name, r_name in zip(left_cols, right_cols):
         _check_joinable(left, right, l_name, r_name)
+    fault_point("join.materialize")
 
     if len(left_cols) == 1:
         left_keys = left.column(left_cols[0])

@@ -91,6 +91,10 @@ def test_every_session_method_exercised(ringo, graph, tmp_path):
         "GenConfigurationModel": ringo.GenConfigurationModel([2, 2, 2, 2]),
         "Functions": ringo.Functions(),
         "NumFunctions": ringo.NumFunctions(),
+        "Objects": ringo.Objects(),
+        "GetObject": ringo.GetObject(ringo.Objects()[0]),
+        "workers_info": ringo.workers_info(),
+        "health": ringo.health(),
     }
     # Deferred ones needing special setup:
     from repro.graphs.network import Network

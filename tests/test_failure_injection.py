@@ -3,13 +3,36 @@
 An interactive system's errors are part of its UX — every corruption
 here must surface as a typed RingoError (or a clean subclass), never a
 silent wrong answer or a bare traceback from numpy internals.
+
+The second half exercises the deliberate-fault machinery from
+:mod:`repro.faults`: seeded fault sites in the IO loaders, the worker
+pool's kernel dispatch, the concurrent containers, and the conversion
+paths, plus the retry/deadline/budget semantics layered on top.
 """
+
+import threading
+import time
 
 import numpy as np
 import pytest
 
-from repro.exceptions import GraphError, RingoError, SchemaError
+from repro.core.engine import Ringo
+from repro.exceptions import (
+    GraphError,
+    InjectedFaultError,
+    MemoryBudgetError,
+    RetryExhaustedError,
+    RingoError,
+    SchemaError,
+    TransientError,
+    WorkerTimeoutError,
+)
+from repro.faults import FaultPlan, fault_point, inject_faults
 from repro.graphs.serialize import load_edge_list, load_graph, save_graph
+from repro.parallel.concurrent_hash import LinearProbingHashTable
+from repro.parallel.executor import WorkerPool
+from repro.parallel.resilience import RetryPolicy, run_with_retry
+from repro.tables.io_npz import save_table_npz
 from repro.tables.io_tsv import load_table_tsv
 from repro.tables.table import Table
 
@@ -138,3 +161,314 @@ class TestNanAndExtremes:
         table = Table.from_columns({"s": ["", "a", ""]})
         assert table.values("s") == ["", "a", ""]
         assert table.select("s = ''").num_rows == 2
+
+
+# ----------------------------------------------------------------------
+# Deliberate faults: the repro.faults registry and resilient execution
+# ----------------------------------------------------------------------
+
+EDGE_COLUMNS = {"a": [1, 2, 3, 1, 4, 5], "b": [2, 3, 1, 3, 5, 4]}
+
+
+class TestFaultRegistry:
+    def test_unarmed_site_is_noop(self):
+        fault_point("io.tsv.parse_row")  # no plan active: must not raise
+
+    def test_unknown_site_in_armed_plan_is_noop(self):
+        with inject_faults({"some.other.site": 1.0}):
+            fault_point("io.tsv.parse_row")
+
+    def test_rate_one_always_fires(self):
+        with inject_faults({"demo.site": 1.0}) as plan:
+            for _ in range(3):
+                with pytest.raises(InjectedFaultError):
+                    fault_point("demo.site")
+        assert plan.triggered["demo.site"] == 3
+        assert plan.drawn["demo.site"] == 3
+
+    def test_seeded_streams_are_deterministic(self):
+        def pattern(seed):
+            fired = []
+            with inject_faults({"demo.site": 0.5}, seed=seed):
+                for _ in range(20):
+                    try:
+                        fault_point("demo.site")
+                        fired.append(False)
+                    except InjectedFaultError:
+                        fired.append(True)
+            return fired
+
+        assert pattern(7) == pattern(7)
+        assert pattern(7) != pattern(8)
+
+    def test_injected_fault_is_retryable_and_typed(self):
+        with inject_faults({"demo.site": 1.0}):
+            with pytest.raises(TransientError):
+                fault_point("demo.site")
+            with pytest.raises(RingoError):
+                fault_point("demo.site")
+
+    def test_max_triggers_stops_firing(self):
+        with inject_faults({"demo.site": {"rate": 1.0, "max_triggers": 2}}) as plan:
+            for _ in range(2):
+                with pytest.raises(InjectedFaultError):
+                    fault_point("demo.site")
+            fault_point("demo.site")  # budget spent: silent
+        assert plan.triggered["demo.site"] == 2
+        assert plan.drawn["demo.site"] == 3
+
+    def test_custom_error_class(self):
+        with inject_faults({"demo.site": {"rate": 1.0, "error": OSError}}):
+            with pytest.raises(OSError):
+                fault_point("demo.site")
+
+    def test_plans_nest_and_restore(self):
+        with inject_faults({"outer.site": 1.0}):
+            with inject_faults({"inner.site": 1.0}):
+                fault_point("outer.site")  # inner plan replaced the outer
+                with pytest.raises(InjectedFaultError):
+                    fault_point("inner.site")
+            with pytest.raises(InjectedFaultError):
+                fault_point("outer.site")
+        fault_point("outer.site")
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(RingoError):
+            FaultPlan({"demo.site": 1.5})
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(RingoError):
+            FaultPlan({"demo.site": "often"})
+
+
+class TestInjectedIoFaults:
+    def test_tsv_row_fault_aborts_load(self, tmp_path):
+        path = tmp_path / "rows.tsv"
+        path.write_text("1\t2.0\tx\n2\t3.0\ty\n")
+        with Ringo(workers=1) as ringo:
+            with inject_faults({"io.tsv.parse_row": 1.0}):
+                with pytest.raises(InjectedFaultError, match="io.tsv.parse_row"):
+                    ringo.LoadTableTSV(SCHEMA, path)
+            # the failed load published nothing to the session
+            assert ringo.Objects() == []
+            table = ringo.LoadTableTSV(SCHEMA, path)
+            assert table.num_rows == 2
+            assert ringo.Objects() == ["table-1"]
+
+    def test_tsv_rate_zero_loads_clean_while_armed(self, tmp_path):
+        path = tmp_path / "rows.tsv"
+        path.write_text("1\t2.0\tx\n")
+        with inject_faults({"io.tsv.parse_row": 0.0}) as plan:
+            assert load_table_tsv(SCHEMA, path).num_rows == 1
+        assert plan.triggered["io.tsv.parse_row"] == 0
+        assert plan.drawn["io.tsv.parse_row"] == 1
+
+    def test_npz_load_fault(self, tmp_path):
+        table = Table.from_columns({"x": [1, 2, 3]})
+        path = tmp_path / "snap.npz"
+        save_table_npz(table, path)
+        with Ringo(workers=1) as ringo:
+            with inject_faults({"io.npz.load": 1.0}):
+                with pytest.raises(InjectedFaultError):
+                    ringo.LoadTableBinary(path)
+            assert ringo.Objects() == []
+
+
+class TestMidConversionFailure:
+    def test_toGraph_fault_leaves_no_partial_graph(self):
+        with Ringo(workers=1) as ringo:
+            table = ringo.TableFromColumns(EDGE_COLUMNS)
+            with inject_faults({"convert.sort_first": 1.0}):
+                with pytest.raises(RingoError):
+                    ringo.ToGraph(table, "a", "b")
+            assert ringo.health()["objects"]["published"] == 0
+            # the session recovers cleanly once the faults are disarmed
+            graph = ringo.ToGraph(table, "a", "b")
+            assert graph.num_edges == 6
+            assert ringo.Objects() == ["graph-1"]
+
+    def test_mid_kernel_fault_under_threads_leaves_no_partial_graph(self):
+        with Ringo(workers=4) as ringo:
+            table = ringo.TableFromColumns(EDGE_COLUMNS)
+            with inject_faults({"parallel.kernel": 1.0}):
+                with pytest.raises(RingoError):
+                    ringo.ToGraph(table, "a", "b")
+            assert ringo.health()["objects"]["published"] == 0
+
+    def test_join_fault_publishes_nothing(self):
+        with Ringo(workers=1) as ringo:
+            table = ringo.TableFromColumns({"k": [1, 2], "v": [3.0, 4.0]})
+            with inject_faults({"join.materialize": 1.0}):
+                with pytest.raises(InjectedFaultError):
+                    ringo.Join(table, table, "k")
+            assert ringo.Objects() == []
+
+
+class TestRetrySemantics:
+    def test_run_with_retry_recovers_from_transients(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise TransientError("not yet")
+            return "done"
+
+        policy = RetryPolicy(max_attempts=5, base_delay=0.0)
+        assert run_with_retry(flaky, policy) == "done"
+        assert len(attempts) == 3
+
+    def test_run_with_retry_exhaustion_chains_last_error(self):
+        def always_fails():
+            raise TransientError("still broken")
+
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0)
+        with pytest.raises(RetryExhaustedError) as info:
+            run_with_retry(always_fails, policy)
+        assert info.value.attempts == 2
+        assert isinstance(info.value.last_error, TransientError)
+
+    def test_non_retryable_errors_propagate_immediately(self):
+        attempts = []
+
+        def broken():
+            attempts.append(1)
+            raise ValueError("logic bug")
+
+        with pytest.raises(ValueError):
+            run_with_retry(broken, RetryPolicy(max_attempts=5, base_delay=0.0))
+        assert len(attempts) == 1
+
+    def test_toGraph_retries_then_succeeds_and_health_reports_it(self):
+        # Seed 17 makes the parallel.kernel stream fire on its first draw
+        # and at most twice in the first six, so with two partitions and
+        # max_attempts=3 the build must succeed under any interleaving.
+        policy = RetryPolicy(max_attempts=3, base_delay=0.001)
+        with Ringo(workers=2, retry_policy=policy) as ringo:
+            table = ringo.TableFromColumns(EDGE_COLUMNS)
+            with inject_faults({"parallel.kernel": 0.3}, seed=17) as plan:
+                graph = ringo.ToGraph(table, "a", "b")
+            assert graph.num_edges == 6
+            assert plan.triggered["parallel.kernel"] >= 1
+            health = ringo.health()
+            assert health["workers"]["retries"] >= 1
+            assert health["objects"]["published"] == 1
+
+    def test_retry_exhaustion_surfaces_as_typed_error(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0)
+        with Ringo(workers=2, retry_policy=policy) as ringo:
+            table = ringo.TableFromColumns(EDGE_COLUMNS)
+            with inject_faults({"parallel.kernel": 1.0}):
+                with pytest.raises(RetryExhaustedError):
+                    ringo.ToGraph(table, "a", "b")
+            assert ringo.health()["workers"]["retries"] >= 2
+            assert ringo.health()["objects"]["published"] == 0
+
+
+class TestDeadlines:
+    def test_slow_kernel_hits_deadline_and_cancels_siblings(self):
+        with WorkerPool(2) as pool:
+            with pytest.raises(WorkerTimeoutError) as info:
+                pool.run_tasks(
+                    [lambda: time.sleep(0.5) for _ in range(6)], timeout=0.1
+                )
+            # 2 workers were running, so at least one of the remaining 4
+            # pending partitions must have been cancelled outright.
+            assert info.value.cancelled >= 1
+            assert pool.stats.snapshot()["timeouts"] == 1
+            assert pool.stats.snapshot()["cancelled_partitions"] >= 1
+
+    def test_inline_pool_honours_deadline_between_tasks(self):
+        with WorkerPool(1) as pool:
+            with pytest.raises(WorkerTimeoutError):
+                pool.run_tasks(
+                    [lambda: time.sleep(0.05) for _ in range(10)], timeout=0.01
+                )
+
+    def test_fast_call_unaffected_by_deadline(self):
+        with WorkerPool(2) as pool:
+            assert pool.map_range(10, lambda lo, hi: hi - lo, timeout=5.0) == [5, 5]
+
+
+class TestMemoryBudgets:
+    def test_strict_budget_refuses_conversion(self):
+        with Ringo(workers=1, memory_budget=64) as ringo:
+            table = ringo.TableFromColumns(EDGE_COLUMNS)
+            with pytest.raises(MemoryBudgetError) as info:
+                ringo.ToGraph(table, "a", "b")
+            assert info.value.operation == "ToGraph"
+            assert ringo.health()["objects"]["published"] == 0
+            assert ringo.health()["memory_budget"]["denials"] == 1
+
+    def test_degrade_budget_builds_same_graph_chunked(self):
+        with Ringo(workers=1) as reference:
+            table = reference.TableFromColumns(EDGE_COLUMNS)
+            expected = reference.ToGraph(table, "a", "b")
+        with Ringo(
+            workers=1, memory_budget=64, on_budget_exceeded="degrade"
+        ) as ringo:
+            table = ringo.TableFromColumns(EDGE_COLUMNS)
+            graph = ringo.ToGraph(table, "a", "b")
+            assert graph.num_edges == expected.num_edges
+            assert sorted(graph.nodes()) == sorted(expected.nodes())
+            health = ringo.health()
+            assert health["memory_budget"]["degradations"] == 1
+            assert health["objects"]["published"] == 1
+
+    def test_budget_admits_small_work(self):
+        with Ringo(workers=1, memory_budget=1 << 30) as ringo:
+            table = ringo.TableFromColumns(EDGE_COLUMNS)
+            graph = ringo.ToGraph(table, "a", "b")
+            assert graph.num_edges == 6
+            assert ringo.health()["memory_budget"]["admitted"] >= 1
+
+    def test_strict_budget_refuses_join(self):
+        with Ringo(workers=1, memory_budget=64) as ringo:
+            table = ringo.TableFromColumns({"k": list(range(100))})
+            with pytest.raises(MemoryBudgetError):
+                ringo.Join(table, table, "k")
+
+
+class TestConcurrentContainerFaultStress:
+    def test_hash_inserts_with_faults_stay_consistent(self):
+        table = LinearProbingHashTable(expected=256)
+        successes = [0] * 4
+        keys_per_worker = 200
+
+        def kernel(worker: int):
+            def run():
+                base = worker * keys_per_worker
+                for offset in range(keys_per_worker):
+                    key = base + offset
+                    try:
+                        table.insert(key, key * 2)
+                        successes[worker] += 1
+                    except TransientError:
+                        pass
+
+            return run
+
+        with inject_faults({"hash.insert": 0.2}, seed=11) as plan:
+            with WorkerPool(4) as pool:
+                pool.run_tasks([kernel(w) for w in range(4)])
+        assert plan.triggered["hash.insert"] >= 1
+        # Faults fire before mutation, so the table holds exactly the
+        # successful inserts and every one of them is retrievable.
+        assert len(table) == sum(successes)
+        found = sum(
+            1
+            for worker in range(4)
+            for offset in range(keys_per_worker)
+            if table.lookup(worker * keys_per_worker + offset) is not None
+        )
+        assert found == sum(successes)
+        for key, value in table.items():
+            assert value == key * 2
+
+    def test_faulty_inserts_recover_under_retry(self):
+        table = LinearProbingHashTable()
+        policy = RetryPolicy(max_attempts=10, base_delay=0.0)
+        with inject_faults({"hash.insert": 0.3}, seed=3):
+            for key in range(100):
+                run_with_retry(lambda k=key: table.insert(k, k), policy)
+        assert len(table) == 100

@@ -88,6 +88,18 @@ class TestPeakFootprint:
             peak_footprint(boom)
         assert not tracemalloc.is_tracing()
 
+    def test_raising_operation_still_reports_footprint(self):
+        def allocate_then_fail():
+            buffer = np.zeros(500_000)
+            raise ValueError(f"failed holding {buffer.nbytes} bytes")
+
+        with pytest.raises(ValueError) as info:
+            peak_footprint(allocate_then_fail)
+        # The failed run is still diagnosable: the peak-so-far rides on
+        # the exception as an attribute and a note.
+        assert info.value.peak_extra_bytes >= 4_000_000
+        assert any("peak extra memory" in note for note in info.value.__notes__)
+
     def test_pagerank_footprint_bounded_by_twice_graph_size(self):
         # The paper's §3 claim: 10 PageRank iterations run in a footprint
         # below twice the graph object's size. The analogue here: the
@@ -100,3 +112,63 @@ class TestPeakFootprint:
         csr = as_csr(make_graph(LJ_SCALED))
         _, peak = peak_footprint(lambda: pagerank_array(csr, iterations=10))
         assert peak < 2 * csr.memory_bytes()
+
+
+class TestMemoryBudget:
+    def test_admit_within_limit(self):
+        from repro.memory.budget import MemoryBudget
+
+        budget = MemoryBudget(1 << 20)
+        assert budget.admit("op", 1 << 10) == "ok"
+        snap = budget.snapshot()
+        assert snap["admitted"] == 1 and snap["denials"] == 0
+
+    def test_strict_budget_raises_typed_error(self):
+        from repro.exceptions import MemoryBudgetError
+        from repro.memory.budget import MemoryBudget
+
+        budget = MemoryBudget(1 << 10)
+        with pytest.raises(MemoryBudgetError) as info:
+            budget.admit("ToGraph", 1 << 20)
+        assert info.value.estimated == 1 << 20
+        assert info.value.limit == 1 << 10
+        assert budget.snapshot()["denials"] == 1
+
+    def test_degrade_budget_returns_degrade(self):
+        from repro.memory.budget import MemoryBudget
+
+        budget = MemoryBudget(1 << 10, on_exceed="degrade")
+        assert budget.admit("ToGraph", 1 << 20) == "degrade"
+        assert budget.snapshot()["degradations"] == 1
+
+    def test_coerce_accepts_ints_and_none(self):
+        from repro.memory.budget import MemoryBudget
+
+        assert MemoryBudget.coerce(None) is None
+        budget = MemoryBudget.coerce(4096)
+        assert isinstance(budget, MemoryBudget)
+        assert MemoryBudget.coerce(budget) is budget
+
+    def test_invalid_configuration_rejected(self):
+        from repro.memory.budget import MemoryBudget
+
+        with pytest.raises(RingoError):
+            MemoryBudget(0)
+        with pytest.raises(RingoError):
+            MemoryBudget(100, on_exceed="panic")
+
+    def test_estimates_scale_with_input(self):
+        from repro.memory.budget import (
+            estimate_graph_build_bytes,
+            estimate_join_bytes,
+        )
+
+        assert estimate_graph_build_bytes(0) == 0
+        assert (
+            estimate_graph_build_bytes(2_000)
+            > estimate_graph_build_bytes(1_000)
+            > 8 * 1_000
+        )
+        assert estimate_join_bytes(1_000, 1_000, 4) > estimate_join_bytes(10, 10, 4)
+        with pytest.raises(RingoError):
+            estimate_graph_build_bytes(-1)

@@ -1,11 +1,14 @@
 """Tests for repro.parallel.executor."""
 
 import threading
+import time
 
 import pytest
 
-from repro.exceptions import RingoError
+from repro.exceptions import PoolClosedError, RingoError, TransientError
+from repro.parallel import executor
 from repro.parallel.executor import WorkerPool, effective_worker_count, serial_pool
+from repro.parallel.resilience import RetryPolicy
 
 
 class TestEffectiveWorkerCount:
@@ -23,6 +26,16 @@ class TestEffectiveWorkerCount:
     def test_default_at_least_one(self, monkeypatch):
         monkeypatch.delenv("REPRO_WORKERS", raising=False)
         assert effective_worker_count() >= 1
+
+    def test_non_integer_env_raises_typed_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(RingoError, match="REPRO_WORKERS.*'many'"):
+            effective_worker_count()
+
+    def test_non_positive_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.raises(RingoError):
+            effective_worker_count()
 
 
 class TestWorkerPool:
@@ -72,3 +85,118 @@ class TestWorkerPool:
     def test_serial_pool_is_shared_singleton(self):
         assert serial_pool() is serial_pool()
         assert serial_pool().workers == 1
+
+    def test_serial_pool_race_builds_exactly_one_pool(self, monkeypatch):
+        monkeypatch.setattr(executor, "_SERIAL_POOL", None)
+        barrier = threading.Barrier(8)
+        pools = []
+
+        def grab():
+            barrier.wait()
+            pools.append(serial_pool())
+
+        threads = [threading.Thread(target=grab) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len({id(pool) for pool in pools}) == 1
+
+
+class TestClosedPool:
+    def test_closed_multiworker_pool_raises(self):
+        pool = WorkerPool(2)
+        pool.close()
+        with pytest.raises(PoolClosedError):
+            pool.map_range(10, lambda lo, hi: lo)
+
+    def test_closed_serial_pool_raises(self):
+        pool = WorkerPool(1)
+        pool.close()
+        with pytest.raises(PoolClosedError):
+            pool.run_tasks([lambda: 1])
+
+    def test_closed_pool_error_carries_worker_count(self):
+        pool = WorkerPool(3)
+        pool.close()
+        with pytest.raises(PoolClosedError) as info:
+            pool.map_chunks([1, 2], lambda c: c)
+        assert info.value.workers == 3
+
+
+class TestFirstErrorCancellation:
+    def test_fast_failure_cancels_pending_siblings(self):
+        def make_task(index):
+            if index == 0:
+                def fail():
+                    raise ValueError("fast failure")
+                return fail
+            return lambda: time.sleep(0.3)
+
+        with WorkerPool(2) as pool:
+            start = time.monotonic()
+            with pytest.raises(ValueError, match="fast failure"):
+                pool.run_tasks([make_task(i) for i in range(8)])
+            elapsed = time.monotonic() - start
+        # Joining all 8 sleeps in submission order would take >1s; the
+        # failing partition must short-circuit well before that.
+        assert elapsed < 1.0
+        assert pool.stats.snapshot()["cancelled_partitions"] >= 1
+        assert pool.stats.snapshot()["failures"] == 1
+
+
+class TestRetryAndDegradation:
+    def test_per_call_retry_policy_recovers_transients(self):
+        failures = {"left": 0}
+
+        def flaky_once(lo, hi):
+            if lo == 0 and failures["left"] == 0:
+                failures["left"] += 1
+                raise TransientError("transient hiccup")
+            return hi - lo
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0)
+        with WorkerPool(2) as pool:
+            results = pool.map_range(10, flaky_once, retry=policy)
+        assert results == [5, 5]
+        assert pool.stats.snapshot()["retries"] == 1
+
+    def test_repeated_parallel_failure_degrades_to_serial(self):
+        def always_transient(lo, hi):
+            raise TransientError("broken kernel")
+
+        main_thread = threading.current_thread()
+        with WorkerPool(2, degrade_after=2) as pool:
+            for _ in range(2):
+                with pytest.raises(TransientError):
+                    pool.map_range(10, always_transient)
+            assert pool.degraded
+            # Degraded pools run inline on the caller's thread.
+            seen = []
+            pool.map_range(10, lambda lo, hi: seen.append(threading.current_thread()))
+            assert all(thread is main_thread for thread in seen)
+            stats = pool.stats.snapshot()
+            assert stats["degraded"] is True
+            assert stats["serial_fallback_calls"] >= 1
+
+    def test_success_resets_failure_streak(self):
+        def boom(lo, hi):
+            raise TransientError("broken")
+
+        with WorkerPool(2, degrade_after=2) as pool:
+            with pytest.raises(TransientError):
+                pool.map_range(10, boom)
+            pool.map_range(10, lambda lo, hi: None)  # success resets streak
+            with pytest.raises(TransientError):
+                pool.map_range(10, boom)
+            assert not pool.degraded
+
+    def test_degradation_disabled_with_none(self):
+        def boom(lo, hi):
+            raise TransientError("broken")
+
+        with WorkerPool(2, degrade_after=None) as pool:
+            for _ in range(5):
+                with pytest.raises(TransientError):
+                    pool.map_range(10, boom)
+            assert not pool.degraded
