@@ -1,0 +1,164 @@
+"""Snapshot-cache benchmark — cold vs warm laps of the Fig 2 loop.
+
+The PR's claim, measured: the first (cold) run of the algorithm phase
+pays the dynamic→CSR conversion plus every derived array; a second
+(warm) run on the unchanged graph must perform **zero** conversions
+(asserted via the cache's ``conversions`` counter) and finish in at most
+half the cold time. Results land in ``BENCH_snapshot_cache.json`` at the
+repo root so CI can archive and gate on them.
+
+Runs standalone (``PYTHONPATH=src:. python benchmarks/bench_snapshot_cache.py``)
+or under pytest.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from benchmarks.util import record, reset
+from repro.core.engine import Ringo
+from repro.graphs.snapshot import snapshot_cache
+from repro.workflows.stackoverflow import (
+    POSTS_SCHEMA,
+    StackOverflowConfig,
+    generate_stackoverflow,
+    write_posts_tsv,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_snapshot_cache.json"
+CONFIG = StackOverflowConfig(num_users=5000, num_questions=40000, seed=2015)
+REPETITIONS = 3
+
+
+def _algorithm_phase(ringo: Ringo, graph, source: int) -> dict[str, float]:
+    """One lap of the Fig 2 analytics phase; per-stage seconds."""
+    stages: dict[str, float] = {}
+    for name, call in (
+        ("pagerank", lambda: ringo.GetPageRank(graph, iterations=20)),
+        ("triangles", lambda: ringo.GetTriangleCounts(graph)),
+        ("bfs_levels", lambda: ringo.GetBfsLevels(graph, source)),
+    ):
+        start = time.perf_counter()
+        call()
+        stages[name] = time.perf_counter() - start
+    return stages
+
+
+def run_cold_warm(posts_path) -> dict:
+    """Build the Fig 2 graph, then time cold/warm algorithm laps.
+
+    Each repetition clears the snapshot cache, runs a cold lap (pays the
+    conversion) and a warm lap (must not convert); the best lap of each
+    kind is reported, the conversion deltas are recorded per lap.
+    """
+    cache = snapshot_cache()
+    with Ringo(workers=1) as ringo:
+        posts = ringo.LoadTableTSV(POSTS_SCHEMA, posts_path)
+        java = ringo.Select(posts, "Tag=Java")
+        questions = ringo.Select(java, "Type=question")
+        answers = ringo.Select(java, "Type=answer")
+        qa = ringo.Join(questions, answers, "AnswerId", "PostId")
+        graph = ringo.ToGraph(qa, "UserId-1", "UserId-2")
+        source = int(graph.node_array()[0])
+
+        cold_laps, warm_laps = [], []
+        cold_conversions, warm_conversions = [], []
+        for _ in range(REPETITIONS):
+            cache.clear(reset_stats=True)
+            cold_stages = _algorithm_phase(ringo, graph, source)
+            cold_conversions.append(cache.stats()["conversions"])
+            warm_stages = _algorithm_phase(ringo, graph, source)
+            warm_conversions.append(
+                cache.stats()["conversions"] - cold_conversions[-1]
+            )
+            cold_laps.append(cold_stages)
+            warm_laps.append(warm_stages)
+
+        best_cold = min(sum(lap.values()) for lap in cold_laps)
+        best_warm = min(sum(lap.values()) for lap in warm_laps)
+        payload = {
+            "dataset": {
+                "num_users": CONFIG.num_users,
+                "num_questions": CONFIG.num_questions,
+                "seed": CONFIG.seed,
+            },
+            "graph": {"nodes": graph.num_nodes, "edges": graph.num_edges},
+            "repetitions": REPETITIONS,
+            "cold": {
+                "seconds": best_cold,
+                "stages": min(cold_laps, key=lambda lap: sum(lap.values())),
+                "conversions_per_lap": cold_conversions,
+            },
+            "warm": {
+                "seconds": best_warm,
+                "stages": min(warm_laps, key=lambda lap: sum(lap.values())),
+                "conversions_per_lap": warm_conversions,
+            },
+            "warm_over_cold": best_warm / best_cold,
+            "cache": cache.stats(),
+            "timings": ringo.call_timings(),
+        }
+    return payload
+
+
+def write_report(payload: dict) -> None:
+    """Persist the JSON artifact and the paper-style results rows."""
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    reset("snapshot_cache", "Snapshot cache: cold vs warm Fig 2 algorithm phase")
+    record("snapshot_cache", f"{'lap':<6} {'seconds':>9} {'conversions':>12}")
+    for lap in ("cold", "warm"):
+        record(
+            "snapshot_cache",
+            f"{lap:<6} {payload[lap]['seconds']:>9.4f} "
+            f"{max(payload[lap]['conversions_per_lap']):>12}",
+        )
+    record("snapshot_cache", f"warm/cold ratio: {payload['warm_over_cold']:.3f}")
+
+
+def check(payload: dict) -> None:
+    """The acceptance gates CI enforces."""
+    assert all(n == 0 for n in payload["warm"]["conversions_per_lap"]), (
+        "warm laps performed CSR conversions: "
+        f"{payload['warm']['conversions_per_lap']}"
+    )
+    assert payload["warm_over_cold"] <= 0.5, (
+        f"warm lap too slow: {payload['warm_over_cold']:.3f} of cold"
+    )
+
+
+def test_snapshot_cache_cold_warm(tmp_path):
+    """Warm lap converts nothing and runs in <= 0.5x the cold lap."""
+    posts_path = tmp_path / "posts.tsv"
+    write_posts_tsv(generate_stackoverflow(CONFIG), posts_path)
+    payload = run_cold_warm(posts_path)
+    write_report(payload)
+    check(payload)
+
+
+def main() -> int:
+    """Script entry point: run, report, gate; nonzero exit on failure."""
+    with tempfile.TemporaryDirectory() as tmp:
+        posts_path = Path(tmp) / "posts.tsv"
+        write_posts_tsv(generate_stackoverflow(CONFIG), posts_path)
+        payload = run_cold_warm(posts_path)
+    write_report(payload)
+    print(json.dumps(payload, indent=2))
+    try:
+        check(payload)
+    except AssertionError as err:
+        print(f"FAIL: {err}", file=sys.stderr)
+        return 1
+    print(
+        f"OK: warm/cold = {payload['warm_over_cold']:.3f}, "
+        "warm conversions = 0"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

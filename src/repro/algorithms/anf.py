@@ -75,7 +75,7 @@ def neighbourhood_function(
         return [0.0]
     rng = np.random.default_rng(seed)
     sketches = _fm_sketches(count, approximations, rng)
-    edge_src = np.repeat(np.arange(count, dtype=np.int64), csr.out_degrees())
+    edge_src = csr.edge_sources()
     edge_dst = csr.out_indices
     totals = [float(_estimate(sketches).sum())]
     for _ in range(max_distance):

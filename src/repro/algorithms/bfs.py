@@ -50,7 +50,8 @@ def bfs_levels(
     {1: 0, 2: 1, 3: 2}
     """
     csr = as_csr(graph)
-    levels = bfs_level_array(csr, csr.dense_of(source), direction=direction)
+    source_dense = int(csr.dense_of_array([source])[0])
+    levels = bfs_level_array(csr, source_dense, direction=direction)
     reached = levels != UNREACHED
     return dict(
         zip(
@@ -90,8 +91,7 @@ def bfs_level_array(
 def shortest_path_length(graph, source: int, target: int) -> int:
     """Fewest hops from ``source`` to ``target``; raises if unreachable."""
     csr = as_csr(graph)
-    source_dense = csr.dense_of(source)
-    target_dense = csr.dense_of(target)
+    source_dense, target_dense = csr.dense_of_array([source, target]).tolist()
     levels = bfs_level_array(csr, source_dense)
     if levels[target_dense] == UNREACHED:
         raise AlgorithmError(f"node {target} is unreachable from {source}")
@@ -101,8 +101,7 @@ def shortest_path_length(graph, source: int, target: int) -> int:
 def shortest_path(graph, source: int, target: int) -> list[int]:
     """One shortest hop path from ``source`` to ``target`` (inclusive)."""
     csr = as_csr(graph)
-    source_dense = csr.dense_of(source)
-    target_dense = csr.dense_of(target)
+    source_dense, target_dense = csr.dense_of_array([source, target]).tolist()
     levels = bfs_level_array(csr, source_dense)
     if levels[target_dense] == UNREACHED:
         raise AlgorithmError(f"node {target} is unreachable from {source}")

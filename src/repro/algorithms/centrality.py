@@ -154,7 +154,7 @@ def eigenvector_centrality(
     count = csr.num_nodes
     if count == 0:
         return {}
-    edge_src = np.repeat(np.arange(count, dtype=np.int64), csr.out_degrees())
+    edge_src = csr.edge_sources()
     edge_dst = csr.out_indices
     vector = np.full(count, 1.0 / np.sqrt(count), dtype=np.float64)
     for _ in range(max_iterations):

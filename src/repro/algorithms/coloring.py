@@ -61,10 +61,7 @@ def bipartite_sides(graph) -> "tuple[set[int], set[int]] | None":
     from repro.algorithms.common import as_csr
 
     original = as_csr(graph)
-    loop_sources = np.repeat(
-        np.arange(original.num_nodes, dtype=np.int64), original.out_degrees()
-    )
-    if np.any(loop_sources == original.out_indices):
+    if original.num_self_loops():
         return None
     csr = _undirected_csr(graph)
     count = csr.num_nodes

@@ -13,17 +13,26 @@ import numpy as np
 from repro.exceptions import AlgorithmError
 from repro.graphs.csr import CSRGraph
 from repro.graphs.directed import DirectedGraph
+from repro.graphs.snapshot import csr_snapshot
 from repro.graphs.undirected import UndirectedGraph
 
 AnyGraph = "DirectedGraph | UndirectedGraph | CSRGraph"
 
 
-def as_csr(graph: "DirectedGraph | UndirectedGraph | CSRGraph") -> CSRGraph:
-    """Snapshot ``graph`` to CSR (no-op if it already is one)."""
+def as_csr(
+    graph: "DirectedGraph | UndirectedGraph | CSRGraph", pool=None
+) -> CSRGraph:
+    """Snapshot ``graph`` to CSR (no-op if it already is one).
+
+    Dynamic graphs go through the process-wide versioned snapshot cache
+    (:mod:`repro.graphs.snapshot`): back-to-back algorithm calls on an
+    unchanged graph reuse one conversion, and any mutation rebuilds it
+    automatically. ``pool`` parallelises the build on a cache miss.
+    """
     if isinstance(graph, CSRGraph):
         return graph
     if isinstance(graph, (DirectedGraph, UndirectedGraph)):
-        return CSRGraph.from_graph(graph)
+        return csr_snapshot(graph, pool=pool)
     raise AlgorithmError(f"expected a graph, got {type(graph).__name__}")
 
 

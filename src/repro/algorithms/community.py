@@ -74,7 +74,7 @@ def modularity(graph, communities: dict[int, int]) -> float:
     labels = np.asarray(
         [communities[int(node)] for node in sym.node_ids], dtype=np.int64
     )
-    edge_src = np.repeat(np.arange(count, dtype=np.int64), sym.out_degrees())
+    edge_src = sym.edge_sources()
     edge_dst = sym.out_indices
     # Symmetrised CSR holds each undirected edge twice.
     two_m = float(len(edge_src))

@@ -76,10 +76,7 @@ def girth(graph) -> "int | None":
     7
     """
     original = as_csr(graph)
-    loop_src = np.repeat(
-        np.arange(original.num_nodes, dtype=np.int64), original.out_degrees()
-    )
-    if np.any(loop_src == original.out_indices):
+    if original.num_self_loops():
         return 1
     sym = _undirected_csr(graph)
     count = sym.num_nodes

@@ -31,7 +31,7 @@ def hits(
     count = csr.num_nodes
     if count == 0:
         return {}, {}
-    edge_src = np.repeat(np.arange(count, dtype=np.int64), csr.out_degrees())
+    edge_src = csr.edge_sources()
     edge_dst = csr.out_indices
     hubs_vec = np.full(count, 1.0 / np.sqrt(count), dtype=np.float64)
     auth_vec = hubs_vec.copy()

@@ -41,7 +41,7 @@ def katz_centrality(
     count = csr.num_nodes
     if count == 0:
         return {}
-    edge_src = np.repeat(np.arange(count, dtype=np.int64), csr.out_degrees())
+    edge_src = csr.edge_sources()
     edge_dst = csr.out_indices
     values = np.zeros(count, dtype=np.float64)
     for iteration in range(max_iterations):

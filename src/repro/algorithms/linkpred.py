@@ -36,9 +36,16 @@ class _Projection:
 
 def _score_pairs(graph, pairs, kernel) -> dict[tuple[int, int], float]:
     projection = _Projection(graph)
+    pair_list = list(pairs)
+    if not pair_list:
+        return {}
+    # One vectorised dense-id translation for all pairs instead of two
+    # binary searches per pair.
+    endpoints = np.asarray(pair_list, dtype=np.int64)
+    dense_u = projection.csr.dense_of_array(endpoints[:, 0])
+    dense_v = projection.csr.dense_of_array(endpoints[:, 1])
     scores: dict[tuple[int, int], float] = {}
-    for u, v in pairs:
-        du, dv = projection.dense_pair(u, v)
+    for (u, v), du, dv in zip(pair_list, dense_u.tolist(), dense_v.tolist()):
         scores[(u, v)] = kernel(projection, du, dv)
     return scores
 

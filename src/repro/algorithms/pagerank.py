@@ -63,8 +63,8 @@ def _dense_personalization(csr, personalize: dict[int, float] | None):
     if personalize is None:
         return None
     weights = np.zeros(csr.num_nodes, dtype=np.float64)
-    for node, weight in personalize.items():
-        weights[csr.dense_of(node)] = weight
+    dense = csr.dense_of_array(np.fromiter(personalize.keys(), dtype=np.int64))
+    weights[dense] = np.fromiter(personalize.values(), dtype=np.float64)
     total = weights.sum()
     if total <= 0:
         raise AlgorithmError("personalization weights must sum to a positive value")
@@ -84,10 +84,12 @@ def pagerank_array(
     if iterations is not None:
         check_positive(iterations, "iterations")
     check_positive(max_iterations, "max_iterations")
+    # Hoisted once: the degree vector feeds both the dangling mask and
+    # (via the cached edge_sources) the scatter index.
     out_deg = csr.out_degrees().astype(np.float64)
     dangling = out_deg == 0
     # Edge list grouped by source: contribution scatter via bincount.
-    edge_src = np.repeat(np.arange(count, dtype=np.int64), csr.out_degrees())
+    edge_src = csr.edge_sources()
     edge_dst = csr.out_indices
     base = (
         personalize_dense
@@ -144,7 +146,7 @@ def pagerank_weighted(
     count = csr.num_nodes
     if count == 0:
         return {}
-    edge_src = np.repeat(np.arange(count, dtype=np.int64), csr.out_degrees())
+    edge_src = csr.edge_sources()
     edge_dst = csr.out_indices
     node_ids = csr.node_ids
     weights = np.fromiter(

@@ -53,7 +53,7 @@ def dijkstra(
     """
     weight_fn = _resolve_weight(graph, weight)
     csr = as_csr(graph)
-    source_dense = csr.dense_of(source)
+    source_dense = int(csr.dense_of_array([source])[0])
     node_ids = csr.node_ids
     distances: dict[int, float] = {}
     heap: list[tuple[float, int]] = [(0.0, source_dense)]
@@ -90,8 +90,7 @@ def dijkstra_path(
     """One shortest path and its length; raises if unreachable."""
     weight_fn = _resolve_weight(graph, weight)
     csr = as_csr(graph)
-    source_dense = csr.dense_of(source)
-    target_dense = csr.dense_of(target)
+    source_dense, target_dense = csr.dense_of_array([source, target]).tolist()
     node_ids = csr.node_ids
     parent: dict[int, int] = {}
     heap: list[tuple[float, int]] = [(0.0, source_dense)]
@@ -131,7 +130,7 @@ def bellman_ford(
     """
     weight_fn = _resolve_weight(graph, weight)
     csr = as_csr(graph)
-    csr.dense_of(source)  # validate
+    csr.dense_of_array([source])  # validate
     node_ids = csr.node_ids.tolist()
     edges = [
         (node_ids[src], node_ids[dst], weight_fn(node_ids[src], node_ids[dst]))

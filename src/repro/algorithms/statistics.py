@@ -61,8 +61,7 @@ def summarize(graph) -> GraphSummary:
 
 
 def _count_self_loops(csr: CSRGraph) -> int:
-    src = np.repeat(np.arange(csr.num_nodes, dtype=np.int64), csr.out_degrees())
-    return int(np.sum(src == csr.out_indices))
+    return csr.num_self_loops()
 
 
 def degree_distribution(graph, mode: str = "total") -> Table:
@@ -93,7 +92,7 @@ def reciprocity(graph) -> float:
     csr = as_csr(graph)
     if csr.num_edges == 0:
         return 0.0
-    src = np.repeat(np.arange(csr.num_nodes, dtype=np.int64), csr.out_degrees())
+    src = csr.edge_sources()
     dst = csr.out_indices
     forward = set(zip(src.tolist(), dst.tolist()))
     mutual = sum(1 for u, v in forward if (v, u) in forward)
@@ -109,7 +108,7 @@ def degree_assortativity(graph) -> float:
     if csr.num_edges == 0:
         return 0.0
     total_deg = (csr.in_degrees() + csr.out_degrees()).astype(np.float64)
-    src = np.repeat(np.arange(csr.num_nodes, dtype=np.int64), csr.out_degrees())
+    src = csr.edge_sources()
     dst = csr.out_indices
     x = total_deg[src]
     y = total_deg[dst]

@@ -27,6 +27,7 @@ Known sites (wired at the call points):
 ``vector.append``     per :class:`ConcurrentVector` append
 ``convert.sort_first`` entry of the sort-first graph build
 ``join.materialize``  entry of the equi-join materialisation
+``snapshot.build``    per CSR conversion in the snapshot cache
 ====================  ====================================================
 """
 
@@ -48,6 +49,7 @@ KNOWN_SITES = (
     "vector.append",
     "convert.sort_first",
     "join.materialize",
+    "snapshot.build",
 )
 
 

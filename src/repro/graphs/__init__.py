@@ -20,6 +20,7 @@ from repro.graphs.ops import (
     renumber,
     subgraph,
 )
+from repro.graphs.snapshot import SnapshotCache, csr_snapshot, snapshot_cache
 from repro.graphs.serialize import (
     load_edge_list,
     load_graph,
@@ -33,6 +34,7 @@ __all__ = [
     "DirectedGraph",
     "DirectedMultigraph",
     "Network",
+    "SnapshotCache",
     "UndirectedGraph",
     "degree_array",
     "ego_network",
@@ -45,5 +47,7 @@ __all__ = [
     "renumber",
     "save_edge_list",
     "save_graph",
+    "csr_snapshot",
+    "snapshot_cache",
     "subgraph",
 ]

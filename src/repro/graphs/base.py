@@ -60,9 +60,31 @@ class GraphBase:
 
     Subclasses supply ``_nodes`` (the node hash table) and the edge
     bookkeeping; this base provides the derived queries algorithms use.
+
+    Every structural mutation bumps :attr:`version`, a cheap monotonic
+    counter. Snapshot consumers (the CSR cache in
+    :mod:`repro.graphs.snapshot`) memoise on ``(graph, version)``, so an
+    unchanged graph can be re-analysed without re-converting while any
+    add/delete automatically invalidates stale snapshots.
     """
 
     _nodes: dict
+    _version: int = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic structure version; bumped by every mutating op.
+
+        Two reads returning the same value guarantee no node or edge was
+        added or removed in between — the contract the snapshot cache
+        relies on. Attribute-only updates (e.g. ``Network`` attributes)
+        do not change structure and do not bump it.
+        """
+        return self._version
+
+    def _bump_version(self) -> None:
+        """Record one structural mutation (invalidates cached snapshots)."""
+        self._version += 1
 
     def __len__(self) -> int:
         return len(self._nodes)

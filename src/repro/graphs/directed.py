@@ -48,6 +48,7 @@ class DirectedGraph(GraphBase):
     def __init__(self) -> None:
         self._nodes: dict[int, _NodeRecord] = {}
         self._num_edges = 0
+        self._version = 0
 
     # ------------------------------------------------------------------
     # Structure queries
@@ -129,6 +130,7 @@ class DirectedGraph(GraphBase):
         if node_id in self._nodes:
             return False
         self._nodes[node_id] = _NodeRecord()
+        self._bump_version()
         return True
 
     def add_edge(self, src: int, dst: int) -> bool:
@@ -149,6 +151,7 @@ class DirectedGraph(GraphBase):
         dst_record = self._nodes[dst]
         dst_record.in_nbrs, _ = sorted_insert(dst_record.in_nbrs, src)
         self._num_edges += 1
+        self._bump_version()
         return True
 
     def del_edge(self, src: int, dst: int) -> None:
@@ -163,6 +166,7 @@ class DirectedGraph(GraphBase):
         dst_record = self._nodes[dst]
         dst_record.in_nbrs, _ = sorted_remove(dst_record.in_nbrs, src)
         self._num_edges -= 1
+        self._bump_version()
 
     def del_node(self, node_id: int) -> None:
         """Delete a node and every incident edge; raises if absent."""
@@ -181,6 +185,7 @@ class DirectedGraph(GraphBase):
             removed_edges -= 1  # the self-loop was counted from both sides
         self._num_edges -= removed_edges
         del self._nodes[node_id]
+        self._bump_version()
 
     def _set_adjacency(
         self, node_id: int, in_nbrs: np.ndarray, out_nbrs: np.ndarray
@@ -196,10 +201,12 @@ class DirectedGraph(GraphBase):
         record = self._nodes[node_id]
         record.in_nbrs = np.ascontiguousarray(in_nbrs, dtype=np.int64)
         record.out_nbrs = np.ascontiguousarray(out_nbrs, dtype=np.int64)
+        self._bump_version()
 
     def _set_edge_count(self, count: int) -> None:
         """Set the edge count after a bulk build."""
         self._num_edges = count
+        self._bump_version()
 
     # ------------------------------------------------------------------
     # Derived graphs

@@ -1,0 +1,254 @@
+"""Versioned CSR snapshot cache — conversion reuse for the interactive loop.
+
+Ringo's headline claim is *interactive* analytics: one dynamic graph,
+many algorithm invocations (paper §2.2, §3, Fig 2). Each bulk kernel
+runs over an immutable :class:`~repro.graphs.csr.CSRGraph` snapshot, and
+before this cache every invocation paid the full O(V+E) re-snapshot even
+when the graph had not changed. The cache memoises snapshots on
+``(graph identity, graph version)``:
+
+* the dynamic graph classes bump a monotonic ``version`` counter on
+  every structural mutation (see :class:`repro.graphs.base.GraphBase`),
+  so a stale snapshot is detected by one integer compare and rebuilt —
+  no manual invalidation ever needed;
+* entries hold the graph **weakly** (keyed by ``id(graph)`` with a
+  ``weakref`` cleanup callback), so caching a graph never prevents it
+  from being garbage-collected, and a collected graph's snapshot is
+  dropped with it;
+* admission is **byte-budgeted**: a snapshot larger than the configured
+  ``max_bytes`` ceiling (counting all cached snapshots) is still
+  returned to the caller but not retained, so the cache cannot blow the
+  memory headroom an operator granted it;
+* every build passes through the ``snapshot.build`` fault site, so
+  :func:`repro.faults.inject_faults` can prove a failed conversion never
+  leaves a partial entry behind.
+
+The process-wide default cache is what
+:func:`repro.algorithms.common.as_csr` consults, which is how all ~20
+algorithm modules share snapshots without code changes at call sites.
+``Ringo(snapshot_cache=...)`` toggles and budgets it, and
+``Ringo.health()`` reports its counters.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+
+from repro.exceptions import RingoError
+from repro.faults import fault_point
+from repro.graphs.csr import CSRGraph
+from repro.graphs.directed import DirectedGraph
+from repro.graphs.undirected import UndirectedGraph
+
+
+class _Entry:
+    """One cached snapshot: weak graph ref, version stamp, CSR, size."""
+
+    __slots__ = ("ref", "version", "csr", "nbytes")
+
+    def __init__(self, ref, version: int, csr: CSRGraph, nbytes: int) -> None:
+        self.ref = ref
+        self.version = version
+        self.csr = csr
+        self.nbytes = nbytes
+
+
+class SnapshotCache:
+    """Weakref-keyed, version-checked cache of CSR snapshots.
+
+    ``max_bytes`` caps the total bytes of retained snapshots (``None``
+    means unlimited); an over-budget snapshot is built and returned but
+    not cached, recorded under ``rejected``. ``enabled=False`` turns the
+    cache into a pass-through that still counts conversions.
+
+    >>> from repro.graphs.directed import DirectedGraph
+    >>> cache = SnapshotCache()
+    >>> g = DirectedGraph(); _ = g.add_edge(1, 2)
+    >>> cache.get(g) is cache.get(g)
+    True
+    >>> cache.stats()["hits"], cache.stats()["misses"]
+    (1, 1)
+    """
+
+    def __init__(self, enabled: bool = True, max_bytes: "int | None" = None) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise RingoError(
+                f"snapshot cache max_bytes must be positive, got {max_bytes}"
+            )
+        self._lock = threading.Lock()
+        self._entries: dict[int, _Entry] = {}
+        self.enabled = enabled
+        self.max_bytes = max_bytes
+        self._cached_bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._invalidations = 0
+        self._rejected = 0
+        self._collected = 0
+        self._conversions = 0
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def get(
+        self, graph: "DirectedGraph | UndirectedGraph", pool=None
+    ) -> CSRGraph:
+        """The CSR snapshot for ``graph`` at its current version.
+
+        A hit costs one dict probe and one integer compare. On a miss
+        (or a stale version) the snapshot is rebuilt — in parallel when
+        ``pool`` is a multi-worker :class:`~repro.parallel.executor.WorkerPool`
+        — and retained if it passes byte admission.
+        """
+        if not isinstance(graph, (DirectedGraph, UndirectedGraph)):
+            raise RingoError(
+                f"snapshot cache expects a dynamic graph, got {type(graph).__name__}"
+            )
+        key = id(graph)
+        version = graph.version
+        stale = False
+        if self.enabled:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    if entry.version == version:
+                        self._hits += 1
+                        return entry.csr
+                    stale = True
+        csr = self._build(graph, pool)
+        if not self.enabled:
+            return csr
+        nbytes = csr.memory_bytes()
+        with self._lock:
+            # Re-read under the lock: a racing thread may have stored.
+            entry = self._entries.get(key)
+            replaced = entry.nbytes if entry is not None else 0
+            if stale:
+                self._invalidations += 1
+            else:
+                self._misses += 1
+            if (
+                self.max_bytes is not None
+                and self._cached_bytes - replaced + nbytes > self.max_bytes
+            ):
+                self._rejected += 1
+                if entry is not None:
+                    # The retained snapshot is stale; drop it too.
+                    del self._entries[key]
+                    self._cached_bytes -= replaced
+                return csr
+            ref = weakref.ref(graph, self._make_cleanup(key))
+            self._entries[key] = _Entry(ref, version, csr, nbytes)
+            self._cached_bytes += nbytes - replaced
+        return csr
+
+    def _build(self, graph, pool) -> CSRGraph:
+        fault_point("snapshot.build")
+        with self._lock:
+            self._conversions += 1
+        return CSRGraph.from_graph(graph, pool=pool)
+
+    def _make_cleanup(self, key: int):
+        def cleanup(_ref) -> None:
+            with self._lock:
+                entry = self._entries.pop(key, None)
+                if entry is not None:
+                    self._cached_bytes -= entry.nbytes
+                    self._collected += 1
+
+        return cleanup
+
+    # ------------------------------------------------------------------
+    # Management
+    # ------------------------------------------------------------------
+
+    def configure(
+        self,
+        enabled: "bool | None" = None,
+        max_bytes: "int | None | str" = "unchanged",
+    ) -> None:
+        """Adjust the toggle and/or the byte ceiling in place."""
+        if enabled is not None:
+            self.enabled = bool(enabled)
+        if max_bytes != "unchanged":
+            if max_bytes is not None and max_bytes <= 0:
+                raise RingoError(
+                    f"snapshot cache max_bytes must be positive, got {max_bytes}"
+                )
+            self.max_bytes = max_bytes
+
+    def invalidate(self, graph) -> bool:
+        """Manually drop one graph's cached snapshot; True if present."""
+        with self._lock:
+            entry = self._entries.pop(id(graph), None)
+            if entry is None:
+                return False
+            self._cached_bytes -= entry.nbytes
+            return True
+
+    def clear(self, reset_stats: bool = False) -> None:
+        """Drop every cached snapshot (optionally zero the counters)."""
+        with self._lock:
+            self._entries.clear()
+            self._cached_bytes = 0
+            if reset_stats:
+                self._hits = 0
+                self._misses = 0
+                self._invalidations = 0
+                self._rejected = 0
+                self._collected = 0
+                self._conversions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        """Counter snapshot for ``Ringo.health()`` and the benchmarks.
+
+        ``conversions`` counts actual ``CSRGraph.from_graph`` builds the
+        cache performed; on an unchanged graph a warm pass must add
+        hits, never conversions.
+        """
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "entries": len(self._entries),
+                "bytes": self._cached_bytes,
+                "max_bytes": self.max_bytes,
+                "hits": self._hits,
+                "misses": self._misses,
+                "invalidations": self._invalidations,
+                "rejected": self._rejected,
+                "collected": self._collected,
+                "conversions": self._conversions,
+            }
+
+
+# The process-wide cache: one interactive session per process is the
+# paper's deployment model, and module-level algorithm entry points
+# (``alg.pagerank(graph)``) have no session to hang a cache off.
+_DEFAULT_CACHE = SnapshotCache()
+
+
+def snapshot_cache() -> SnapshotCache:
+    """The process-wide snapshot cache (what :func:`csr_snapshot` uses)."""
+    return _DEFAULT_CACHE
+
+
+def csr_snapshot(
+    graph: "DirectedGraph | UndirectedGraph", pool=None
+) -> CSRGraph:
+    """Cached CSR snapshot of a dynamic graph via the process-wide cache.
+
+    >>> from repro.graphs.directed import DirectedGraph
+    >>> g = DirectedGraph(); _ = g.add_edge(1, 2)
+    >>> csr_snapshot(g) is csr_snapshot(g)
+    True
+    >>> _ = g.add_edge(2, 3)  # mutation bumps g.version -> rebuild
+    >>> csr_snapshot(g).num_edges
+    2
+    """
+    return _DEFAULT_CACHE.get(graph, pool=pool)

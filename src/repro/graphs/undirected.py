@@ -38,6 +38,7 @@ class UndirectedGraph(GraphBase):
     def __init__(self) -> None:
         self._nodes: dict[int, np.ndarray] = {}
         self._num_edges = 0
+        self._version = 0
 
     @property
     def is_directed(self) -> bool:
@@ -93,6 +94,7 @@ class UndirectedGraph(GraphBase):
         if node_id in self._nodes:
             return False
         self._nodes[node_id] = EMPTY_ADJACENCY
+        self._bump_version()
         return True
 
     def add_edge(self, u: int, v: int) -> bool:
@@ -111,6 +113,7 @@ class UndirectedGraph(GraphBase):
         if u != v:
             self._nodes[v], _ = sorted_insert(self._nodes[v], u)
         self._num_edges += 1
+        self._bump_version()
         return True
 
     def del_edge(self, u: int, v: int) -> None:
@@ -125,6 +128,7 @@ class UndirectedGraph(GraphBase):
         if u != v:
             self._nodes[v], _ = sorted_remove(self._nodes[v], u)
         self._num_edges -= 1
+        self._bump_version()
 
     def del_node(self, node_id: int) -> None:
         """Delete a node and its incident edges; raises if absent."""
@@ -135,15 +139,18 @@ class UndirectedGraph(GraphBase):
                 self._nodes[nbr], _ = sorted_remove(self._nodes[nbr], node_id)
         self._num_edges -= len(nbrs)
         del self._nodes[node_id]
+        self._bump_version()
 
     def _set_adjacency(self, node_id: int, nbrs: np.ndarray) -> None:
         """Install a pre-sorted adjacency vector — bulk construction only."""
         self.add_node(node_id)
         self._nodes[node_id] = np.ascontiguousarray(nbrs, dtype=np.int64)
+        self._bump_version()
 
     def _set_edge_count(self, count: int) -> None:
         """Set the edge count after a bulk build."""
         self._num_edges = count
+        self._bump_version()
 
     def copy(self) -> "UndirectedGraph":
         """Deep copy."""

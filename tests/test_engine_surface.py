@@ -95,6 +95,7 @@ def test_every_session_method_exercised(ringo, graph, tmp_path):
         "GetObject": ringo.GetObject(ringo.Objects()[0]),
         "workers_info": ringo.workers_info(),
         "health": ringo.health(),
+        "call_timings": ringo.call_timings(),
     }
     # Deferred ones needing special setup:
     from repro.graphs.network import Network
