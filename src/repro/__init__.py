@@ -22,11 +22,14 @@ Subpackages: :mod:`repro.tables` (column-store relational engine),
 
 from repro.core.engine import Ringo
 from repro.exceptions import (
+    AnalysisError,
     ExecutionError,
     MemoryBudgetError,
     PoolClosedError,
+    RaceDetected,
     RetryExhaustedError,
     RingoError,
+    SanitizerError,
     TransientError,
     WorkerTimeoutError,
 )
@@ -41,16 +44,19 @@ from repro.tables.table import Table
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnalysisError",
     "ColumnType",
     "DirectedGraph",
     "ExecutionError",
     "MemoryBudget",
     "MemoryBudgetError",
     "PoolClosedError",
+    "RaceDetected",
     "RetryExhaustedError",
     "RetryPolicy",
     "Ringo",
     "RingoError",
+    "SanitizerError",
     "Schema",
     "Table",
     "TransientError",

@@ -58,8 +58,8 @@ def closeness_centrality(
         sources = rng.choice(count, size=min(samples, count), replace=False)
     distance_sum = np.zeros(count, dtype=np.float64)
     reach_count = np.zeros(count, dtype=np.int64)
-    for source in sources:
-        levels = bfs_level_array(csr, int(source), direction="in")
+    for source in sources.tolist():
+        levels = bfs_level_array(csr, source, direction="in")
         reached = levels != UNREACHED
         distance_sum[reached] += levels[reached]
         reach_count[reached] += 1
@@ -100,8 +100,8 @@ def betweenness_centrality(
     scores = np.zeros(count, dtype=np.float64)
     indptr = csr.out_indptr
     indices = csr.out_indices
-    for source in sources:
-        scores += _brandes_single_source(count, indptr, indices, int(source))
+    for source in sources.tolist():
+        scores += _brandes_single_source(count, indptr, indices, source)
     if samples is not None and len(sources) < count:
         scores *= count / len(sources)
     if normalized and count > 2:

@@ -26,8 +26,8 @@ def _sample_levels(graph, samples: int | None, seed: int, direction: str):
         check_positive(samples, "samples")
         rng = np.random.default_rng(seed)
         sources = rng.choice(count, size=min(samples, count), replace=False)
-    for source in sources:
-        yield bfs_level_array(csr, int(source), direction=direction)
+    for source in sources.tolist():
+        yield bfs_level_array(csr, source, direction=direction)
 
 
 def diameter(

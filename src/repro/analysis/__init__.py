@@ -1,0 +1,45 @@
+"""repro.analysis — static analysis and runtime checking for the engine.
+
+Three layers of correctness tooling (the pure-Python stand-in for the
+safety the paper gets from a compiled SNAP back-end and OpenMP's
+structured parallelism):
+
+* :mod:`repro.analysis.lint` + :mod:`repro.analysis.rules` — ringo-lint,
+  an AST lint framework with project rules R001–R006, per-line
+  ``# ringo-lint: disable=RXXX`` suppressions, and a checked-in
+  baseline. Run with ``python -m repro.analysis src/`` or ``repro lint``.
+* :mod:`repro.analysis.races` — an Eraser-style lockset race detector
+  shadowing the concurrent containers and worker-pool dispatch, armed
+  via ``Ringo(race_check=True)`` / ``RINGO_RACE_CHECK=1``.
+* :mod:`repro.analysis.sanitize` — a CSR snapshot sanitizer validating
+  structural invariants after every conversion under ``RINGO_SANITIZE=1``.
+
+Race and sanitizer counters surface in ``Ringo.health()["analysis"]``.
+"""
+
+from repro.analysis.lint import (
+    Finding,
+    LintRule,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.races import (
+    Monitored,
+    RaceDetector,
+    TrackedLock,
+    race_check,
+)
+from repro.analysis.sanitize import maybe_sanitize, sanitize_csr
+
+__all__ = [
+    "Finding",
+    "LintRule",
+    "Monitored",
+    "RaceDetector",
+    "TrackedLock",
+    "lint_paths",
+    "lint_source",
+    "maybe_sanitize",
+    "race_check",
+    "sanitize_csr",
+]

@@ -1,0 +1,133 @@
+"""The ``python -m repro.analysis`` / ``repro lint`` entry point.
+
+Exit codes: 0 — no gating findings (advisory, suppressed, and baselined
+findings are reported but accepted); 1 — at least one unsuppressed,
+unbaselined error finding; 2 — usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis import lint
+from repro.exceptions import AnalysisError
+
+DEFAULT_BASELINE = ".ringo-lint-baseline"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The lint CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis",
+        description="ringo-lint: project-specific static analysis (rules R001-R006)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule codes to run (default: all registered)",
+    )
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE,
+        help=f"baseline file of accepted findings (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--no-advisory", action="store_true",
+        help="hide advisory findings from the report",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _list_rules() -> int:
+    for rule in lint.active_rules():
+        print(f"{rule.code}  [{rule.severity:<8}]  {rule.name}: {rule.description}")
+    return 0
+
+
+def _report_text(findings, show_advisory: bool) -> None:
+    shown = 0
+    for finding in findings:
+        if finding.severity == lint.SEVERITY_ADVISORY and not show_advisory:
+            continue
+        suffix = ""
+        if finding.suppressed:
+            suffix = "  [suppressed]"
+        elif finding.baselined:
+            suffix = "  [baselined]"
+        print(finding.format() + suffix)
+        shown += 1
+    gating = lint.gating_findings(findings)
+    advisory = sum(1 for f in findings if f.severity == lint.SEVERITY_ADVISORY)
+    suppressed = sum(1 for f in findings if f.suppressed)
+    baselined = sum(1 for f in findings if f.baselined and not f.suppressed)
+    print(
+        f"ringo-lint: {len(gating)} gating finding(s), {advisory} advisory, "
+        f"{suppressed} suppressed, {baselined} baselined"
+    )
+
+
+def _report_json(findings) -> None:
+    payload = [
+        {
+            "code": f.code,
+            "message": f.message,
+            "path": f.path,
+            "line": f.line,
+            "col": f.col,
+            "symbol": f.symbol,
+            "severity": f.severity,
+            "suppressed": f.suppressed,
+            "baselined": f.baselined,
+        }
+        for f in findings
+    ]
+    json.dump({"findings": payload}, sys.stdout, indent=2)
+    print()
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Run the linter; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        return _list_rules()
+    codes = (
+        [code.strip() for code in args.rules.split(",") if code.strip()]
+        if args.rules
+        else None
+    )
+    try:
+        findings = lint.lint_paths(args.paths, codes)
+        if args.write_baseline:
+            count = lint.write_baseline(args.baseline, findings)
+            print(f"ringo-lint: wrote {count} finding(s) to {args.baseline}")
+            return 0
+        lint.apply_baseline(findings, lint.load_baseline(args.baseline))
+    except (AnalysisError, OSError) as error:
+        print(f"repro.analysis: error: {error}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        _report_json(findings)
+    else:
+        _report_text(findings, show_advisory=not args.no_advisory)
+    return 1 if lint.gating_findings(findings) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

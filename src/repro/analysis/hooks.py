@@ -1,0 +1,91 @@
+"""Runtime instrumentation hooks — the seam between the production code
+and the opt-in checkers in :mod:`repro.analysis`.
+
+The parallel substrate (concurrent containers, the worker pool) calls
+these hooks at its shared-state access points, exactly like the
+``fault_point`` pattern in :mod:`repro.faults`: one module-global that is
+``None`` unless a detector is installed, so the disabled cost is a load
+and a compare per access. This module deliberately imports nothing from
+the rest of the package — it sits below :mod:`repro.parallel` in the
+import graph, which is what lets the containers report accesses without
+an import cycle.
+
+Hook points (wired at the call sites):
+
+======================  ==============================================
+``container_access``    per mutation of :class:`LinearProbingHashTable`,
+                        :class:`ConcurrentVector`, :class:`AtomicCounter`
+``kernel_dispatch``     per kernel dispatch in :class:`WorkerPool`
+======================  ==============================================
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable
+
+# The installed race detector, or None. Installed/removed only through
+# set_detector() so enable/disable stays race-free under the lock.
+_DETECTOR = None
+_DETECTOR_LOCK = threading.Lock()
+
+# Per-thread stack of currently-held TrackedLock instances; the detector
+# folds these into the candidate lockset of every access the thread makes.
+_HELD = threading.local()
+
+
+def set_detector(detector) -> None:
+    """Install (or, with ``None``, remove) the process-wide race detector."""
+    global _DETECTOR
+    with _DETECTOR_LOCK:
+        _DETECTOR = detector
+
+
+def get_detector():
+    """The installed race detector, or ``None``."""
+    return _DETECTOR
+
+
+def held_locks() -> tuple:
+    """TrackedLock instances the calling thread currently holds."""
+    return tuple(getattr(_HELD, "stack", ()))
+
+
+def push_held(lock) -> None:
+    """Record that the calling thread acquired a tracked lock."""
+    stack = getattr(_HELD, "stack", None)
+    if stack is None:
+        stack = []
+        _HELD.stack = stack
+    stack.append(lock)
+
+
+def pop_held(lock) -> None:
+    """Record that the calling thread released a tracked lock."""
+    stack = getattr(_HELD, "stack", None)
+    if stack and stack[-1] is lock:
+        stack.pop()
+    elif stack and lock in stack:
+        stack.remove(lock)
+
+
+def container_access(
+    obj: object, label: str, write: bool, guards: Iterable[object] = ()
+) -> None:
+    """Report one shared-state access to the detector, if one is installed.
+
+    ``guards`` names the synchronisation devices the *container itself*
+    holds for this access (its internal mutate lock, or the atomic
+    counter whose fetch-and-add made the touched cells disjoint); the
+    detector unions them with the caller's tracked locks.
+    """
+    detector = _DETECTOR
+    if detector is not None:
+        detector.record_access(obj, label, write, guards)
+
+
+def kernel_dispatch() -> None:
+    """Report one worker-pool kernel dispatch to the detector."""
+    detector = _DETECTOR
+    if detector is not None:
+        detector.record_dispatch()

@@ -1,0 +1,321 @@
+"""ringo-lint — the project-specific AST lint framework.
+
+PRs 1–2 made correctness depend on cross-cutting conventions (every
+structural mutation bumps the graph version, every kernel reaches CSR
+through the snapshot cache, fault sites are registered strings, locks
+are released on every path). The paper's back-end gets this safety from
+a compiled C++ library and OpenMP's structured parallelism; a
+pure-Python reproduction has to enforce its conventions itself. This
+module is the enforcement framework:
+
+* **rules** — each check is a :class:`LintRule` with a stable ``RXXX``
+  code, registered in :data:`RULES` (see :mod:`repro.analysis.rules`
+  for the project rules R001–R006);
+* **suppressions** — a ``# ringo-lint: disable=RXXX`` comment on (or
+  immediately above) a line silences matching findings there, so a
+  deliberate exception is visible and justified in the source;
+* **baseline** — a checked-in file of known findings lets the lint gate
+  fail only on *new* violations while legacy ones are burned down. The
+  shipped baseline is empty and CI keeps it that way.
+
+Run it as ``python -m repro.analysis src/`` or ``repro lint src/``.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.exceptions import AnalysisError
+
+SEVERITY_ERROR = "error"
+SEVERITY_ADVISORY = "advisory"
+
+_DISABLE_RE = re.compile(r"ringo-lint:\s*disable=([A-Za-z0-9_,\s]+|all)")
+
+
+@dataclass
+class Finding:
+    """One lint violation: where, what, and how severe."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+    symbol: str = "<module>"
+    severity: str = SEVERITY_ERROR
+    suppressed: bool = False
+    baselined: bool = False
+
+    @property
+    def key(self) -> str:
+        """Line-number-free identity used for baseline matching.
+
+        Keyed on ``(code, path, enclosing symbol)`` so a baselined
+        finding survives unrelated edits that shift line numbers, while
+        a new violation in a different function is still caught.
+        """
+        return f"{self.code}|{Path(self.path).as_posix()}|{self.symbol}"
+
+    def format(self) -> str:
+        """Render as a one-line ``path:line: code message`` report."""
+        tag = "" if self.severity == SEVERITY_ERROR else " (advisory)"
+        return f"{self.path}:{self.line}:{self.col}: {self.code}{tag} {self.message}"
+
+
+class ModuleUnit:
+    """One parsed module handed to every rule: source, AST, and helpers."""
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = path
+        self.source = source
+        try:
+            self.tree = ast.parse(source, filename=path)
+        except SyntaxError as err:
+            raise AnalysisError(f"cannot parse {path}: {err}") from err
+        self.suppressions = _parse_suppressions(source)
+        self._parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+        self._scopes = _scope_spans(self.tree)
+
+    @property
+    def parts(self) -> tuple[str, ...]:
+        """Normalised path components (for path-scoped rules)."""
+        return Path(self.path).parts
+
+    def parent(self, node: ast.AST) -> "ast.AST | None":
+        """The AST parent of ``node`` (None for the module root)."""
+        return self._parents.get(node)
+
+    def qualname_at(self, node: ast.AST) -> str:
+        """Dotted name of the innermost class/function enclosing ``node``."""
+        line = getattr(node, "lineno", 0)
+        best = "<module>"
+        best_span = None
+        for start, end, qualname in self._scopes:
+            if start <= line <= end and (best_span is None or start >= best_span):
+                best, best_span = qualname, start
+        return best
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        """Whether a ``disable=`` comment covers ``code`` at ``line``."""
+        for candidate in (line, line - 1):
+            codes = self.suppressions.get(candidate)
+            if codes and ("all" in codes or code in codes):
+                # A comment on the preceding line only applies if that
+                # line holds nothing but the comment.
+                if candidate == line or self._comment_only(candidate):
+                    return True
+        return False
+
+    def _comment_only(self, line: int) -> bool:
+        lines = self.source.splitlines()
+        if 1 <= line <= len(lines):
+            return lines[line - 1].lstrip().startswith("#")
+        return False
+
+
+def _parse_suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number -> set of rule codes disabled by a comment there."""
+    out: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _DISABLE_RE.search(token.string)
+            if match is None:
+                continue
+            spec = match.group(1)
+            codes = (
+                {"all"}
+                if spec.strip() == "all"
+                else {code.strip() for code in spec.split(",") if code.strip()}
+            )
+            out.setdefault(token.start[0], set()).update(codes)
+    except tokenize.TokenError:
+        pass
+    return out
+
+
+def _scope_spans(tree: ast.Module) -> list[tuple[int, int, str]]:
+    """``(start_line, end_line, qualname)`` for every class/function."""
+    spans: list[tuple[int, int, str]] = []
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                qualname = f"{prefix}{child.name}"
+                spans.append((child.lineno, child.end_lineno or child.lineno, qualname))
+                visit(child, f"{qualname}.")
+            else:
+                visit(child, prefix)
+
+    visit(tree, "")
+    return spans
+
+
+class LintRule:
+    """Base class for one check: a code, a severity, and ``check()``."""
+
+    code = "R000"
+    name = "unnamed"
+    severity = SEVERITY_ERROR
+    description = ""
+
+    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+        """Yield findings for one module; implemented by subclasses."""
+        raise NotImplementedError
+
+    def finding(
+        self, unit: ModuleUnit, node: ast.AST, message: str
+    ) -> Finding:
+        """Build a finding anchored at ``node`` with this rule's metadata."""
+        return Finding(
+            code=self.code,
+            message=message,
+            path=unit.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            symbol=unit.qualname_at(node),
+            severity=self.severity,
+        )
+
+
+#: The rule registry: code -> rule instance. Populated by
+#: :func:`register` (repro.analysis.rules registers R001–R006 on import).
+RULES: dict[str, LintRule] = {}
+
+
+def register(rule_cls: "type[LintRule]") -> "type[LintRule]":
+    """Class decorator adding a rule (by its ``code``) to :data:`RULES`."""
+    rule = rule_cls()
+    if rule.code in RULES:
+        raise AnalysisError(f"duplicate lint rule code {rule.code}")
+    RULES[rule.code] = rule
+    return rule_cls
+
+
+def active_rules(codes: "Sequence[str] | None" = None) -> list[LintRule]:
+    """The selected rules (all registered ones when ``codes`` is None)."""
+    _ensure_rules_loaded()
+    if codes is None:
+        return [RULES[code] for code in sorted(RULES)]
+    unknown = [code for code in codes if code not in RULES]
+    if unknown:
+        raise AnalysisError(
+            f"unknown lint rule(s) {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(RULES))}"
+        )
+    return [RULES[code] for code in codes]
+
+
+def _ensure_rules_loaded() -> None:
+    # Importing the rules module populates RULES via @register.
+    from repro.analysis import rules as _rules  # noqa: F401
+
+
+def lint_source(
+    source: str, path: str = "<string>", codes: "Sequence[str] | None" = None
+) -> list[Finding]:
+    """Lint one in-memory module; suppressed findings are marked, not dropped."""
+    unit = ModuleUnit(path, source)
+    findings: list[Finding] = []
+    for rule in active_rules(codes):
+        for finding in rule.check(unit):
+            finding.suppressed = unit.is_suppressed(finding.code, finding.line)
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.code))
+    return findings
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
+    """Expand files/directories into the .py files under them, sorted."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(
+                p for p in path.rglob("*.py") if "__pycache__" not in p.parts
+            )
+        elif path.suffix == ".py":
+            yield path
+        else:
+            raise AnalysisError(f"not a Python file or directory: {raw}")
+
+
+def lint_paths(
+    paths: Iterable[str], codes: "Sequence[str] | None" = None
+) -> list[Finding]:
+    """Lint every .py file under ``paths``; returns all findings."""
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        source = path.read_text(encoding="utf-8")
+        findings.extend(lint_source(source, str(path), codes))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+
+BASELINE_HEADER = (
+    "# ringo-lint baseline — one `CODE|path|symbol` key per known finding.\n"
+    "# New findings not listed here fail `python -m repro.analysis`.\n"
+    "# Regenerate with: python -m repro.analysis --write-baseline <paths>\n"
+)
+
+
+def load_baseline(path: "str | Path") -> set[str]:
+    """Read a baseline file into a set of finding keys (empty if absent)."""
+    baseline_path = Path(path)
+    if not baseline_path.exists():
+        return set()
+    keys: set[str] = set()
+    for line in baseline_path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            keys.add(line)
+    return keys
+
+
+def write_baseline(path: "str | Path", findings: Iterable[Finding]) -> int:
+    """Write the error-severity findings as the new baseline; returns count."""
+    keys = sorted(
+        {
+            f.key
+            for f in findings
+            if f.severity == SEVERITY_ERROR and not f.suppressed
+        }
+    )
+    Path(path).write_text(
+        BASELINE_HEADER + "".join(key + "\n" for key in keys), encoding="utf-8"
+    )
+    return len(keys)
+
+
+def apply_baseline(findings: Iterable[Finding], baseline: set[str]) -> None:
+    """Mark findings whose keys appear in ``baseline`` as baselined."""
+    for finding in findings:
+        if finding.key in baseline:
+            finding.baselined = True
+
+
+def gating_findings(findings: Iterable[Finding]) -> list[Finding]:
+    """The findings that should fail the lint gate.
+
+    Advisory findings inform but never gate; suppressed and baselined
+    findings are accounted for but accepted.
+    """
+    return [
+        f
+        for f in findings
+        if f.severity == SEVERITY_ERROR and not f.suppressed and not f.baselined
+    ]

@@ -7,6 +7,7 @@ Commands:
 * ``demo [--tag TAG]`` — run the §4.1 StackOverflow expert demo.
 * ``generate --kind K ...`` — emit a synthetic graph as an edge list.
 * ``stats PATH`` — summarise an edge-list file (PrintInfo-style).
+* ``lint [PATHS ...]`` — run ringo-lint (``python -m repro.analysis``).
 """
 
 from __future__ import annotations
@@ -137,6 +138,23 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import main as lint_main
+
+    forwarded = list(args.paths)
+    if args.baseline is not None:
+        forwarded += ["--baseline", args.baseline]
+    if args.rules is not None:
+        forwarded += ["--rules", args.rules]
+    if args.write_baseline:
+        forwarded.append("--write-baseline")
+    if args.no_advisory:
+        forwarded.append("--no-advisory")
+    if args.list_rules:
+        forwarded.append("--list-rules")
+    return lint_main(forwarded)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -191,6 +209,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=str(Path(__file__).resolve().parents[2] / "benchmarks" / "results"),
     )
     report.set_defaults(func=_cmd_report)
+
+    lint = sub.add_parser(
+        "lint", help="run ringo-lint (project rules R001-R006) over source paths"
+    )
+    lint.add_argument("paths", nargs="*", default=["src"])
+    lint.add_argument("--baseline", default=None)
+    lint.add_argument("--rules", default=None)
+    lint.add_argument("--write-baseline", action="store_true")
+    lint.add_argument("--no-advisory", action="store_true")
+    lint.add_argument("--list-rules", action="store_true")
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

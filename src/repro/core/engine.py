@@ -28,6 +28,8 @@ from typing import Mapping, Sequence
 
 from repro import algorithms as alg
 from repro import convert, tables
+from repro.analysis import races as _races
+from repro.analysis import sanitize as _sanitize
 from repro.core.registry import FunctionRegistry, build_default_registry
 from repro.graphs.directed import DirectedGraph
 from repro.graphs.snapshot import csr_snapshot
@@ -87,6 +89,14 @@ class Ringo:
     one conversion, verifiable via ``health()["snapshot_cache"]`` and
     the per-call timers in ``call_timings()``.
 
+    ``race_check`` arms the Eraser-style lockset race detector
+    (:mod:`repro.analysis.races`) over the concurrent containers and
+    pool kernels: ``True`` raises :class:`~repro.exceptions.RaceDetected`
+    at the racing access, ``"record"`` logs races and keeps running, and
+    the default ``None`` defers to the ``RINGO_RACE_CHECK`` environment
+    variable. Race and snapshot-sanitizer counters are reported under
+    ``health()["analysis"]``.
+
     >>> ringo = Ringo(workers=1)
     >>> table = ringo.TableFromColumns({"a": [1, 2], "b": [2, 3]})
     >>> graph = ringo.ToGraph(table, "a", "b")
@@ -102,6 +112,7 @@ class Ringo:
         retry_policy: RetryPolicy | None = None,
         snapshot_cache: bool = True,
         snapshot_cache_bytes: "int | None" = None,
+        race_check: "bool | str | None" = None,
     ) -> None:
         self.pool = StringPool()
         self.workers = WorkerPool(workers, retry_policy=retry_policy)
@@ -117,6 +128,15 @@ class Ringo:
         )
         self._timings: dict[str, dict] = {}
         self._timings_lock = threading.Lock()
+        # Race detection is process-wide like the snapshot cache; the
+        # session only *owns* (and tears down) a detector it installed.
+        if race_check is None and _races.env_enabled():
+            race_check = True
+        self._owned_detector: "_races.RaceDetector | None" = None
+        if race_check:
+            self._owned_detector = _races.enable(
+                raise_on_race=race_check != "record"
+            )
 
     # ------------------------------------------------------------------
     # Catalog: atomic publish of session-built objects
@@ -160,8 +180,10 @@ class Ringo:
         return self._catalog[name]
 
     def close(self) -> None:
-        """Shut down the worker pool."""
+        """Shut down the worker pool (and a race detector this session armed)."""
         self.workers.close()
+        if self._owned_detector is not None and _races.current() is self._owned_detector:
+            _races.disable()
 
     def __enter__(self) -> "Ringo":
         return self
@@ -640,14 +662,21 @@ class Ringo:
 
         Reports worker downgrades/retries/timeouts, memory-budget
         admissions and denials, the published-object count, the snapshot
-        cache's hit/miss/invalidation/byte counters, and the per-call
-        timing totals — the session-level view an operator (or a test)
-        checks after a fault or when validating conversion reuse.
+        cache's hit/miss/invalidation/byte counters, the per-call timing
+        totals, and the correctness-tooling counters (race detector and
+        snapshot sanitizer under ``"analysis"``) — the session-level
+        view an operator (or a test) checks after a fault or when
+        validating conversion reuse.
         """
+        detector = _races.current()
         return {
             "workers": self.workers_info(),
             "memory_budget": None if self.budget is None else self.budget.snapshot(),
             "snapshot_cache": self._snapshot_cache.stats(),
+            "analysis": {
+                "race_detector": None if detector is None else detector.stats(),
+                "sanitizer": _sanitize.stats(),
+            },
             "timings": self.call_timings(),
             "objects": {
                 "published": len(self._catalog),

@@ -34,6 +34,7 @@ class DirectedMultigraph(GraphBase):
         self._edge_src: list[int] = []
         self._edge_dst: list[int] = []
         self._deleted: set[int] = set()
+        self._version = 0
 
     @property
     def is_directed(self) -> bool:
@@ -53,6 +54,7 @@ class DirectedMultigraph(GraphBase):
         if node_id in self._nodes:
             return False
         self._nodes[node_id] = ([], [])
+        self._bump_version()
         return True
 
     def add_edge(self, src: int, dst: int) -> int:
@@ -66,6 +68,7 @@ class DirectedMultigraph(GraphBase):
         self._edge_dst.append(dst)
         self._nodes[src][1].append(edge_id)
         self._nodes[dst][0].append(edge_id)
+        self._bump_version()
         return edge_id
 
     def del_edge(self, edge_id: int) -> None:
@@ -77,6 +80,7 @@ class DirectedMultigraph(GraphBase):
         dst = self._edge_dst[edge_id]
         self._nodes[src][1].remove(edge_id)
         self._nodes[dst][0].remove(edge_id)
+        self._bump_version()
 
     def has_edge_id(self, edge_id: int) -> bool:
         """Whether ``edge_id`` names a live edge."""

@@ -35,6 +35,7 @@ from __future__ import annotations
 import threading
 import weakref
 
+from repro.analysis.sanitize import maybe_sanitize
 from repro.exceptions import RingoError
 from repro.faults import fault_point
 from repro.graphs.csr import CSRGraph
@@ -118,6 +119,11 @@ class SnapshotCache:
                         return entry.csr
                     stale = True
         csr = self._build(graph, pool)
+        # Under RINGO_SANITIZE=1 every conversion is invariant-checked
+        # before it is served or cached; passing the pre-build version
+        # also proves the graph did not mutate mid-conversion (the
+        # cache-key coherence check).
+        maybe_sanitize(csr, graph=graph, expected_version=version)
         if not self.enabled:
             return csr
         nbytes = csr.memory_bytes()

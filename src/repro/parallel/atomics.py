@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import threading
 
+from repro.analysis.hooks import container_access
+
 
 class AtomicCounter:
     """A thread-safe counter supporting fetch-and-add.
@@ -33,6 +35,7 @@ class AtomicCounter:
         vector uses to claim insertion slots.
         """
         with self._lock:
+            container_access(self, "AtomicCounter.fetch_add", True, (self._lock,))
             before = self._value
             self._value += amount
             return before
@@ -46,4 +49,5 @@ class AtomicCounter:
     def reset(self, value: int = 0) -> None:
         """Set the counter back to ``value``."""
         with self._lock:
+            container_access(self, "AtomicCounter.reset", True, (self._lock,))
             self._value = value

@@ -18,6 +18,7 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.analysis.hooks import container_access
 from repro.faults import fault_point
 from repro.util.validation import check_positive
 
@@ -83,6 +84,7 @@ class LinearProbingHashTable:
         fault_point("hash.insert")
         self._check_key(key)
         with self._mutate_lock:
+            container_access(self, "LinearProbingHashTable", True, (self._mutate_lock,))
             self._grow_if_needed(1)
             self._insert_unlocked(int(key), int(value))
 
@@ -96,6 +98,7 @@ class LinearProbingHashTable:
         fault_point("hash.insert")
         self._check_key(key)
         with self._mutate_lock:
+            container_access(self, "LinearProbingHashTable", True, (self._mutate_lock,))
             self._grow_if_needed(1)
             slot = self._probe(int(key))
             if self._keys[slot] == key:
@@ -136,6 +139,7 @@ class LinearProbingHashTable:
             raise ValueError("keys must be non-negative")
         fault_point("hash.insert")
         with self._mutate_lock:
+            container_access(self, "LinearProbingHashTable", True, (self._mutate_lock,))
             self._grow_if_needed(len(keys))
             for key, value in zip(keys.tolist(), values.tolist()):
                 self._insert_unlocked(key, value)

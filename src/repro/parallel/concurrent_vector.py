@@ -13,6 +13,7 @@ import threading
 
 import numpy as np
 
+from repro.analysis.hooks import container_access
 from repro.faults import fault_point
 from repro.parallel.atomics import AtomicCounter
 from repro.util.validation import check_positive
@@ -43,6 +44,11 @@ class ConcurrentVector:
     def append(self, value: int) -> int:
         """Append ``value``; return the index its cell was claimed at."""
         fault_point("vector.append")
+        # The claim counter is the synchronisation device: fetch-and-add
+        # hands each writer a disjoint cell, the paper's atomic-increment
+        # protocol. Report it as the access's guard so the lockset
+        # detector models that protocol instead of flagging it.
+        container_access(self, "ConcurrentVector", True, (self._claims,))
         index = self._claims.fetch_add(1)
         self._ensure_capacity(index + 1)
         # A concurrent grow may snapshot the backing array between our claim
@@ -67,6 +73,7 @@ class ConcurrentVector:
         if count == 0:
             start = self._claims.value
             return start, start
+        container_access(self, "ConcurrentVector", True, (self._claims,))
         start = self._claims.fetch_add(count)
         self._ensure_capacity(start + count)
         while True:

@@ -32,6 +32,7 @@ import time
 from concurrent.futures import FIRST_EXCEPTION, Future, ThreadPoolExecutor, wait
 from typing import Callable, Sequence, TypeVar
 
+from repro.analysis.hooks import kernel_dispatch
 from repro.exceptions import PoolClosedError, RingoError, WorkerTimeoutError
 from repro.faults import fault_point
 from repro.parallel.partition import split_range
@@ -223,6 +224,7 @@ class WorkerPool:
             if deadline is not None and time.monotonic() > deadline:
                 self.stats.record_timeout(cancelled=0)
                 raise WorkerTimeoutError(timeout, pending=len(tasks) - index, cancelled=0)
+            kernel_dispatch()
             if policy is None:
                 results.append(task())
             else:
@@ -240,6 +242,7 @@ class WorkerPool:
         def dispatch(task: Callable[[], R]) -> R:
             def attempt() -> R:
                 fault_point("parallel.kernel")
+                kernel_dispatch()
                 return task()
 
             if policy is None:

@@ -1,0 +1,23 @@
+"""Session-wide test wiring for the analysis env toggles.
+
+``RINGO_RACE_CHECK=1 pytest tests/test_parallel_containers.py`` arms
+the lockset race detector for the whole run, turning the parallel
+suites into a race-discipline smoke (CI's ``lint-analysis`` job does
+exactly this). ``RINGO_SANITIZE`` needs no wiring here — the snapshot
+cache consults it directly on every conversion.
+"""
+
+import pytest
+
+from repro.analysis import races
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _race_detector_from_env():
+    if not races.env_enabled():
+        yield
+        return
+    detector = races.enable(raise_on_race=True)
+    yield
+    if races.current() is detector:
+        races.disable()

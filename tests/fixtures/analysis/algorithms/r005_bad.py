@@ -1,0 +1,11 @@
+"""R005 fixture: Python-level loop over an ndarray (advisory finding)."""
+
+import numpy as np
+
+
+def slow_sum(count):
+    weights = np.ones(count)
+    total = 0.0
+    for value in weights:  # boxes every element
+        total += value
+    return total

@@ -1,0 +1,16 @@
+"""R005 fixture: vectorised kernel and explicit .tolist() escape (clean)."""
+
+import numpy as np
+
+
+def fast_sum(count):
+    weights = np.ones(count)
+    return float(weights.sum())
+
+
+def scalar_loop(count):
+    weights = np.ones(count)
+    total = 0.0
+    for value in weights.tolist():  # explicit materialisation: accepted
+        total += value
+    return total

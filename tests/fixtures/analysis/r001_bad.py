@@ -1,0 +1,16 @@
+"""R001 fixture: structural mutation without a version bump (flagged)."""
+
+from repro.graphs.base import GraphBase
+
+
+class ForgetfulGraph(GraphBase):
+    def __init__(self):
+        self._nodes = {}
+        self._edge_src = []
+        self._edge_dst = []
+        self._version = 0
+
+    def add_edge(self, src, dst):
+        self._edge_src.append(src)
+        self._edge_dst.append(dst)
+        return len(self._edge_src) - 1

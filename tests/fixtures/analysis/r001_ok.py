@@ -1,0 +1,22 @@
+"""R001 fixture: every structural mutation bumps the version (clean)."""
+
+from repro.graphs.base import GraphBase
+
+
+class DutifulGraph(GraphBase):
+    def __init__(self):
+        self._nodes = {}
+        self._edge_src = []
+        self._edge_dst = []
+        self._node_attrs = {}
+        self._version = 0
+
+    def add_edge(self, src, dst):
+        self._edge_src.append(src)
+        self._edge_dst.append(dst)
+        self._bump_version()
+        return len(self._edge_src) - 1
+
+    def set_node_attr(self, node_id, name, value):
+        # Attribute-only update: must NOT require a bump.
+        self._node_attrs.setdefault(node_id, {})[name] = value

@@ -1,0 +1,7 @@
+"""R002 fixture: raw CSR conversion outside the snapshot cache (flagged)."""
+
+from repro.graphs.csr import CSRGraph
+
+
+def eager_pagerank_input(graph):
+    return CSRGraph.from_graph(graph)

@@ -1,0 +1,7 @@
+"""R002 fixture: conversion routed through the versioned cache (clean)."""
+
+from repro.algorithms.common import as_csr
+
+
+def cached_pagerank_input(graph):
+    return as_csr(graph)

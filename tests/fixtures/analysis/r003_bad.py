@@ -1,0 +1,7 @@
+"""R003 fixture: fault site string not in KNOWN_SITES (flagged)."""
+
+from repro.faults import fault_point
+
+
+def risky_step():
+    fault_point("paralel.kernl")  # typo'd site: armed tests never fire

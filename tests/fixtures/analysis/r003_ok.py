@@ -1,0 +1,7 @@
+"""R003 fixture: fault site registered in KNOWN_SITES (clean)."""
+
+from repro.faults import fault_point
+
+
+def guarded_step():
+    fault_point("parallel.kernel")

@@ -1,0 +1,14 @@
+"""R004 fixture: bare acquire/release with no finally (flagged)."""
+
+import threading
+
+_lock = threading.Lock()
+_counter = 0
+
+
+def bump(amount):
+    global _counter
+    _lock.acquire()
+    _counter += amount  # an exception here wedges every other thread
+    _lock.release()
+    return _counter

@@ -1,0 +1,34 @@
+"""R004 fixture: both accepted release disciplines (clean)."""
+
+import threading
+
+_lock = threading.Lock()
+_counter = 0
+
+
+def bump_with(amount):
+    global _counter
+    with _lock:
+        _counter += amount
+    return _counter
+
+
+def bump_finally(amount):
+    global _counter
+    _lock.acquire()
+    try:
+        _counter += amount
+    finally:
+        _lock.release()
+    return _counter
+
+
+def bump_timeout(amount):
+    global _counter
+    try:
+        if not _lock.acquire(timeout=1.0):
+            raise TimeoutError("lock busy")
+        _counter += amount
+    finally:
+        _lock.release()
+    return _counter

@@ -1,0 +1,12 @@
+"""R006 fixture: pool kernel mutating captured state bare (flagged)."""
+
+
+def racy_total(pool, values):
+    totals = {"sum": 0}
+
+    def kernel(lo, hi):
+        for index in range(lo, hi):
+            totals["sum"] += values[index]  # sibling kernels race here
+
+    pool.map_range(len(values), kernel)
+    return totals["sum"]

@@ -1,0 +1,31 @@
+"""R006 fixture: the three accepted kernel-write disciplines (clean)."""
+
+
+def locked_total(pool, values, lock):
+    totals = {"sum": 0}
+
+    def kernel(lo, hi):
+        with lock:
+            totals["sum"] += sum(values[lo:hi])
+
+    pool.map_range(len(values), kernel)
+    return totals["sum"]
+
+
+def counted_total(pool, values, counter):
+    def kernel(lo, hi):
+        counter.fetch_add(sum(values[lo:hi]))
+
+    pool.map_range(len(values), kernel)
+    return counter.value
+
+
+def partition_fill(pool, out, offsets, payload):
+    # Disjoint spans: each write is indexed by this kernel's own range.
+    def kernel(lo, hi):
+        for index in range(lo, hi):
+            start = offsets[index]
+            stop = offsets[index + 1]
+            out[start:stop] = payload[index]
+
+    pool.map_range(len(offsets) - 1, kernel)

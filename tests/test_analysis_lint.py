@@ -1,0 +1,188 @@
+"""ringo-lint: rule fixtures, suppressions, baselines, and CLI exit codes."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import cli as analysis_cli
+from repro.analysis import lint
+from repro.cli import main as repro_main
+from repro.exceptions import AnalysisError
+
+FIXTURES = Path(__file__).parent / "fixtures" / "analysis"
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+RULE_FIXTURES = {
+    "R001": (FIXTURES / "r001_bad.py", FIXTURES / "r001_ok.py"),
+    "R002": (FIXTURES / "r002_bad.py", FIXTURES / "r002_ok.py"),
+    "R003": (FIXTURES / "r003_bad.py", FIXTURES / "r003_ok.py"),
+    "R004": (FIXTURES / "r004_bad.py", FIXTURES / "r004_ok.py"),
+    "R005": (
+        FIXTURES / "algorithms" / "r005_bad.py",
+        FIXTURES / "algorithms" / "r005_ok.py",
+    ),
+    "R006": (FIXTURES / "r006_bad.py", FIXTURES / "r006_ok.py"),
+}
+
+
+class TestRuleFixtures:
+    @pytest.mark.parametrize("code", sorted(RULE_FIXTURES))
+    def test_bad_fixture_flags_exactly_its_rule(self, code):
+        bad, _ = RULE_FIXTURES[code]
+        findings = lint.lint_paths([str(bad)])
+        assert [f.code for f in findings] == [code]
+        assert not findings[0].suppressed
+
+    @pytest.mark.parametrize("code", sorted(RULE_FIXTURES))
+    def test_ok_fixture_is_clean(self, code):
+        _, ok = RULE_FIXTURES[code]
+        assert lint.lint_paths([str(ok)]) == []
+
+    def test_r005_is_advisory_and_never_gates(self):
+        bad, _ = RULE_FIXTURES["R005"]
+        findings = lint.lint_paths([str(bad)])
+        assert findings[0].severity == lint.SEVERITY_ADVISORY
+        assert lint.gating_findings(findings) == []
+
+    def test_r005_only_applies_under_algorithms(self, tmp_path):
+        source = RULE_FIXTURES["R005"][0].read_text(encoding="utf-8")
+        elsewhere = tmp_path / "r005_elsewhere.py"
+        elsewhere.write_text(source, encoding="utf-8")
+        assert lint.lint_paths([str(elsewhere)]) == []
+
+    def test_finding_carries_location_and_symbol(self):
+        bad, _ = RULE_FIXTURES["R001"]
+        finding = lint.lint_paths([str(bad)])[0]
+        assert finding.line > 0
+        assert finding.symbol == "ForgetfulGraph.add_edge"
+        assert "ForgetfulGraph.add_edge" in finding.message
+
+
+class TestSuppression:
+    SOURCE = (
+        "from repro.graphs.csr import CSRGraph\n"
+        "\n"
+        "def convert(graph):\n"
+        "    return CSRGraph.from_graph(graph)  # ringo-lint: disable=R002\n"
+    )
+
+    def test_same_line_suppression(self):
+        findings = lint.lint_source(self.SOURCE, "x.py")
+        assert [f.code for f in findings] == ["R002"]
+        assert findings[0].suppressed
+        assert lint.gating_findings(findings) == []
+
+    def test_preceding_comment_suppression(self):
+        source = (
+            "from repro.graphs.csr import CSRGraph\n"
+            "\n"
+            "def convert(graph):\n"
+            "    # justified one-off  # ringo-lint: disable=R002\n"
+            "    return CSRGraph.from_graph(graph)\n"
+        )
+        findings = lint.lint_source(source, "x.py")
+        assert findings[0].suppressed
+
+    def test_other_code_does_not_suppress(self):
+        source = self.SOURCE.replace("disable=R002", "disable=R001")
+        findings = lint.lint_source(source, "x.py")
+        assert not findings[0].suppressed
+        assert len(lint.gating_findings(findings)) == 1
+
+    def test_disable_all(self):
+        source = self.SOURCE.replace("disable=R002", "disable=all")
+        assert lint.lint_source(source, "x.py")[0].suppressed
+
+
+class TestBaseline:
+    def test_round_trip_accepts_known_findings(self, tmp_path):
+        bad, _ = RULE_FIXTURES["R002"]
+        findings = lint.lint_paths([str(bad)])
+        baseline_path = tmp_path / "baseline"
+        assert lint.write_baseline(baseline_path, findings) == 1
+        fresh = lint.lint_paths([str(bad)])
+        lint.apply_baseline(fresh, lint.load_baseline(baseline_path))
+        assert fresh[0].baselined
+        assert lint.gating_findings(fresh) == []
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert lint.load_baseline(tmp_path / "nope") == set()
+
+    def test_baseline_keys_are_line_number_free(self):
+        bad, _ = RULE_FIXTURES["R002"]
+        finding = lint.lint_paths([str(bad)])[0]
+        assert finding.key == f"R002|{bad.as_posix()}|eager_pagerank_input"
+
+    def test_shipped_baseline_is_empty(self):
+        shipped = lint.load_baseline(REPO_ROOT / ".ringo-lint-baseline")
+        assert shipped == set()
+
+    def test_src_tree_is_clean_against_shipped_baseline(self):
+        findings = lint.lint_paths([str(REPO_ROOT / "src")])
+        lint.apply_baseline(
+            findings, lint.load_baseline(REPO_ROOT / ".ringo-lint-baseline")
+        )
+        assert lint.gating_findings(findings) == []
+
+
+class TestRuleSelection:
+    def test_unknown_rule_raises(self):
+        with pytest.raises(AnalysisError, match="unknown lint rule"):
+            lint.active_rules(["R999"])
+
+    def test_rule_filter_restricts_findings(self):
+        bad, _ = RULE_FIXTURES["R002"]
+        assert lint.lint_paths([str(bad)], ["R001"]) == []
+
+    def test_all_six_rules_registered(self):
+        codes = [rule.code for rule in lint.active_rules()]
+        assert codes == ["R001", "R002", "R003", "R004", "R005", "R006"]
+
+
+class TestCli:
+    def test_bad_fixture_exits_one(self, tmp_path, capsys):
+        bad, _ = RULE_FIXTURES["R004"]
+        code = analysis_cli.main([str(bad), "--baseline", str(tmp_path / "b")])
+        assert code == 1
+        assert "R004" in capsys.readouterr().out
+
+    def test_ok_fixture_exits_zero(self, tmp_path, capsys):
+        _, ok = RULE_FIXTURES["R004"]
+        assert analysis_cli.main([str(ok), "--baseline", str(tmp_path / "b")]) == 0
+
+    def test_bad_path_exits_two(self, tmp_path, capsys):
+        assert analysis_cli.main([str(tmp_path / "missing.txt")]) == 2
+
+    def test_json_format(self, tmp_path, capsys):
+        bad, _ = RULE_FIXTURES["R006"]
+        code = analysis_cli.main(
+            [str(bad), "--format", "json", "--baseline", str(tmp_path / "b")]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"][0]["code"] == "R006"
+
+    def test_list_rules(self, capsys):
+        assert analysis_cli.main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "R001" in out and "R006" in out
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        bad, _ = RULE_FIXTURES["R001"]
+        baseline = tmp_path / "baseline"
+        assert (
+            analysis_cli.main([str(bad), "--baseline", str(baseline), "--write-baseline"])
+            == 0
+        )
+        assert analysis_cli.main([str(bad), "--baseline", str(baseline)]) == 0
+
+    def test_repro_lint_subcommand(self, tmp_path, capsys):
+        bad, _ = RULE_FIXTURES["R002"]
+        _, ok = RULE_FIXTURES["R002"]
+        assert (
+            repro_main(["lint", str(bad), "--baseline", str(tmp_path / "b")]) == 1
+        )
+        assert (
+            repro_main(["lint", str(ok), "--baseline", str(tmp_path / "b")]) == 0
+        )

@@ -166,3 +166,47 @@ class TestDirectedMultigraph:
 
     def test_edge_count_missing_node(self):
         assert DirectedMultigraph().edge_count(1, 2) == 0
+
+
+class TestMultigraphVersioning:
+    """Every structural mutation must bump the snapshot version (R001)."""
+
+    def test_fresh_graph_starts_at_version_zero(self):
+        assert DirectedMultigraph().version == 0
+
+    def test_add_node_bumps_version(self):
+        graph = DirectedMultigraph()
+        before = graph.version
+        assert graph.add_node(1)
+        assert graph.version > before
+
+    def test_duplicate_add_node_does_not_bump(self):
+        graph = DirectedMultigraph()
+        graph.add_node(1)
+        before = graph.version
+        assert not graph.add_node(1)
+        assert graph.version == before
+
+    def test_add_edge_bumps_version(self):
+        graph = DirectedMultigraph()
+        before = graph.version
+        graph.add_edge(1, 2)
+        assert graph.version > before
+
+    def test_del_edge_bumps_version(self):
+        graph = DirectedMultigraph()
+        edge_id = graph.add_edge(1, 2)
+        before = graph.version
+        graph.del_edge(edge_id)
+        assert graph.version > before
+
+    def test_version_is_monotone_across_mutations(self):
+        graph = DirectedMultigraph()
+        seen = [graph.version]
+        graph.add_edge(1, 2)
+        seen.append(graph.version)
+        graph.add_edge(1, 2)
+        seen.append(graph.version)
+        graph.del_edge(0)
+        seen.append(graph.version)
+        assert seen == sorted(set(seen))
