@@ -1,0 +1,83 @@
+"""Observability demonstration: trace the interactive loop end to end.
+
+Runs the paper's core workflow — load an edge file, build the graph
+with sort-first, snapshot it to CSR, run PageRank — on the lj-scaled
+dataset under ``Ringo(trace=True)``, then prints the span-tree profile
+and the throughput metrics (rows/s, edges/s) from ``health()["obs"]``.
+
+Run:  python examples/trace_profile.py
+      RINGO_TRACE=trace.jsonl python examples/trace_profile.py
+      (the env form also writes every span as JSON lines; validate
+      with ``python -m repro.obs trace.jsonl``)
+
+Exits nonzero if the trace is missing any pipeline stage, so CI can
+use it as the observability smoke test.
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import Ringo, obs
+from repro.workflows.datasets import LJ_SCALED, SRC_COLUMN, DST_COLUMN, write_text_file
+
+# Every stage of load -> conversion -> snapshot build -> algorithm must
+# appear in the trace for the run to count as covered.
+REQUIRED_SPANS = {
+    "io.load_tsv",
+    "engine.ToGraph",
+    "convert.sort_first",
+    "convert.sort",
+    "convert.count",
+    "convert.copy",
+    "snapshot.build",
+    "engine.GetPageRank",
+    "alg.pagerank",
+}
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / f"{LJ_SCALED.name}.tsv"
+        nbytes = write_text_file(LJ_SCALED, path)
+        print(f"dataset: {LJ_SCALED.name} ({nbytes >> 10} KiB on disk)")
+
+        # RINGO_TRACE (e.g. a JSONL output path) wins over the default.
+        with Ringo(trace=None if obs.env_enabled() else True) as ringo:
+            table = ringo.LoadTableTSV(
+                [(SRC_COLUMN, "int"), (DST_COLUMN, "int")], path
+            )
+            graph = ringo.ToGraph(table, SRC_COLUMN, DST_COLUMN)
+            ranks = ringo.GetPageRank(graph)
+            top = max(ranks, key=ranks.get)
+            print(
+                f"graph: {graph.num_nodes} nodes / {graph.num_edges} edges; "
+                f"top PageRank node {top} ({ranks[top]:.6f})"
+            )
+
+            print("\n--- span-tree profile ---")
+            print(ringo.profile())
+
+            obs_report = ringo.health()["obs"]
+            metrics = obs_report["metrics"]
+            print("--- throughput (health()['obs']) ---")
+            for name in sorted(metrics):
+                if name.endswith("_per_s"):
+                    snap = metrics[name]
+                    if snap["count"]:
+                        print(f"{name:>32}: {snap['mean']:,.0f} mean "
+                              f"(p95 {snap['p95']:,.0f})")
+            ratio = obs_report["derived"]["snapshot_hit_ratio"]
+            print(f"{'snapshot_hit_ratio':>32}: {ratio}")
+
+            names = {r["name"] for r in obs.current_tracer().ring_records()}
+        missing = REQUIRED_SPANS - names
+        if missing:
+            print(f"FAIL: trace missing spans: {sorted(missing)}", file=sys.stderr)
+            return 1
+        print(f"\nOK: trace covers all {len(REQUIRED_SPANS)} required stages")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -229,3 +229,12 @@ __all__ = [
     "triangle_counts",
     "watts_strogatz",
 ]
+
+# Observability seam (repro.obs): rebind every public function to a
+# traced wrapper. One call instruments the whole suite — classes and
+# constants in __all__ are skipped, and intra-module calls keep the raw
+# functions, so exactly the user-facing entry points produce spans.
+from repro.algorithms.common import instrument_namespace as _instrument_namespace
+
+_instrument_namespace(globals(), __all__)
+del _instrument_namespace

@@ -8,6 +8,8 @@ Commands:
 * ``generate --kind K ...`` — emit a synthetic graph as an edge list.
 * ``stats PATH`` — summarise an edge-list file (PrintInfo-style).
 * ``lint [PATHS ...]`` — run ringo-lint (``python -m repro.analysis``).
+* ``trace SCRIPT`` — run a Python script under the repro.obs tracer and
+  print the span-tree profile (optionally writing a JSONL trace).
 """
 
 from __future__ import annotations
@@ -155,6 +157,42 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return lint_main(forwarded)
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import runpy
+
+    from repro import obs
+
+    script = Path(args.script)
+    if not script.is_file():
+        print(f"repro trace: no such script: {script}", file=sys.stderr)
+        return 2
+    sinks: list = [obs.RingBufferSink(capacity=args.ring_capacity)]
+    if args.output is not None:
+        sinks.append(obs.JsonlSink(args.output))
+    tracer = obs.enable(sinks=sinks)
+    # The script sees the tracer as already armed — Ringo() sessions it
+    # creates will not tear it down (the ownership protocol).
+    old_argv = sys.argv
+    sys.argv = [str(script)] + list(args.script_args)
+    try:
+        with obs.trace("cli.trace", script=str(script)):
+            runpy.run_path(str(script), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+        records = tracer.ring_records()
+        stats = tracer.stats()
+        if obs.current_tracer() is tracer:
+            obs.disable()
+    print(obs.render_profile(records, min_total_s=args.min_total))
+    print(
+        f"spans: {stats['finished']} finished, {stats['recorded']} recorded, "
+        f"{stats['dropped']} dropped"
+    )
+    if args.output is not None:
+        print(f"trace written to {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -220,6 +258,27 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--no-advisory", action="store_true")
     lint.add_argument("--list-rules", action="store_true")
     lint.set_defaults(func=_cmd_lint)
+
+    trace = sub.add_parser(
+        "trace", help="run a Python script under the tracer and print a profile"
+    )
+    trace.add_argument("script", help="path to the Python script to run")
+    trace.add_argument(
+        "script_args", nargs="*", help="arguments forwarded to the script"
+    )
+    trace.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="also write the spans as a JSON-lines trace file",
+    )
+    trace.add_argument(
+        "--min-total", type=float, default=0.0, metavar="SECONDS",
+        help="hide profile rows whose total time is below this",
+    )
+    trace.add_argument(
+        "--ring-capacity", type=int, default=65536,
+        help="in-memory span buffer size backing the profile",
+    )
+    trace.set_defaults(func=_cmd_trace)
     return parser
 
 

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.graphs.directed import DirectedGraph
 from repro.graphs.undirected import UndirectedGraph
+from repro.obs.spans import trace
 from repro.parallel.executor import WorkerPool, serial_pool
 from repro.tables.schema import ColumnType, Schema
 from repro.tables.strings import StringPool
@@ -84,7 +85,8 @@ def to_edge_table(
                 sources[start:stop] = node
                 targets[start:stop] = upper
 
-    pool.map_range(len(nodes), fill_partition)
+    with trace("convert.to_edge_table", nodes=len(nodes), edges=total):
+        pool.map_range(len(nodes), fill_partition)
     schema = Schema([(SRC_COLUMN, ColumnType.INT), (DST_COLUMN, ColumnType.INT)])
     return Table(
         schema, {SRC_COLUMN: sources, DST_COLUMN: targets}, pool=string_pool
@@ -99,7 +101,19 @@ def to_node_table(
 ) -> Table:
     """Node table (``NodeId`` and optionally degree columns) from a graph."""
     pool = pool if pool is not None else serial_pool()
+    with trace("convert.to_node_table", degrees=include_degrees) as span:
+        return _to_node_table(graph, include_degrees, pool, string_pool, span)
+
+
+def _to_node_table(
+    graph: "DirectedGraph | UndirectedGraph",
+    include_degrees: bool,
+    pool: WorkerPool,
+    string_pool: "StringPool | None",
+    span,
+) -> Table:
     nodes = list(graph.nodes())
+    span.set_tag("nodes", len(nodes))
     node_array = np.asarray(nodes, dtype=np.int64)
     columns: dict[str, np.ndarray] = {NODE_COLUMN: node_array}
     schema_cols = [(NODE_COLUMN, ColumnType.INT)]

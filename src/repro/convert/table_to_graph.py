@@ -32,6 +32,7 @@ from repro.exceptions import ConversionError
 from repro.faults import fault_point
 from repro.graphs.directed import DirectedGraph
 from repro.graphs.undirected import UndirectedGraph
+from repro.obs.spans import trace
 from repro.parallel.executor import WorkerPool, serial_pool
 from repro.tables.schema import ColumnType
 from repro.tables.table import Table
@@ -79,45 +80,51 @@ def sort_first_directed(
     if len(sources) == 0:
         return graph
 
-    # Phase 1: sort copies of the columns (by src then dst → out-adjacency
-    # runs; by dst then src → in-adjacency runs). lexsort keys read
-    # (secondary, primary).
-    out_order = np.lexsort((targets, sources))
-    out_src = sources[out_order]
-    out_dst = targets[out_order]
-    out_keep = _dedup_sorted_pairs(out_src, out_dst)
-    out_src = out_src[out_keep]
-    out_dst = out_dst[out_keep]
+    with trace("convert.sort_first", rows=len(sources), directed=True) as span:
+        # Phase 1: sort copies of the columns (by src then dst →
+        # out-adjacency runs; by dst then src → in-adjacency runs).
+        # lexsort keys read (secondary, primary).
+        with trace("convert.sort"):
+            out_order = np.lexsort((targets, sources))
+            out_src = sources[out_order]
+            out_dst = targets[out_order]
+            out_keep = _dedup_sorted_pairs(out_src, out_dst)
+            out_src = out_src[out_keep]
+            out_dst = out_dst[out_keep]
 
-    in_order = np.lexsort((sources, targets))
-    in_src = sources[in_order]
-    in_dst = targets[in_order]
-    in_keep = _dedup_sorted_pairs(in_dst, in_src)
-    in_src = in_src[in_keep]
-    in_dst = in_dst[in_keep]
+            in_order = np.lexsort((sources, targets))
+            in_src = sources[in_order]
+            in_dst = targets[in_order]
+            in_keep = _dedup_sorted_pairs(in_dst, in_src)
+            in_src = in_src[in_keep]
+            in_dst = in_dst[in_keep]
 
-    # Phase 2: neighbour counts from run boundaries — exact sizes known
-    # up front, no growth estimation needed.
-    node_ids = np.unique(np.concatenate([out_src, out_dst]))
-    out_lo = np.searchsorted(out_src, node_ids, side="left")
-    out_hi = np.searchsorted(out_src, node_ids, side="right")
-    in_lo = np.searchsorted(in_dst, node_ids, side="left")
-    in_hi = np.searchsorted(in_dst, node_ids, side="right")
+        # Phase 2: neighbour counts from run boundaries — exact sizes
+        # known up front, no growth estimation needed.
+        with trace("convert.count"):
+            node_ids = np.unique(np.concatenate([out_src, out_dst]))
+            out_lo = np.searchsorted(out_src, node_ids, side="left")
+            out_hi = np.searchsorted(out_src, node_ids, side="right")
+            in_lo = np.searchsorted(in_dst, node_ids, side="left")
+            in_hi = np.searchsorted(in_dst, node_ids, side="right")
 
-    # Phase 3: copy neighbour vectors into the node hash table. Node
-    # ranges are disjoint, so partitions write without contention.
-    node_list = node_ids.tolist()
+        # Phase 3: copy neighbour vectors into the node hash table. Node
+        # ranges are disjoint, so partitions write without contention.
+        node_list = node_ids.tolist()
 
-    def copy_partition(lo: int, hi: int) -> None:
-        for index in range(lo, hi):
-            graph._set_adjacency(
-                node_list[index],
-                in_src[in_lo[index]:in_hi[index]],
-                out_dst[out_lo[index]:out_hi[index]],
-            )
+        def copy_partition(lo: int, hi: int) -> None:
+            for index in range(lo, hi):
+                graph._set_adjacency(
+                    node_list[index],
+                    in_src[in_lo[index]:in_hi[index]],
+                    out_dst[out_lo[index]:out_hi[index]],
+                )
 
-    pool.map_range(len(node_ids), copy_partition)
-    graph._set_edge_count(len(out_src))
+        with trace("convert.copy", nodes=len(node_ids)):
+            pool.map_range(len(node_ids), copy_partition)
+        graph._set_edge_count(len(out_src))
+        span.set_tag("nodes", len(node_ids))
+        span.set_tag("edges", len(out_src))
     return graph
 
 
@@ -133,29 +140,35 @@ def sort_first_undirected(
     graph = UndirectedGraph()
     if len(sources) == 0:
         return graph
-    loops = sources == targets
-    sym_src = np.concatenate([sources, targets[~loops]])
-    sym_dst = np.concatenate([targets, sources[~loops]])
-    order = np.lexsort((sym_dst, sym_src))
-    sym_src = sym_src[order]
-    sym_dst = sym_dst[order]
-    keep = _dedup_sorted_pairs(sym_src, sym_dst)
-    sym_src = sym_src[keep]
-    sym_dst = sym_dst[keep]
+    with trace("convert.sort_first", rows=len(sources), directed=False) as span:
+        with trace("convert.sort"):
+            loops = sources == targets
+            sym_src = np.concatenate([sources, targets[~loops]])
+            sym_dst = np.concatenate([targets, sources[~loops]])
+            order = np.lexsort((sym_dst, sym_src))
+            sym_src = sym_src[order]
+            sym_dst = sym_dst[order]
+            keep = _dedup_sorted_pairs(sym_src, sym_dst)
+            sym_src = sym_src[keep]
+            sym_dst = sym_dst[keep]
 
-    node_ids = np.unique(sym_src)
-    lo = np.searchsorted(sym_src, node_ids, side="left")
-    hi = np.searchsorted(sym_src, node_ids, side="right")
-    node_list = node_ids.tolist()
+        with trace("convert.count"):
+            node_ids = np.unique(sym_src)
+            lo = np.searchsorted(sym_src, node_ids, side="left")
+            hi = np.searchsorted(sym_src, node_ids, side="right")
+        node_list = node_ids.tolist()
 
-    def copy_partition(start: int, stop: int) -> None:
-        for index in range(start, stop):
-            graph._set_adjacency(node_list[index], sym_dst[lo[index]:hi[index]])
+        def copy_partition(start: int, stop: int) -> None:
+            for index in range(start, stop):
+                graph._set_adjacency(node_list[index], sym_dst[lo[index]:hi[index]])
 
-    pool.map_range(len(node_ids), copy_partition)
-    # Each non-loop edge appears twice in the symmetrised pairs.
-    loop_count = int(np.sum(sym_src == sym_dst))
-    graph._set_edge_count((len(sym_src) - loop_count) // 2 + loop_count)
+        with trace("convert.copy", nodes=len(node_ids)):
+            pool.map_range(len(node_ids), copy_partition)
+        # Each non-loop edge appears twice in the symmetrised pairs.
+        loop_count = int(np.sum(sym_src == sym_dst))
+        graph._set_edge_count((len(sym_src) - loop_count) // 2 + loop_count)
+        span.set_tag("nodes", len(node_ids))
+        span.set_tag("edges", graph.num_edges)
     return graph
 
 
@@ -219,12 +232,18 @@ def chunked_build(
     if chunk_edges <= 0:
         raise ConversionError(f"chunk_edges must be positive, got {chunk_edges}")
     graph = DirectedGraph() if directed else UndirectedGraph()
-    for start in range(0, len(sources), chunk_edges):
-        stop = start + chunk_edges
-        for src, dst in zip(
-            sources[start:stop].tolist(), targets[start:stop].tolist()
-        ):
-            graph.add_edge(src, dst)
+    with trace(
+        "convert.chunked_build",
+        rows=len(sources),
+        directed=directed,
+        chunk_edges=chunk_edges,
+    ):
+        for start in range(0, len(sources), chunk_edges):
+            stop = start + chunk_edges
+            for src, dst in zip(
+                sources[start:stop].tolist(), targets[start:stop].tolist()
+            ):
+                graph.add_edge(src, dst)
     return graph
 
 

@@ -21,13 +21,14 @@ the parallel operations.
 
 from __future__ import annotations
 
+import copy
 import functools
 import threading
 import time
 from typing import Mapping, Sequence
 
 from repro import algorithms as alg
-from repro import convert, tables
+from repro import convert, obs, tables
 from repro.analysis import races as _races
 from repro.analysis import sanitize as _sanitize
 from repro.core.registry import FunctionRegistry, build_default_registry
@@ -55,15 +56,25 @@ def _timed(method):
     session can show where its time went (``call_timings()`` /
     ``health()["timings"]``) — in particular, that a warm repeat of an
     algorithm skips the snapshot-conversion cost.
+
+    When tracing is armed the call also becomes an ``engine.<Method>``
+    span (the root of that operation's span tree) and its latency lands
+    in the ``engine.<Method>.seconds`` histogram.
     """
 
     @functools.wraps(method)
     def wrapper(self, *args, **kwargs):
         start = time.perf_counter()
-        try:
-            return method(self, *args, **kwargs)
-        finally:
-            self._record_timing(method.__name__, time.perf_counter() - start)
+        with obs.trace(f"engine.{method.__name__}"):
+            try:
+                return method(self, *args, **kwargs)
+            finally:
+                elapsed = time.perf_counter() - start
+                self._record_timing(method.__name__, elapsed)
+                if obs.enabled():
+                    obs.registry().histogram(
+                        f"engine.{method.__name__}.seconds"
+                    ).observe(elapsed)
 
     return wrapper
 
@@ -97,6 +108,13 @@ class Ringo:
     variable. Race and snapshot-sanitizer counters are reported under
     ``health()["analysis"]``.
 
+    ``trace`` arms the observability layer (:mod:`repro.obs`): ``True``
+    installs the process-wide tracer with its in-memory recorder, a
+    string adds a JSON-lines sink at that path, and the default ``None``
+    defers to the ``RINGO_TRACE`` environment variable. Span and metric
+    counters surface under ``health()["obs"]``; :meth:`profile` renders
+    the recorded span tree.
+
     >>> ringo = Ringo(workers=1)
     >>> table = ringo.TableFromColumns({"a": [1, 2], "b": [2, 3]})
     >>> graph = ringo.ToGraph(table, "a", "b")
@@ -113,6 +131,7 @@ class Ringo:
         snapshot_cache: bool = True,
         snapshot_cache_bytes: "int | None" = None,
         race_check: "bool | str | None" = None,
+        trace: "bool | str | None" = None,
     ) -> None:
         self.pool = StringPool()
         self.workers = WorkerPool(workers, retry_policy=retry_policy)
@@ -137,6 +156,20 @@ class Ringo:
             self._owned_detector = _races.enable(
                 raise_on_race=race_check != "record"
             )
+        # Tracing follows the same protocol: process-wide, owned (and
+        # torn down) only by the session that actually installed it.
+        self._owned_tracer: "obs.Tracer | None" = None
+        if trace is None and not obs.enabled():
+            self._owned_tracer = obs.enable_from_env()
+        elif trace:
+            if obs.enabled():
+                pass  # an armed tracer (session fixture, CLI) wins
+            elif isinstance(trace, str):
+                self._owned_tracer = obs.enable(
+                    sinks=[obs.RingBufferSink(), obs.JsonlSink(trace)]
+                )
+            else:
+                self._owned_tracer = obs.enable()
 
     # ------------------------------------------------------------------
     # Catalog: atomic publish of session-built objects
@@ -180,10 +213,13 @@ class Ringo:
         return self._catalog[name]
 
     def close(self) -> None:
-        """Shut down the worker pool (and a race detector this session armed)."""
+        """Shut down the worker pool (and any race detector or tracer
+        this session armed)."""
         self.workers.close()
         if self._owned_detector is not None and _races.current() is self._owned_detector:
             _races.disable()
+        if self._owned_tracer is not None and obs.current_tracer() is self._owned_tracer:
+            obs.disable()
 
     def __enter__(self) -> "Ringo":
         return self
@@ -195,9 +231,15 @@ class Ringo:
     # Table input/output
     # ------------------------------------------------------------------
 
+    @_timed
     def LoadTableTSV(self, schema, path, **kwargs) -> Table:
         """Load a TSV file into a table (paper §4.1 listing, line 1)."""
+        start = time.perf_counter()
         table = tables.load_table_tsv(schema, path, pool=self.pool, **kwargs)
+        if obs.enabled():
+            obs.observe_rate(
+                "io.tsv.rows", table.num_rows, time.perf_counter() - start
+            )
         return self._publish("table", table)
 
     def SaveTableTSV(self, table: Table, path, **kwargs) -> int:
@@ -313,6 +355,7 @@ class Ringo:
         dynamic build. The graph is built privately and published to the
         session catalog only on success.
         """
+        start = time.perf_counter()
         if self.budget is not None:
             estimated = estimate_graph_build_bytes(table.num_rows, directed=directed)
             if self.budget.admit("ToGraph", estimated) == ADMIT_DEGRADE:
@@ -321,11 +364,22 @@ class Ringo:
                 graph = convert.chunked_build(
                     table.column(src_col), table.column(dst_col), directed=directed
                 )
+                self._record_conversion_rates(table.num_rows, graph, start)
                 return self._publish("graph", graph)
         graph = convert.to_graph(
             table, src_col, dst_col, directed=directed, pool=self.workers
         )
+        self._record_conversion_rates(table.num_rows, graph, start)
         return self._publish("graph", graph)
+
+    def _record_conversion_rates(self, rows: int, graph, start: float) -> None:
+        """Fold one ToGraph's throughput into the paper-styled rate
+        metrics (rows/s in, edges/s out) when tracing is armed."""
+        if not obs.enabled():
+            return
+        elapsed = time.perf_counter() - start
+        obs.observe_rate("engine.tograph.rows", rows, elapsed)
+        obs.observe_rate("engine.tograph.edges", graph.num_edges, elapsed)
 
     @_timed
     def ToWeightedNetwork(
@@ -346,7 +400,14 @@ class Ringo:
     @_timed
     def GetEdgeTable(self, graph) -> Table:
         """Graph → edge table (partitioned parallel writer)."""
-        return convert.to_edge_table(graph, pool=self.workers, string_pool=self.pool)
+        start = time.perf_counter()
+        table = convert.to_edge_table(graph, pool=self.workers, string_pool=self.pool)
+        if obs.enabled():
+            obs.observe_rate(
+                "engine.edge_export.edges", table.num_rows,
+                time.perf_counter() - start,
+            )
+        return table
 
     @_timed
     def GetNodeTable(self, graph, include_degrees: bool = False) -> Table:
@@ -663,13 +724,17 @@ class Ringo:
         Reports worker downgrades/retries/timeouts, memory-budget
         admissions and denials, the published-object count, the snapshot
         cache's hit/miss/invalidation/byte counters, the per-call timing
-        totals, and the correctness-tooling counters (race detector and
-        snapshot sanitizer under ``"analysis"``) — the session-level
+        totals, the correctness-tooling counters (race detector and
+        snapshot sanitizer under ``"analysis"``), and the observability
+        layer's span/metric state under ``"obs"`` — the session-level
         view an operator (or a test) checks after a fault or when
         validating conversion reuse.
+
+        The returned structure is a deep copy: callers may mutate it
+        freely without reaching back into live engine state.
         """
         detector = _races.current()
-        return {
+        report = {
             "workers": self.workers_info(),
             "memory_budget": None if self.budget is None else self.budget.snapshot(),
             "snapshot_cache": self._snapshot_cache.stats(),
@@ -677,12 +742,48 @@ class Ringo:
                 "race_detector": None if detector is None else detector.stats(),
                 "sanitizer": _sanitize.stats(),
             },
+            "obs": self._obs_report(),
             "timings": self.call_timings(),
             "objects": {
                 "published": len(self._catalog),
                 "names": list(self._catalog),
             },
         }
+        # Sub-providers mostly hand back fresh dicts already, but some
+        # nest lists (race labels, object names) or may evolve to share
+        # state; one deep copy here makes the no-live-references
+        # contract unconditional.
+        return copy.deepcopy(report)
+
+    def _obs_report(self) -> dict:
+        """The ``health()["obs"]`` section: spans, metrics, derived ratios."""
+        tracer = obs.current_tracer()
+        cache = self._snapshot_cache.stats()
+        lookups = cache["hits"] + cache["misses"] + cache["invalidations"]
+        report: dict = {
+            "enabled": tracer is not None,
+            "spans": None if tracer is None else tracer.stats(),
+            "metrics": obs.registry().snapshot(),
+            "derived": {
+                "snapshot_hit_ratio": (
+                    cache["hits"] / lookups if lookups else None
+                ),
+            },
+        }
+        return report
+
+    def profile(self, min_total_s: float = 0.0) -> str:
+        """Render the recorded span tree with per-node self/total times.
+
+        Requires tracing (``Ringo(trace=True)`` / ``RINGO_TRACE``); the
+        report covers whatever the tracer's in-memory recorder currently
+        retains, newest-capacity-bounded (see
+        :class:`repro.obs.RingBufferSink`).
+        """
+        tracer = obs.current_tracer()
+        if tracer is None:
+            return "(tracing is not enabled — pass Ringo(trace=True) or set RINGO_TRACE=1)"
+        return obs.render_profile(tracer.ring_records(), min_total_s=min_total_s)
 
     def Functions(self, category: str | None = None) -> list[str]:
         """Registered function names (optionally one category)."""

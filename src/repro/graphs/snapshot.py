@@ -41,6 +41,17 @@ from repro.faults import fault_point
 from repro.graphs.csr import CSRGraph
 from repro.graphs.directed import DirectedGraph
 from repro.graphs.undirected import UndirectedGraph
+from repro.obs.metrics import registry as _metrics_registry
+from repro.obs.spans import enabled as _tracing_enabled
+from repro.obs.spans import event as _obs_event
+from repro.obs.spans import trace as _obs_trace
+
+
+def _count(name: str) -> None:
+    """Bump a snapshot.* counter — only while tracing is armed, so the
+    untraced hot path pays a single module-global check."""
+    if _tracing_enabled():
+        _metrics_registry().counter(name).inc()
 
 
 class _Entry:
@@ -116,6 +127,8 @@ class SnapshotCache:
                 if entry is not None:
                     if entry.version == version:
                         self._hits += 1
+                        _count("snapshot.hits_total")
+                        _obs_event("snapshot.hit", version=version)
                         return entry.csr
                     stale = True
         csr = self._build(graph, pool)
@@ -133,13 +146,17 @@ class SnapshotCache:
             replaced = entry.nbytes if entry is not None else 0
             if stale:
                 self._invalidations += 1
+                _count("snapshot.invalidations_total")
             else:
                 self._misses += 1
+                _count("snapshot.misses_total")
             if (
                 self.max_bytes is not None
                 and self._cached_bytes - replaced + nbytes > self.max_bytes
             ):
                 self._rejected += 1
+                _count("snapshot.evictions_total")
+                _obs_event("snapshot.evict", reason="over_budget", bytes=nbytes)
                 if entry is not None:
                     # The retained snapshot is stale; drop it too.
                     del self._entries[key]
@@ -151,10 +168,17 @@ class SnapshotCache:
         return csr
 
     def _build(self, graph, pool) -> CSRGraph:
-        fault_point("snapshot.build")
-        with self._lock:
-            self._conversions += 1
-        return CSRGraph.from_graph(graph, pool=pool)
+        with _obs_trace(
+            "snapshot.build", graph=type(graph).__name__, version=graph.version
+        ) as span:
+            fault_point("snapshot.build")
+            with self._lock:
+                self._conversions += 1
+            _count("snapshot.builds_total")
+            csr = CSRGraph.from_graph(graph, pool=pool)
+            span.set_tag("nodes", csr.num_nodes)
+            span.set_tag("edges", csr.num_edges)
+            return csr
 
     def _make_cleanup(self, key: int):
         def cleanup(_ref) -> None:
@@ -163,6 +187,10 @@ class SnapshotCache:
                 if entry is not None:
                     self._cached_bytes -= entry.nbytes
                     self._collected += 1
+                    _count("snapshot.evictions_total")
+                    _obs_event(
+                        "snapshot.evict", reason="collected", bytes=entry.nbytes
+                    )
 
         return cleanup
 

@@ -1,0 +1,51 @@
+"""Validate a JSON-lines trace file: ``python -m repro.obs trace.jsonl``.
+
+Exit codes: 0 — file conforms to the documented span schema and holds at
+least ``--min-spans`` records; 1 — schema violations or too few spans;
+2 — unreadable file. CI's ``obs-smoke`` step runs this against a traced
+example to keep the written format and the documented one identical.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs.sinks import validate_jsonl
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="validate a repro.obs JSON-lines trace file",
+    )
+    parser.add_argument("path", help="trace file written by the JSON-lines sink")
+    parser.add_argument(
+        "--min-spans", type=int, default=1,
+        help="fail unless at least this many valid spans are present",
+    )
+    args = parser.parse_args(argv)
+    try:
+        count, problems = validate_jsonl(args.path)
+    except OSError as error:
+        print(f"repro.obs: cannot read {args.path}: {error}", file=sys.stderr)
+        return 2
+    for problem in problems[:20]:
+        print(f"repro.obs: {args.path}: {problem}", file=sys.stderr)
+    if len(problems) > 20:
+        print(f"repro.obs: ... and {len(problems) - 20} more", file=sys.stderr)
+    if problems:
+        return 1
+    if count < args.min_spans:
+        print(
+            f"repro.obs: {args.path}: only {count} valid spans "
+            f"(need >= {args.min_spans})",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"{args.path}: {count} spans, schema OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,193 @@
+"""Span sinks — where finished span records go.
+
+Two sinks cover the interactive and the offline case:
+
+* :class:`RingBufferSink` — the default recorder. A bounded in-memory
+  ring holding the most recent spans, so a long session can always
+  render ``Ringo.profile()`` without unbounded growth. Wraparound is
+  counted (``dropped``) rather than silent.
+* :class:`JsonlSink` — one JSON object per line, append-only, flushed
+  per record so a crashed script still leaves a readable trace. This is
+  what ``RINGO_TRACE=<path>`` and ``repro trace --output`` write.
+
+The JSON-lines schema is documented in ``docs/observability.md`` and
+machine-checked by :func:`validate_record` / :func:`validate_jsonl`
+(exposed as ``python -m repro.obs <path>``, which is what the CI
+``obs-smoke`` step runs against a traced example).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import IO
+
+# The documented record schema: field name -> accepted types. ``tags``
+# is checked structurally (a dict of scalar-valued entries).
+_SCHEMA: dict[str, tuple] = {
+    "name": (str,),
+    "span_id": (int,),
+    "parent_id": (int, type(None)),
+    "thread": (str,),
+    "start_s": (int, float),
+    "duration_s": (int, float),
+    "rss_delta_kb": (int,),
+    "tags": (dict,),
+}
+_TAG_VALUE_TYPES = (str, int, float, bool, type(None))
+
+
+class RingBufferSink:
+    """Bounded in-memory recorder keeping the most recent spans.
+
+    >>> sink = RingBufferSink(capacity=2)
+    >>> for i in range(3):
+    ...     sink.record({"span_id": i})
+    >>> [r["span_id"] for r in sink.records()], sink.dropped
+    ([1, 2], 1)
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError(f"ring buffer capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._buffer: list[dict] = []
+        self._next = 0
+        self.recorded = 0
+        self.dropped = 0
+
+    def record(self, record: dict) -> None:
+        with self._lock:
+            self.recorded += 1
+            if len(self._buffer) < self.capacity:
+                self._buffer.append(record)
+            else:
+                self._buffer[self._next] = record
+                self.dropped += 1
+            self._next = (self._next + 1) % self.capacity
+
+    def records(self) -> list[dict]:
+        """Retained records, oldest first."""
+        with self._lock:
+            if len(self._buffer) < self.capacity:
+                return list(self._buffer)
+            return self._buffer[self._next:] + self._buffer[: self._next]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._buffer.clear()
+            self._next = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._buffer)
+
+
+class JsonlSink:
+    """Appends one JSON object per finished span to a file.
+
+    Writes flush per record: a trace must be inspectable after a crash,
+    which is the point of tracing a failing script.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = str(path)
+        self._lock = threading.Lock()
+        self._handle: "IO[str] | None" = open(self.path, "a", encoding="utf-8")
+        self.written = 0
+
+    def record(self, record: dict) -> None:
+        line = json.dumps(record, default=str, separators=(",", ":"))
+        with self._lock:
+            if self._handle is None:
+                return
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            self.written += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+
+# ----------------------------------------------------------------------
+# Schema validation (CI's obs-smoke gate)
+# ----------------------------------------------------------------------
+
+
+def validate_record(record: object) -> list[str]:
+    """Problems with one span record against the documented schema.
+
+    Returns an empty list for a conforming record.
+
+    >>> validate_record({"name": "x", "span_id": 1, "parent_id": None,
+    ...                  "thread": "MainThread", "start_s": 0.0,
+    ...                  "duration_s": 0.1, "rss_delta_kb": 0, "tags": {}})
+    []
+    >>> validate_record({"name": "x"})[0]
+    "missing field 'span_id'"
+    """
+    if not isinstance(record, dict):
+        return [f"record is {type(record).__name__}, not an object"]
+    problems = []
+    for field, types in _SCHEMA.items():
+        if field not in record:
+            problems.append(f"missing field {field!r}")
+            continue
+        value = record[field]
+        # bool is an int subclass; only accept it where int is not meant.
+        if isinstance(value, bool) and bool not in types:
+            problems.append(f"field {field!r} is a bool, expected {types}")
+            continue
+        if not isinstance(value, types):
+            problems.append(
+                f"field {field!r} is {type(value).__name__}, "
+                f"expected {'/'.join(t.__name__ for t in types)}"
+            )
+    if not problems:
+        if record["span_id"] <= 0:
+            problems.append("span_id must be positive")
+        if record["duration_s"] < 0:
+            problems.append("duration_s must be non-negative")
+        if record["rss_delta_kb"] < 0:
+            problems.append("rss_delta_kb must be non-negative")
+        for key, value in record["tags"].items():
+            if not isinstance(key, str):
+                problems.append(f"tag key {key!r} is not a string")
+            elif not isinstance(value, _TAG_VALUE_TYPES):
+                problems.append(
+                    f"tag {key!r} has non-scalar value type {type(value).__name__}"
+                )
+    unknown = set(record) - set(_SCHEMA)
+    if unknown:
+        problems.append(f"unknown fields: {sorted(unknown)}")
+    return problems
+
+
+def validate_jsonl(path) -> tuple[int, list[str]]:
+    """Validate a JSON-lines trace file.
+
+    Returns ``(valid_span_count, problems)`` where problems are prefixed
+    with their 1-based line number.
+    """
+    count = 0
+    problems: list[str] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                problems.append(f"line {line_number}: invalid JSON ({error})")
+                continue
+            issues = validate_record(record)
+            if issues:
+                problems.extend(f"line {line_number}: {issue}" for issue in issues)
+            else:
+                count += 1
+    return count, problems

@@ -35,6 +35,10 @@ from typing import Callable, Sequence, TypeVar
 from repro.analysis.hooks import kernel_dispatch
 from repro.exceptions import PoolClosedError, RingoError, WorkerTimeoutError
 from repro.faults import fault_point
+from repro.obs.metrics import registry as _metrics_registry
+from repro.obs.spans import current_span_id
+from repro.obs.spans import enabled as _tracing_enabled
+from repro.obs.spans import trace
 from repro.parallel.partition import split_range
 from repro.parallel.resilience import PoolStats, RetryPolicy, run_with_retry
 from repro.util.validation import check_positive
@@ -224,13 +228,16 @@ class WorkerPool:
             if deadline is not None and time.monotonic() > deadline:
                 self.stats.record_timeout(cancelled=0)
                 raise WorkerTimeoutError(timeout, pending=len(tasks) - index, cancelled=0)
-            kernel_dispatch()
-            if policy is None:
-                results.append(task())
-            else:
-                results.append(
-                    run_with_retry(task, policy, on_retry=self.stats.record_retry)
-                )
+            with trace("pool.kernel", partition=index, inline=True):
+                kernel_dispatch()
+                if policy is None:
+                    results.append(task())
+                else:
+                    results.append(
+                        run_with_retry(task, policy, on_retry=self.stats.record_retry)
+                    )
+        if _tracing_enabled():
+            _metrics_registry().counter("pool.dispatches_total").inc(len(tasks))
         return results
 
     def _run_parallel(
@@ -239,37 +246,56 @@ class WorkerPool:
         timeout: float | None,
         policy: RetryPolicy | None,
     ) -> list[R]:
-        def dispatch(task: Callable[[], R]) -> R:
+        # Worker kernels run on pool threads, whose span stacks are empty;
+        # capture the submitting thread's open span so each per-worker
+        # child span nests under the operation that dispatched it.
+        parent = current_span_id()
+
+        def dispatch(task: Callable[[], R], index: int) -> R:
             def attempt() -> R:
                 fault_point("parallel.kernel")
                 kernel_dispatch()
                 return task()
 
-            if policy is None:
-                return attempt()
-            return run_with_retry(attempt, policy, on_retry=self.stats.record_retry)
+            with trace("pool.kernel", _parent=parent, partition=index):
+                if policy is None:
+                    return attempt()
+                return run_with_retry(
+                    attempt, policy, on_retry=self.stats.record_retry
+                )
 
         assert self._executor is not None
-        futures: list[Future] = [
-            self._executor.submit(dispatch, task) for task in tasks
-        ]
-        done, not_done = wait(futures, timeout=timeout, return_when=FIRST_EXCEPTION)
-        failed = next(
-            (f for f in futures if f in done and f.exception() is not None), None
-        )
-        if failed is not None:
-            cancelled = sum(1 for future in not_done if future.cancel())
-            self.stats.record_failure(cancelled=cancelled)
-            # Let still-running siblings drain so their writes cannot race
-            # the caller's error handling.
-            wait(futures)
-            raise failed.exception()
-        if not_done:
-            cancelled = sum(1 for future in not_done if future.cancel())
-            self.stats.record_timeout(cancelled=cancelled)
-            assert timeout is not None
-            raise WorkerTimeoutError(timeout, pending=len(not_done), cancelled=cancelled)
-        return [future.result() for future in futures]
+        if _tracing_enabled():
+            reg = _metrics_registry()
+            reg.counter("pool.dispatches_total").inc(len(tasks))
+            reg.gauge("pool.queue_depth").add(len(tasks))
+        try:
+            futures: list[Future] = [
+                self._executor.submit(dispatch, task, index)
+                for index, task in enumerate(tasks)
+            ]
+            done, not_done = wait(futures, timeout=timeout, return_when=FIRST_EXCEPTION)
+            failed = next(
+                (f for f in futures if f in done and f.exception() is not None), None
+            )
+            if failed is not None:
+                cancelled = sum(1 for future in not_done if future.cancel())
+                self.stats.record_failure(cancelled=cancelled)
+                # Let still-running siblings drain so their writes cannot race
+                # the caller's error handling.
+                wait(futures)
+                raise failed.exception()
+            if not_done:
+                cancelled = sum(1 for future in not_done if future.cancel())
+                self.stats.record_timeout(cancelled=cancelled)
+                assert timeout is not None
+                raise WorkerTimeoutError(
+                    timeout, pending=len(not_done), cancelled=cancelled
+                )
+            return [future.result() for future in futures]
+        finally:
+            if _tracing_enabled():
+                _metrics_registry().gauge("pool.queue_depth").add(-len(tasks))
 
     def _note_parallel_failure(self) -> None:
         if self.degrade_after is None:

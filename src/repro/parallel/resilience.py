@@ -21,6 +21,9 @@ from dataclasses import dataclass, field
 from typing import Callable, TypeVar
 
 from repro.exceptions import RetryExhaustedError, TransientError
+from repro.obs.metrics import registry as _metrics_registry
+from repro.obs.spans import enabled as _tracing_enabled
+from repro.obs.spans import event as _obs_event
 from repro.util.validation import check_positive
 
 R = TypeVar("R")
@@ -78,6 +81,11 @@ def run_with_retry(
             return task()
         except policy.retryable as error:
             last_error = error
+            if _tracing_enabled():
+                _metrics_registry().counter("pool.retries_total").inc()
+                _obs_event(
+                    "pool.retry", attempt=attempt, error=type(error).__name__
+                )
             if on_retry is not None:
                 on_retry(attempt, error)
             if attempt < policy.max_attempts:

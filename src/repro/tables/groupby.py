@@ -15,6 +15,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.exceptions import SchemaError, TypeMismatchError
+from repro.obs.spans import trace
 from repro.tables.schema import ColumnType, Schema
 from repro.tables.table import Table
 
@@ -74,23 +75,25 @@ def group_by(
         keys = [keys]
     if aggregations is None:
         aggregations = {"Count": ("count", keys[0])}
-    labels = group_ids(table, keys)
-    n_groups = int(labels.max()) + 1 if len(labels) else 0
-    first_occurrence = _first_occurrence(labels, n_groups)
+    with trace("table.groupby", rows=table.num_rows, keys=len(keys)) as span:
+        labels = group_ids(table, keys)
+        n_groups = int(labels.max()) + 1 if len(labels) else 0
+        first_occurrence = _first_occurrence(labels, n_groups)
 
-    out_schema_cols: list[tuple[str, ColumnType]] = []
-    out_columns: dict[str, np.ndarray] = {}
-    for name in keys:
-        out_schema_cols.append((name, table.schema[name]))
-        out_columns[name] = table._raw_column(name)[first_occurrence]
+        out_schema_cols: list[tuple[str, ColumnType]] = []
+        out_columns: dict[str, np.ndarray] = {}
+        for name in keys:
+            out_schema_cols.append((name, table.schema[name]))
+            out_columns[name] = table._raw_column(name)[first_occurrence]
 
-    for out_name, (agg, col_name) in aggregations.items():
-        if out_name in dict(out_schema_cols):
-            raise SchemaError(f"aggregate output {out_name!r} clashes with a key column")
-        values, out_type = _aggregate(table, labels, n_groups, first_occurrence, agg, col_name)
-        out_schema_cols.append((out_name, out_type))
-        out_columns[out_name] = values
-    return Table(Schema(out_schema_cols), out_columns, pool=table.pool)
+        for out_name, (agg, col_name) in aggregations.items():
+            if out_name in dict(out_schema_cols):
+                raise SchemaError(f"aggregate output {out_name!r} clashes with a key column")
+            values, out_type = _aggregate(table, labels, n_groups, first_occurrence, agg, col_name)
+            out_schema_cols.append((out_name, out_type))
+            out_columns[out_name] = values
+        span.set_tag("groups", n_groups)
+        return Table(Schema(out_schema_cols), out_columns, pool=table.pool)
 
 
 def _first_occurrence(labels: np.ndarray, n_groups: int) -> np.ndarray:

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.exceptions import SchemaError
 from repro.faults import fault_point
+from repro.obs.spans import trace
 from repro.tables.schema import ColumnType, Schema
 from repro.tables.strings import StringPool
 from repro.tables.table import Table
@@ -45,7 +46,7 @@ def load_table_npz(
 ) -> Table:
     """Load a table saved by :func:`save_table_npz`."""
     fault_point("io.npz.load")
-    with np.load(path) as archive:
+    with trace("io.load_npz", path=str(path)), np.load(path) as archive:
         version = int(archive["version"])
         if version != _FORMAT_VERSION:
             raise SchemaError(f"unsupported table format version {version}")

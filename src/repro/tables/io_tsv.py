@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.exceptions import SchemaError
 from repro.faults import active_plan
+from repro.obs.spans import trace
 from repro.tables.schema import ColumnType, Schema
 from repro.tables.strings import StringPool
 from repro.tables.table import Table
@@ -119,42 +120,45 @@ def load_table_tsv(
     elif not isinstance(schema, Schema):
         schema = Schema(schema)
     expected_fields = len(schema)
-    raw_columns: list[list[str]] = [[] for _ in range(expected_fields)]
-    skipped_header = not has_header
-    # Hoisted so the per-row fault check costs nothing when no plan is
-    # armed (the common case) and one dict lookup when one is.
-    fault_plan = active_plan()
-    with open(path, "r", encoding="utf-8") as handle:
-        for line_number, line in enumerate(handle, start=1):
-            line = line.rstrip("\n").rstrip("\r")
-            if not line or (comment and line.startswith(comment)):
-                continue
-            if not skipped_header:
-                skipped_header = True
-                continue
-            if fault_plan is not None:
-                fault_plan.check("io.tsv.parse_row")
-            fields = line.split(sep)
-            if len(fields) != expected_fields:
-                raise SchemaError(
-                    f"{path}:{line_number}: expected {expected_fields} fields, "
-                    f"got {len(fields)}"
-                )
-            for index, field in enumerate(fields):
-                raw_columns[index].append(field)
-    columns: dict[str, object] = {}
-    for index, (name, col_type) in enumerate(schema):
-        raw = raw_columns[index]
-        try:
-            if col_type is ColumnType.INT:
-                columns[name] = np.array(raw, dtype=np.int64) if raw else np.empty(0, np.int64)
-            elif col_type is ColumnType.FLOAT:
-                columns[name] = np.array(raw, dtype=np.float64) if raw else np.empty(0, np.float64)
-            else:
-                columns[name] = raw  # encoded into pool codes by from_columns
-        except ValueError as error:
-            raise SchemaError(f"column {name!r}: {error}") from None
-    return Table.from_columns(columns, schema=schema, pool=pool)
+    with trace("io.load_tsv", path=str(path)) as span:
+        raw_columns: list[list[str]] = [[] for _ in range(expected_fields)]
+        skipped_header = not has_header
+        # Hoisted so the per-row fault check costs nothing when no plan is
+        # armed (the common case) and one dict lookup when one is.
+        fault_plan = active_plan()
+        with open(path, "r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.rstrip("\n").rstrip("\r")
+                if not line or (comment and line.startswith(comment)):
+                    continue
+                if not skipped_header:
+                    skipped_header = True
+                    continue
+                if fault_plan is not None:
+                    fault_plan.check("io.tsv.parse_row")
+                fields = line.split(sep)
+                if len(fields) != expected_fields:
+                    raise SchemaError(
+                        f"{path}:{line_number}: expected {expected_fields} fields, "
+                        f"got {len(fields)}"
+                    )
+                for index, field in enumerate(fields):
+                    raw_columns[index].append(field)
+        columns: dict[str, object] = {}
+        for index, (name, col_type) in enumerate(schema):
+            raw = raw_columns[index]
+            try:
+                if col_type is ColumnType.INT:
+                    columns[name] = np.array(raw, dtype=np.int64) if raw else np.empty(0, np.int64)
+                elif col_type is ColumnType.FLOAT:
+                    columns[name] = np.array(raw, dtype=np.float64) if raw else np.empty(0, np.float64)
+                else:
+                    columns[name] = raw  # encoded into pool codes by from_columns
+            except ValueError as error:
+                raise SchemaError(f"column {name!r}: {error}") from None
+        table = Table.from_columns(columns, schema=schema, pool=pool)
+        span.set_tag("rows", table.num_rows)
+        return table
 
 
 def save_table_tsv(

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.exceptions import TypeMismatchError
 from repro.faults import fault_point
+from repro.obs.spans import trace
 from repro.tables.schema import ColumnType, Schema
 from repro.tables.table import Table
 
@@ -140,69 +141,73 @@ def join(
     for l_name, r_name in zip(left_cols, right_cols):
         _check_joinable(left, right, l_name, r_name)
     fault_point("join.materialize")
-
-    if len(left_cols) == 1:
-        left_keys = left.column(left_cols[0])
-        right_keys = right.column(right_cols[0])
-        if left_keys.dtype != right_keys.dtype:
-            left_keys = left_keys.astype(np.float64)
-            right_keys = right_keys.astype(np.float64)
-        left_idx, right_idx = join_indices(left_keys, right_keys)
-    else:
-        left_ids, right_ids = composite_keys(
-            [left.column(name) for name in left_cols],
-            [right.column(name) for name in right_cols],
-        )
-        left_idx, right_idx = join_indices(left_ids, right_ids)
-
-    unmatched = np.empty(0, dtype=np.int64)
-    if how == "left":
-        matched_mask = np.zeros(left.num_rows, dtype=bool)
-        matched_mask[left_idx] = True
-        unmatched = np.flatnonzero(~matched_mask)
-        left_idx = np.concatenate([left_idx, unmatched])
-
-    if left.pool is not right.pool:
-        has_strings = any(t is ColumnType.STRING for _, t in left.schema) or any(
-            t is ColumnType.STRING for _, t in right.schema
-        )
-        if has_strings:
-            raise TypeMismatchError(
-                "joining tables with string columns requires a shared string pool"
+    with trace(
+        "table.join", left_rows=left.num_rows, right_rows=right.num_rows, how=how
+    ) as span:
+        if len(left_cols) == 1:
+            left_keys = left.column(left_cols[0])
+            right_keys = right.column(right_cols[0])
+            if left_keys.dtype != right_keys.dtype:
+                left_keys = left_keys.astype(np.float64)
+                right_keys = right_keys.astype(np.float64)
+            left_idx, right_idx = join_indices(left_keys, right_keys)
+        else:
+            left_ids, right_ids = composite_keys(
+                [left.column(name) for name in left_cols],
+                [right.column(name) for name in right_cols],
             )
+            left_idx, right_idx = join_indices(left_ids, right_ids)
 
-    out_schema_cols: list[tuple[str, ColumnType]] = []
-    out_columns: dict[str, np.ndarray] = {}
-    clashes = set(left.schema.names) & set(right.schema.names)
+        unmatched = np.empty(0, dtype=np.int64)
+        if how == "left":
+            matched_mask = np.zeros(left.num_rows, dtype=bool)
+            matched_mask[left_idx] = True
+            unmatched = np.flatnonzero(~matched_mask)
+            left_idx = np.concatenate([left_idx, unmatched])
 
-    def output_name(name: str, suffix: str) -> str:
-        return f"{name}{suffix}" if name in clashes else name
-
-    def right_fill(col_type: ColumnType) -> np.ndarray:
-        if col_type is ColumnType.STRING:
-            code = left.pool.encode("")
-            return np.full(len(unmatched), code, dtype=np.int32)
-        return np.zeros(len(unmatched), dtype=col_type.dtype)
-
-    for name, col_type in left.schema:
-        out_name = output_name(name, LEFT_SUFFIX)
-        out_schema_cols.append((out_name, col_type))
-        out_columns[out_name] = left._raw_column(name)[left_idx]
-    for name, col_type in right.schema:
-        out_name = output_name(name, RIGHT_SUFFIX)
-        out_schema_cols.append((out_name, col_type))
-        matched_values = right._raw_column(name)[right_idx]
-        if len(unmatched):
-            matched_values = np.concatenate([matched_values, right_fill(col_type)])
-        out_columns[out_name] = matched_values
-    if include_provenance:
-        out_schema_cols.append((PROVENANCE_LEFT, ColumnType.INT))
-        out_columns[PROVENANCE_LEFT] = left.row_ids[left_idx]
-        out_schema_cols.append((PROVENANCE_RIGHT, ColumnType.INT))
-        right_prov = right.row_ids[right_idx]
-        if len(unmatched):
-            right_prov = np.concatenate(
-                [right_prov, np.full(len(unmatched), -1, dtype=np.int64)]
+        if left.pool is not right.pool:
+            has_strings = any(t is ColumnType.STRING for _, t in left.schema) or any(
+                t is ColumnType.STRING for _, t in right.schema
             )
-        out_columns[PROVENANCE_RIGHT] = right_prov
-    return Table(Schema(out_schema_cols), out_columns, pool=left.pool)
+            if has_strings:
+                raise TypeMismatchError(
+                    "joining tables with string columns requires a shared string pool"
+                )
+
+        out_schema_cols: list[tuple[str, ColumnType]] = []
+        out_columns: dict[str, np.ndarray] = {}
+        clashes = set(left.schema.names) & set(right.schema.names)
+
+        def output_name(name: str, suffix: str) -> str:
+            return f"{name}{suffix}" if name in clashes else name
+
+        def right_fill(col_type: ColumnType) -> np.ndarray:
+            if col_type is ColumnType.STRING:
+                code = left.pool.encode("")
+                return np.full(len(unmatched), code, dtype=np.int32)
+            return np.zeros(len(unmatched), dtype=col_type.dtype)
+
+        for name, col_type in left.schema:
+            out_name = output_name(name, LEFT_SUFFIX)
+            out_schema_cols.append((out_name, col_type))
+            out_columns[out_name] = left._raw_column(name)[left_idx]
+        for name, col_type in right.schema:
+            out_name = output_name(name, RIGHT_SUFFIX)
+            out_schema_cols.append((out_name, col_type))
+            matched_values = right._raw_column(name)[right_idx]
+            if len(unmatched):
+                matched_values = np.concatenate([matched_values, right_fill(col_type)])
+            out_columns[out_name] = matched_values
+        if include_provenance:
+            out_schema_cols.append((PROVENANCE_LEFT, ColumnType.INT))
+            out_columns[PROVENANCE_LEFT] = left.row_ids[left_idx]
+            out_schema_cols.append((PROVENANCE_RIGHT, ColumnType.INT))
+            right_prov = right.row_ids[right_idx]
+            if len(unmatched):
+                right_prov = np.concatenate(
+                    [right_prov, np.full(len(unmatched), -1, dtype=np.int64)]
+                )
+            out_columns[PROVENANCE_RIGHT] = right_prov
+        result = Table(Schema(out_schema_cols), out_columns, pool=left.pool)
+        span.set_tag("rows", result.num_rows)
+        return result

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import SchemaError
+from repro.obs.spans import trace
 from repro.tables.order import sort_permutation
 from repro.tables.schema import ColumnType, Schema
 from repro.tables.table import Table
@@ -98,7 +99,9 @@ def next_k(
     if group_col is not None:
         table.schema.require(group_col)
         group_labels = table.column(group_col)
-    pred_idx, succ_idx, ranks = next_k_indices(order_values, k, group_labels)
+    with trace("table.nextk", rows=table.num_rows, k=k) as _span:
+        pred_idx, succ_idx, ranks = next_k_indices(order_values, k, group_labels)
+        _span.set_tag("pairs", int(len(pred_idx)))
 
     out_schema_cols: list[tuple[str, ColumnType]] = []
     out_columns: dict[str, np.ndarray] = {}

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.spans import trace
 from repro.tables.expressions import Predicate, as_predicate
 from repro.tables.table import Table
 
@@ -29,11 +30,15 @@ def select(
     >>> select(table, "x >= 2").num_rows
     2
     """
-    mask = as_predicate(predicate).mask(table)
-    if in_place:
-        table.filter_in_place(mask)
-        return table
-    return table.take(np.flatnonzero(mask))
+    with trace("table.select", rows=table.num_rows, in_place=in_place) as span:
+        mask = as_predicate(predicate).mask(table)
+        if in_place:
+            table.filter_in_place(mask)
+            span.set_tag("kept", table.num_rows)
+            return table
+        result = table.take(np.flatnonzero(mask))
+        span.set_tag("kept", result.num_rows)
+        return result
 
 
 def count_matching(table: Table, predicate: "Predicate | str | np.ndarray") -> int:

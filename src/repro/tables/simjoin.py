@@ -14,6 +14,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.exceptions import TypeMismatchError
+from repro.obs.spans import trace
 from repro.tables.schema import ColumnType, Schema
 from repro.tables.table import Table
 from repro.util.validation import check_positive
@@ -73,8 +74,16 @@ def _sim_join_1d(
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     order = np.argsort(right, kind="stable")
     right_sorted = right[order]
-    lo = np.searchsorted(right_sorted, left - threshold, side="right")
-    hi = np.searchsorted(right_sorted, left + threshold, side="left")
+    # The window bounds are computed in floats, so a candidate whose true
+    # distance is a hair under the threshold can land exactly on (or one
+    # ulp past) ``left ± threshold``. Widen the prefilter by one ulp per
+    # side — the exact ``distances < threshold`` filter below decides.
+    lo = np.searchsorted(
+        right_sorted, np.nextafter(left - threshold, -np.inf), side="left"
+    )
+    hi = np.searchsorted(
+        right_sorted, np.nextafter(left + threshold, np.inf), side="right"
+    )
     counts = hi - lo
     total = int(counts.sum())
     if total == 0:
@@ -169,9 +178,16 @@ def sim_join(
     right_points = _numeric_columns(right, right_names)
     if metric not in _METRICS:
         raise TypeMismatchError(f"unknown metric {metric!r}; use one of {_METRICS}")
-    left_idx, right_idx, distances = sim_join_indices(
-        left_points, right_points, threshold, metric
-    )
+    with trace(
+        "table.simjoin",
+        left_rows=left.num_rows,
+        right_rows=right.num_rows,
+        metric=metric,
+    ) as _span:
+        left_idx, right_idx, distances = sim_join_indices(
+            left_points, right_points, threshold, metric
+        )
+        _span.set_tag("pairs", int(len(left_idx)))
 
     clashes = set(left.schema.names) & set(right.schema.names)
 

@@ -1,14 +1,18 @@
-"""Session-wide test wiring for the analysis env toggles.
+"""Session-wide test wiring for the analysis/observability env toggles.
 
 ``RINGO_RACE_CHECK=1 pytest tests/test_parallel_containers.py`` arms
 the lockset race detector for the whole run, turning the parallel
 suites into a race-discipline smoke (CI's ``lint-analysis`` job does
-exactly this). ``RINGO_SANITIZE`` needs no wiring here — the snapshot
-cache consults it directly on every conversion.
+exactly this). ``RINGO_TRACE=1 pytest`` likewise arms the repro.obs
+tracer for the whole run, so the entire suite doubles as an
+instrumentation soak (CI's ``obs-smoke`` job). ``RINGO_SANITIZE``
+needs no wiring here — the snapshot cache consults it directly on
+every conversion.
 """
 
 import pytest
 
+from repro import obs
 from repro.analysis import races
 
 
@@ -21,3 +25,14 @@ def _race_detector_from_env():
     yield
     if races.current() is detector:
         races.disable()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _tracer_from_env():
+    if not obs.env_enabled():
+        yield
+        return
+    tracer = obs.enable_from_env()
+    yield
+    if tracer is not None and obs.current_tracer() is tracer:
+        obs.disable()

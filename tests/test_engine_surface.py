@@ -96,6 +96,7 @@ def test_every_session_method_exercised(ringo, graph, tmp_path):
         "workers_info": ringo.workers_info(),
         "health": ringo.health(),
         "call_timings": ringo.call_timings(),
+        "profile": ringo.profile(),
     }
     # Deferred ones needing special setup:
     from repro.graphs.network import Network

@@ -1,0 +1,149 @@
+"""repro.obs metrics: counter monotonicity, gauge semantics, histogram
+summaries and reservoir bounds, registry kind-binding, observe_rate."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    observe_rate,
+    registry,
+)
+
+
+class TestCounter:
+    def test_accumulates(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert counter.snapshot() == {"type": "counter", "value": 5}
+
+    def test_never_decreases(self):
+        counter = Counter("c")
+        counter.inc(3)
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+        assert counter.value == 3
+
+    def test_monotone_across_many_increments(self):
+        counter = Counter("c")
+        seen = []
+        for amount in [0, 1, 2.5, 0, 7]:
+            counter.inc(amount)
+            seen.append(counter.value)
+        assert seen == sorted(seen)
+
+
+class TestGauge:
+    def test_set_is_last_write_wins(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.set(3)
+        assert gauge.value == 3
+
+    def test_add_moves_both_directions(self):
+        gauge = Gauge("g")
+        gauge.add(5)
+        gauge.add(-2)
+        assert gauge.value == 3
+        assert gauge.snapshot() == {"type": "gauge", "value": 3}
+
+
+class TestHistogram:
+    def test_summary_fields(self):
+        hist = Histogram("h")
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(10.0)
+        assert snap["min"] == 1.0 and snap["max"] == 4.0
+        assert snap["mean"] == pytest.approx(2.5)
+        assert snap["p50"] in (2.0, 3.0)
+
+    def test_reservoir_stays_bounded_while_count_is_exact(self):
+        hist = Histogram("h", reservoir=8)
+        for value in range(1000):
+            hist.observe(value)
+        assert hist.count == 1000
+        assert len(hist._recent) == 8  # wraparound overwrote, never grew
+        snap = hist.snapshot()
+        assert snap["count"] == 1000
+        assert snap["max"] == 999.0 and snap["min"] == 0.0
+
+    def test_quantiles(self):
+        hist = Histogram("h")
+        for value in range(100):
+            hist.observe(value)
+        assert hist.quantile(0.0) == 0.0
+        assert hist.quantile(1.0) == 99.0
+        assert 45 <= hist.quantile(0.5) <= 55
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_empty_snapshot(self):
+        snap = Histogram("h").snapshot()
+        assert snap["count"] == 0
+        assert snap["mean"] is None and snap["p50"] is None
+
+    def test_reservoir_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Histogram("h", reservoir=0)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_name_permanently_bound_to_kind(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+        with pytest.raises(TypeError):
+            reg.histogram("x")
+
+    def test_snapshot_is_a_safe_copy(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(2)
+        snap = reg.snapshot()
+        snap["a"]["value"] = 999
+        assert reg.counter("a").value == 2
+
+    def test_names_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.gauge("a")
+        assert reg.names() == ["a", "b"]
+
+    def test_process_wide_registry_is_a_singleton(self):
+        assert registry() is registry()
+
+
+class TestObserveRate:
+    def test_creates_total_counter_and_per_s_histogram(self):
+        reg = MetricsRegistry()
+        observe_rate("convert.rows", 1000, 0.5, registry_=reg)
+        assert reg.counter("convert.rows_total").value == 1000
+        snap = reg.histogram("convert.rows_per_s").snapshot()
+        assert snap["count"] == 1
+        assert snap["mean"] == pytest.approx(2000.0)
+
+    def test_zero_elapsed_skips_the_rate_sample(self):
+        reg = MetricsRegistry()
+        observe_rate("fast.rows", 10, 0.0, registry_=reg)
+        assert reg.counter("fast.rows_total").value == 10
+        assert reg.histogram("fast.rows_per_s").snapshot()["count"] == 0
+
+    def test_totals_accumulate_monotonically(self):
+        reg = MetricsRegistry()
+        totals = []
+        for units in [100, 50, 200]:
+            observe_rate("io.rows", units, 0.1, registry_=reg)
+            totals.append(reg.counter("io.rows_total").value)
+        assert totals == [100, 150, 350]
+        assert totals == sorted(totals)

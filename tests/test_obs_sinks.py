@@ -1,0 +1,152 @@
+"""repro.obs sinks: ring-buffer wraparound, the JSON-lines format, and
+the documented-schema validator behind ``python -m repro.obs``."""
+
+import json
+
+import pytest
+
+from repro.obs.__main__ import main as validate_main
+from repro.obs.sinks import (
+    JsonlSink,
+    RingBufferSink,
+    validate_jsonl,
+    validate_record,
+)
+
+
+def _record(span_id=1, **overrides):
+    record = {
+        "name": "op",
+        "span_id": span_id,
+        "parent_id": None,
+        "thread": "MainThread",
+        "start_s": 0.0,
+        "duration_s": 0.001,
+        "rss_delta_kb": 0,
+        "tags": {},
+    }
+    record.update(overrides)
+    return record
+
+
+class TestRingBufferSink:
+    def test_keeps_most_recent_in_order_after_wraparound(self):
+        sink = RingBufferSink(capacity=3)
+        for span_id in range(1, 8):  # 7 records through a 3-slot ring
+            sink.record(_record(span_id))
+        assert [r["span_id"] for r in sink.records()] == [5, 6, 7]
+        assert sink.recorded == 7
+        assert sink.dropped == 4
+        assert len(sink) == 3
+
+    def test_no_drops_below_capacity(self):
+        sink = RingBufferSink(capacity=10)
+        for span_id in range(1, 4):
+            sink.record(_record(span_id))
+        assert [r["span_id"] for r in sink.records()] == [1, 2, 3]
+        assert sink.dropped == 0
+
+    def test_clear_resets_buffer_but_not_counters(self):
+        sink = RingBufferSink(capacity=2)
+        sink.record(_record(1))
+        sink.clear()
+        assert sink.records() == []
+        assert sink.recorded == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+
+class TestJsonlSink:
+    def test_writes_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        sink.record(_record(1))
+        sink.record(_record(2, tags={"rows": 5}))
+        sink.close()
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[1])["tags"] == {"rows": 5}
+        assert sink.written == 2
+
+    def test_record_after_close_is_a_no_op(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        sink.close()
+        sink.close()  # idempotent
+        sink.record(_record(1))
+        assert path.read_text() == ""
+        assert sink.written == 0
+
+    def test_appends_across_sink_instances(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        first = JsonlSink(path)
+        first.record(_record(1))
+        first.close()
+        second = JsonlSink(path)
+        second.record(_record(2))
+        second.close()
+        assert len(path.read_text().strip().splitlines()) == 2
+
+
+class TestValidateRecord:
+    def test_conforming_record_has_no_problems(self):
+        assert validate_record(_record()) == []
+
+    def test_missing_field(self):
+        bad = _record()
+        del bad["thread"]
+        assert any("thread" in p for p in validate_record(bad))
+
+    def test_wrong_types(self):
+        assert validate_record(_record(span_id="1"))
+        assert validate_record(_record(duration_s="fast"))
+        assert validate_record(_record(span_id=True))  # bool is not an int here
+
+    def test_value_constraints(self):
+        assert any("positive" in p for p in validate_record(_record(span_id=0)))
+        assert any(
+            "non-negative" in p for p in validate_record(_record(duration_s=-1.0))
+        )
+        assert any(
+            "non-negative" in p for p in validate_record(_record(rss_delta_kb=-1))
+        )
+
+    def test_tags_must_be_scalar_valued(self):
+        bad = _record(tags={"rows": [1, 2]})
+        assert any("non-scalar" in p for p in validate_record(bad))
+        good = _record(tags={"a": 1, "b": "x", "c": 1.5, "d": True, "e": None})
+        assert validate_record(good) == []
+
+    def test_unknown_fields_and_non_objects(self):
+        assert any("unknown" in p for p in validate_record(_record(extra=1)))
+        assert validate_record([1, 2]) == ["record is list, not an object"]
+
+
+class TestValidateJsonl:
+    def test_counts_valid_spans_and_line_numbers_problems(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        lines = [
+            json.dumps(_record(1)),
+            "not json at all {",
+            json.dumps(_record(0)),  # bad span_id
+            "",
+            json.dumps(_record(2)),
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        count, problems = validate_jsonl(path)
+        assert count == 2
+        assert any(p.startswith("line 2:") for p in problems)
+        assert any(p.startswith("line 3:") for p in problems)
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        good = tmp_path / "good.jsonl"
+        good.write_text(json.dumps(_record(1)) + "\n")
+        assert validate_main([str(good)]) == 0
+        assert validate_main([str(good), "--min-spans", "2"]) == 1
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("garbage\n")
+        assert validate_main([str(bad)]) == 1
+        assert validate_main([str(tmp_path / "missing.jsonl")]) == 2
+        capsys.readouterr()  # swallow validator output

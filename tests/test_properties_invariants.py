@@ -173,6 +173,63 @@ class TestConversionRoundTrips:
 
     @settings(max_examples=40, deadline=None)
     @given(EDGES)
+    def test_table_graph_table_graph_preserves_edge_multiset(self, edges):
+        # The full cycle the paper's workflows lean on: a table of edges
+        # → ToGraph → ToTable → ToGraph must stabilise after one hop
+        # (the first conversion dedups; nothing may be lost after that).
+        table = Table.from_columns(
+            {"src": [e[0] for e in edges], "dst": [e[1] for e in edges]}
+        )
+        first = to_graph(table, "src", "dst")
+        exported = to_edge_table(first)
+        second = to_graph(exported, "SrcId", "DstId")
+        assert sorted(second.edges()) == sorted(first.edges())
+        pairs = sorted(
+            zip(exported.column("SrcId").tolist(), exported.column("DstId").tolist())
+        )
+        # The exported table is exactly the dedup'd edge multiset: one
+        # row per distinct edge, content equal to the graph's edge set.
+        assert pairs == sorted(first.edges())
+        assert len(pairs) == len(set(pairs))
+
+    @settings(max_examples=40, deadline=None)
+    @given(EDGES)
+    def test_undirected_table_graph_table_graph_round_trip(self, edges):
+        table = Table.from_columns(
+            {"src": [e[0] for e in edges], "dst": [e[1] for e in edges]}
+        )
+        first = to_graph(table, "src", "dst", directed=False)
+        exported = to_edge_table(first)
+        second = to_graph(exported, "SrcId", "DstId", directed=False)
+        assert sorted(second.edges()) == sorted(first.edges())
+        assert second.num_edges == first.num_edges
+
+    @settings(max_examples=40, deadline=None)
+    @given(EDGES)
+    def test_conversions_leave_source_row_ids_intact(self, edges):
+        # §2.3 persistent row ids: conversions are reads — the source
+        # table's ids and content must be byte-identical afterwards, and
+        # every derived table gets fresh unique ids of its own.
+        table = Table.from_columns(
+            {"src": [e[0] for e in edges], "dst": [e[1] for e in edges]}
+        )
+        ids_before = table.row_ids.tolist()
+        content_before = list(
+            zip(table.column("src").tolist(), table.column("dst").tolist())
+        )
+        graph = to_graph(table, "src", "dst")
+        exported = to_edge_table(graph)
+        to_graph(exported, "SrcId", "DstId")
+        assert table.row_ids.tolist() == ids_before
+        assert (
+            list(zip(table.column("src").tolist(), table.column("dst").tolist()))
+            == content_before
+        )
+        exported_ids = exported.row_ids.tolist()
+        assert len(set(exported_ids)) == exported.num_rows
+
+    @settings(max_examples=40, deadline=None)
+    @given(EDGES)
     def test_pagerank_equal_across_representations(self, edges):
         # The same analytics answer whether computed from the dynamic
         # graph or its freshly rebuilt twin.
