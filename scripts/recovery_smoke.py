@@ -1,0 +1,153 @@
+"""CI recovery smoke: SIGKILL a durable session mid-run, recover, diff.
+
+Drives the full crash-consistency loop as a black box, the way the CI
+``recovery-smoke`` job runs it:
+
+1. spawn a child interpreter that runs a representative durable session
+   (loads, selects, a join, a graph build, a checkpoint, post-checkpoint
+   ops) and SIGKILLs itself at a scripted point;
+2. ``Ringo.recover()`` the directory;
+3. rerun the committed op sequence in a clean in-process session and
+   assert the recovered catalog's digests match the rerun's exactly;
+4. repeat with a checkpoint whose artifact was silently corrupted
+   (the ``recovery.checkpoint.bit_flip`` fault) and assert the artifact
+   is quarantined — never silently loaded — and rebuilt from the WAL.
+
+Exit code 0 means every scenario passed.
+
+Run:  python scripts/recovery_smoke.py [workdir]
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.core.engine import Ringo  # noqa: E402
+from repro.recovery.digest import catalog_digest  # noqa: E402
+
+CHILD = """
+import os, signal, sys
+sys.path.insert(0, {src!r})
+from repro.core.engine import Ringo
+from repro.exceptions import InjectedFaultError
+from repro.faults import inject_faults
+
+session = Ringo(workers=1, durability=sys.argv[1])
+posts = session.TableFromColumns(
+    {{
+        "user": [1, 2, 3, 4, 2, 1, 5, 3],
+        "score": [5.0, 1.0, 3.5, 2.0, 4.0, 0.5, 3.0, 2.5],
+        "tag": ["java", "py", "java", "go", "py", "java", "go", "java"],
+    }}
+)
+java = session.Select(posts, "tag=java")
+joined = session.Join(java, posts, "user")
+graph = session.ToGraph(joined, "user-1", "user-2")
+scenario = sys.argv[2]
+if scenario == "bit-flip":
+    with inject_faults({{"recovery.checkpoint.bit_flip": {{"rate": 1.0, "max_triggers": 1}}}}):
+        session.checkpoint()
+else:
+    session.checkpoint()
+session.OrderBy(java, "score", in_place=True)
+session.GenRMat(4, 10, seed=5)
+if scenario == "torn-wal":
+    # Die exactly mid-append: half a frame lands on disk, then SIGKILL.
+    with inject_faults({{"recovery.wal.torn_write": 1.0}}):
+        try:
+            session.Distinct(posts)
+        except InjectedFaultError:
+            os.kill(os.getpid(), signal.SIGKILL)
+os.kill(os.getpid(), signal.SIGKILL)
+"""
+
+
+def committed_reference():
+    """The committed op sequence, rerun cleanly in-process."""
+    with Ringo(workers=1) as session:
+        posts = session.TableFromColumns(
+            {
+                "user": [1, 2, 3, 4, 2, 1, 5, 3],
+                "score": [5.0, 1.0, 3.5, 2.0, 4.0, 0.5, 3.0, 2.5],
+                "tag": ["java", "py", "java", "go", "py", "java", "go", "java"],
+            }
+        )
+        java = session.Select(posts, "tag=java")
+        joined = session.Join(java, posts, "user")
+        graph = session.ToGraph(joined, "user-1", "user-2")
+        session.OrderBy(java, "score", in_place=True)
+        rmat = session.GenRMat(4, 10, seed=5)
+        from repro.recovery.digest import object_digest
+
+        return {
+            "table-1": object_digest(posts),
+            "table-2": object_digest(java),
+            "table-3": object_digest(joined),
+            "graph-4": object_digest(graph),
+            "graph-5": object_digest(rmat),
+        }
+
+
+def crash_child(state: Path, scenario: str) -> None:
+    result = subprocess.run(
+        [sys.executable, "-c", CHILD.format(src=str(SRC)), str(state), scenario],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    if result.returncode != -signal.SIGKILL:
+        raise SystemExit(
+            f"child for {scenario!r} exited {result.returncode}, expected "
+            f"SIGKILL\n{result.stderr}"
+        )
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SystemExit(f"FAIL: {message}")
+
+
+def run_scenario(workdir: Path, scenario: str, expected: dict) -> None:
+    state = workdir / scenario
+    crash_child(state, scenario)
+    with Ringo.recover(state, workers=1) as recovered:
+        report = recovered.health()["recovery"]["last_recovery"]
+        digests = catalog_digest(recovered)
+        check(digests == expected, f"{scenario}: recovered catalog diverged")
+        check(report["unrecovered"] == [], f"{scenario}: unrecovered objects")
+        if scenario == "torn-wal":
+            check(report["wal_torn_tail"], "torn-wal: tail not detected")
+        if scenario == "bit-flip":
+            check(
+                len(report["quarantined"]) == 1,
+                "bit-flip: corrupt artifact was not quarantined",
+            )
+            moved = Path(report["quarantined"][0]["moved_to"])
+            check(moved.exists(), "bit-flip: quarantined artifact missing")
+    print(
+        f"  {scenario}: checkpoint={report['checkpoint']} "
+        f"restored={report['restored_objects']} "
+        f"replayed={report['replayed_ops']} "
+        f"quarantined={len(report['quarantined'])} ... OK"
+    )
+
+
+def main() -> None:
+    workdir = Path(
+        sys.argv[1] if len(sys.argv) > 1 else tempfile.mkdtemp(prefix="recovery-smoke-")
+    )
+    expected = committed_reference()
+    print("recovery smoke: SIGKILL -> recover -> diff against clean rerun")
+    for scenario in ("clean-kill", "torn-wal", "bit-flip"):
+        run_scenario(workdir, scenario, expected)
+    print("recovery smoke: all scenarios passed")
+
+
+if __name__ == "__main__":
+    main()

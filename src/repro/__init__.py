@@ -23,10 +23,14 @@ Subpackages: :mod:`repro.tables` (column-store relational engine),
 from repro.core.engine import Ringo
 from repro.exceptions import (
     AnalysisError,
+    CorruptInputError,
+    CorruptionError,
     ExecutionError,
     MemoryBudgetError,
     PoolClosedError,
     RaceDetected,
+    RecoveryError,
+    ReplayError,
     RetryExhaustedError,
     RingoError,
     SanitizerError,
@@ -46,12 +50,16 @@ __version__ = "1.0.0"
 __all__ = [
     "AnalysisError",
     "ColumnType",
+    "CorruptInputError",
+    "CorruptionError",
     "DirectedGraph",
     "ExecutionError",
     "MemoryBudget",
     "MemoryBudgetError",
     "PoolClosedError",
     "RaceDetected",
+    "RecoveryError",
+    "ReplayError",
     "RetryExhaustedError",
     "RetryPolicy",
     "Ringo",

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import copy
 import functools
+import os
 import threading
 import time
 from typing import Mapping, Sequence
@@ -32,10 +33,13 @@ from repro import convert, obs, tables
 from repro.analysis import races as _races
 from repro.analysis import sanitize as _sanitize
 from repro.core.registry import FunctionRegistry, build_default_registry
+from repro.exceptions import RecoveryError
 from repro.graphs.directed import DirectedGraph
 from repro.graphs.snapshot import csr_snapshot
 from repro.graphs.snapshot import snapshot_cache as _default_snapshot_cache
 from repro.graphs.undirected import UndirectedGraph
+from repro.recovery import ops as _rops
+from repro.recovery.wal import SessionDurability
 from repro.memory.budget import (
     ADMIT_DEGRADE,
     MemoryBudget,
@@ -115,6 +119,19 @@ class Ringo:
     counters surface under ``health()["obs"]``; :meth:`profile` renders
     the recorded span tree.
 
+    ``durability`` arms crash-consistent durability
+    (:mod:`repro.recovery`): pass a directory (or set the
+    ``RINGO_DURABILITY`` environment variable) and every
+    catalog-mutating operation appends a CRC32-framed, fsync'd
+    write-ahead-log record *before* its result is published.
+    :meth:`checkpoint` snapshots the catalog atomically with per-array
+    checksums; after a crash, :meth:`recover` reconstructs the session
+    from the newest valid checkpoint plus WAL replay. Durable sessions
+    publish every recorded result to the catalog (so derivations can
+    reference their inputs by id); the durability directory must be
+    empty the first time — resume an existing one with
+    :meth:`recover`.
+
     >>> ringo = Ringo(workers=1)
     >>> table = ringo.TableFromColumns({"a": [1, 2], "b": [2, 3]})
     >>> graph = ringo.ToGraph(table, "a", "b")
@@ -132,6 +149,7 @@ class Ringo:
         snapshot_cache_bytes: "int | None" = None,
         race_check: "bool | str | None" = None,
         trace: "bool | str | None" = None,
+        durability: "str | os.PathLike[str] | None" = None,
     ) -> None:
         self.pool = StringPool()
         self.workers = WorkerPool(workers, retry_policy=retry_policy)
@@ -139,6 +157,13 @@ class Ringo:
         self.registry: FunctionRegistry = build_default_registry()
         self._catalog: dict[str, object] = {}
         self._publish_counter = 0
+        self._object_names: dict[int, str] = {}
+        self._durability: "SessionDurability | None" = None
+        self._recovery_report: "dict | None" = None
+        if durability is None:
+            durability = os.environ.get("RINGO_DURABILITY") or None
+        if durability:
+            self._arm_durability(durability, resume=False)
         # The snapshot cache is process-wide (the paper's model is one
         # interactive session per process); the session configures it.
         self._snapshot_cache = _default_snapshot_cache()
@@ -178,7 +203,98 @@ class Ringo:
     def _publish(self, kind: str, obj):
         """Register a fully built object; called only after success."""
         self._publish_counter += 1
-        self._catalog[f"{kind}-{self._publish_counter}"] = obj
+        name = f"{kind}-{self._publish_counter}"
+        self._catalog[name] = obj
+        self._object_names[id(obj)] = name
+        return obj
+
+    def _publish_as(self, name: str, obj):
+        """Register an object under an explicit catalog name (recovery)."""
+        self._catalog[name] = obj
+        self._object_names[id(obj)] = name
+        return obj
+
+    def _arm_durability(self, directory, resume: bool = False) -> None:
+        """Open the write-ahead log under ``directory``.
+
+        A fresh session refuses a directory that already holds durable
+        state (LSNs and catalog names would collide with the old run's);
+        :meth:`recover` passes ``resume=True`` after reconstructing the
+        catalog, so appends continue the existing sequence.
+        """
+        from repro.recovery.checkpoint import ensure_fresh
+
+        if self._durability is not None:
+            raise RecoveryError("session durability is already armed")
+        if not resume:
+            ensure_fresh(directory)
+        self._durability = SessionDurability(directory)
+
+    def _require_ref(self, obj) -> str:
+        """The catalog id of ``obj``, adopting it into the WAL if unknown.
+
+        Durable operations reference their inputs by catalog id. An
+        input built outside the recorded surface (a table handed in
+        from user code) is *adopted*: its full contents are logged as
+        an inline ``__adopt_*__`` record and it is published, making
+        the log self-contained.
+        """
+        name = self._object_names.get(id(obj))
+        if name is not None and self._catalog.get(name) is obj:
+            return name
+        if isinstance(obj, Table):
+            kind, op = "table", "__adopt_table__"
+            payload = _rops.encode_table_payload(obj)
+        elif isinstance(obj, (DirectedGraph, UndirectedGraph)):
+            kind, op = "graph", "__adopt_graph__"
+            payload = _rops.encode_graph_payload(obj)
+        else:
+            raise RecoveryError(
+                f"durable operations cannot reference a {type(obj).__name__} "
+                f"input that is not in the session catalog"
+            )
+        name = f"{kind}-{self._publish_counter + 1}"
+        self._durability.wal.append(op, {"payload": payload}, (), name)
+        self._publish(kind, obj)
+        return name
+
+    def _prepare_inputs(self, *objs) -> None:
+        """Ensure inputs are catalogued *before* an in-place mutation runs
+        (adoption must snapshot the pre-mutation state)."""
+        if self._durability is not None:
+            for obj in objs:
+                self._require_ref(obj)
+
+    def _commit(
+        self,
+        kind: str,
+        op: str,
+        obj,
+        args: "dict | None",
+        inputs: tuple = (),
+        always_publish: bool = False,
+        mutated: bool = False,
+    ):
+        """Log a completed operation to the WAL, then publish its result.
+
+        The WAL append (flushed + fsync'd) happens strictly before the
+        result becomes visible through :meth:`Objects` — the on-disk
+        record is the commit point, so recovery can reconstruct every
+        object a caller ever observed. Without durability armed this
+        reduces to the legacy behaviour: only ops that always published
+        (loads, Join, ToGraph) publish, everything else passes through.
+        """
+        if self._durability is None:
+            if always_publish:
+                self._publish(kind, obj)
+            return obj
+        refs = [self._require_ref(value) for value in inputs]
+        if mutated:
+            self._durability.wal.append(op, args or {}, refs, refs[0])
+            return obj
+        name = f"{kind}-{self._publish_counter + 1}"
+        self._durability.wal.append(op, args or {}, refs, name)
+        self._publish(kind, obj)
         return obj
 
     def _snapshot(self, graph):
@@ -212,10 +328,53 @@ class Ringo:
         """Look up a published object by catalog name."""
         return self._catalog[name]
 
+    def checkpoint(self, directory=None) -> dict:
+        """Write an atomic, checksummed snapshot of the session catalog.
+
+        Every catalogued table and graph is serialised with per-array
+        CRC32 digests into a temp directory that is renamed into place
+        in one step, so a crash mid-checkpoint never leaves a
+        readable-but-wrong state. Returns the checkpoint manifest.
+        Defaults to the armed durability directory; recovery replays
+        only the WAL suffix past the newest valid checkpoint.
+        """
+        from repro.recovery.checkpoint import write_checkpoint
+
+        if directory is None:
+            if self._durability is None:
+                raise RecoveryError(
+                    "checkpoint() needs a directory when durability is not armed"
+                )
+            directory = self._durability.directory
+        with obs.trace("recovery.checkpoint"):
+            manifest = write_checkpoint(self, directory)
+        if self._durability is not None:
+            self._durability.checkpoints_written += 1
+        return manifest
+
+    @classmethod
+    def recover(cls, directory, strict: bool = False, **session_kwargs) -> "Ringo":
+        """Reconstruct a crashed session from its durability directory.
+
+        Restores the newest valid checkpoint (checksum-verified;
+        corrupt artifacts are quarantined with a typed
+        :class:`~repro.exceptions.CorruptionError`, never loaded
+        silently) and replays the write-ahead log through the normal
+        operator dispatch. The returned session is re-armed on the same
+        directory; its recovery report is available under
+        ``health()["recovery"]["last_recovery"]``. With ``strict=True``
+        an unrecoverable object raises instead of being reported.
+        """
+        from repro.recovery.recover import recover_session
+
+        return recover_session(cls, directory, strict=strict, **session_kwargs)
+
     def close(self) -> None:
         """Shut down the worker pool (and any race detector or tracer
         this session armed)."""
         self.workers.close()
+        if self._durability is not None:
+            self._durability.close()
         if self._owned_detector is not None and _races.current() is self._owned_detector:
             _races.disable()
         if self._owned_tracer is not None and obs.current_tracer() is self._owned_tracer:
@@ -240,7 +399,17 @@ class Ringo:
             obs.observe_rate(
                 "io.tsv.rows", table.num_rows, time.perf_counter() - start
             )
-        return self._publish("table", table)
+        args = None
+        if self._durability is not None:
+            # Log the *resulting* schema so replay skips re-inference.
+            args = {
+                "schema": _rops.encode_schema(table.schema),
+                "path": os.fspath(path),
+                "kwargs": _rops.encode_value(kwargs),
+            }
+        return self._commit(
+            "table", "LoadTableTSV", table, args, always_publish=True
+        )
 
     def SaveTableTSV(self, table: Table, path, **kwargs) -> int:
         """Write a table as TSV; returns the row count."""
@@ -248,11 +417,28 @@ class Ringo:
 
     def TableFromColumns(self, data, schema=None) -> Table:
         """Build a table from per-column data (session-pooled)."""
-        return Table.from_columns(data, schema=schema, pool=self.pool)
+        table = Table.from_columns(data, schema=schema, pool=self.pool)
+        args = None
+        if self._durability is not None:
+            # The input data has no durable provenance; snapshot the
+            # result inline so the WAL is self-contained.
+            args = {"payload": _rops.encode_table_payload(table)}
+        return self._commit("table", "TableFromColumns", table, args)
 
     def TableFromHashMap(self, mapping: Mapping, key_col: str, value_col: str) -> Table:
         """Result map → two-column table (paper §4.1 listing, last line)."""
-        return convert.table_from_hashmap(mapping, key_col, value_col, pool=self.pool)
+        table = convert.table_from_hashmap(mapping, key_col, value_col, pool=self.pool)
+        args = None
+        if self._durability is not None:
+            args = {
+                "items": [
+                    [_rops.encode_value(k), _rops.encode_value(v)]
+                    for k, v in mapping.items()
+                ],
+                "key_col": key_col,
+                "value_col": value_col,
+            }
+        return self._commit("table", "TableFromHashMap", table, args)
 
     # ------------------------------------------------------------------
     # Relational operations (§2.3)
@@ -260,7 +446,18 @@ class Ringo:
 
     def Select(self, table: Table, predicate, in_place: bool = False) -> Table:
         """Filter rows by predicate string/mask (``'Tag=Java'``)."""
-        return tables.select(table, predicate, in_place=in_place)
+        args = None
+        if self._durability is not None:
+            # Adopt + encode against the table *before* it mutates.
+            self._prepare_inputs(table)
+            args = {
+                "predicate": _rops.encode_predicate(predicate, table),
+                "in_place": bool(in_place),
+            }
+        result = tables.select(table, predicate, in_place=in_place)
+        return self._commit(
+            "table", "Select", result, args, (table,), mutated=bool(in_place)
+        )
 
     @_timed
     def Join(self, left: Table, right: Table, left_col, right_col=None, **kwargs) -> Table:
@@ -278,67 +475,129 @@ class Ringo:
             # records the admission; strict budgets refuse outright.
             self.budget.admit("Join", estimated)
         joined = tables.join(left, right, left_col, right_col, **kwargs)
-        return self._publish("table", joined)
+        args = None
+        if self._durability is not None:
+            args = {
+                "left_on": _rops.encode_value(left_col),
+                "right_on": _rops.encode_value(right_col),
+                "kwargs": _rops.encode_value(kwargs),
+            }
+        return self._commit(
+            "table", "Join", joined, args, (left, right), always_publish=True
+        )
 
     def Project(self, table: Table, columns: Sequence[str]) -> Table:
         """Keep only the named columns."""
-        return tables.project(table, columns)
+        result = tables.project(table, columns)
+        return self._commit(
+            "table", "Project", result, {"columns": list(columns)}, (table,)
+        )
 
     def Rename(self, table: Table, mapping: Mapping[str, str]) -> Table:
         """Rename columns (new table, shared data)."""
-        return tables.rename(table, mapping)
+        result = tables.rename(table, mapping)
+        return self._commit(
+            "table", "Rename", result, {"mapping": dict(mapping)}, (table,)
+        )
 
     def GroupBy(self, table: Table, keys, aggregations=None) -> Table:
         """Group & aggregate."""
-        return tables.group_by(table, keys, aggregations)
+        result = tables.group_by(table, keys, aggregations)
+        args = None
+        if self._durability is not None:
+            args = {
+                "keys": _rops.encode_value(keys),
+                "aggregations": None
+                if aggregations is None
+                else {
+                    out: [spec[0], spec[1]] for out, spec in aggregations.items()
+                },
+            }
+        return self._commit("table", "GroupBy", result, args, (table,))
 
     def OrderBy(self, table: Table, keys, ascending: bool = True, in_place: bool = False) -> Table:
         """Sort rows."""
-        return tables.order_by(table, keys, ascending=ascending, in_place=in_place)
+        self._prepare_inputs(table)
+        result = tables.order_by(table, keys, ascending=ascending, in_place=in_place)
+        args = {
+            "keys": _rops.encode_value(keys),
+            "ascending": bool(ascending),
+            "in_place": bool(in_place),
+        }
+        return self._commit(
+            "table", "OrderBy", result, args, (table,), mutated=bool(in_place)
+        )
 
     def Union(self, left: Table, right: Table, distinct: bool = True) -> Table:
         """Set union (UNION ALL with ``distinct=False``)."""
-        return tables.union(left, right, distinct=distinct)
+        result = tables.union(left, right, distinct=distinct)
+        return self._commit(
+            "table", "Union", result, {"distinct": bool(distinct)}, (left, right)
+        )
 
     def Intersect(self, left: Table, right: Table) -> Table:
         """Set intersection."""
-        return tables.intersect(left, right)
+        result = tables.intersect(left, right)
+        return self._commit("table", "Intersect", result, None, (left, right))
 
     def Minus(self, left: Table, right: Table) -> Table:
         """Set difference."""
-        return tables.minus(left, right)
+        result = tables.minus(left, right)
+        return self._commit("table", "Minus", result, None, (left, right))
 
     def SimJoin(self, left: Table, right: Table, on, threshold: float, **kwargs) -> Table:
         """Similarity join: rows whose key distance is below threshold."""
-        return tables.sim_join(left, right, on, threshold, **kwargs)
+        result = tables.sim_join(left, right, on, threshold, **kwargs)
+        args = None
+        if self._durability is not None:
+            args = {
+                "on": _rops.encode_value(on),
+                "threshold": float(threshold),
+                "kwargs": _rops.encode_value(kwargs),
+            }
+        return self._commit("table", "SimJoin", result, args, (left, right))
 
     def NextK(self, table: Table, order_col: str, k: int, group_col: str | None = None) -> Table:
         """Temporal predecessor/successor join."""
-        return tables.next_k(table, order_col, k, group_col=group_col)
+        result = tables.next_k(table, order_col, k, group_col=group_col)
+        args = {"order_col": order_col, "k": int(k), "group_col": group_col}
+        return self._commit("table", "NextK", result, args, (table,))
 
     def Distinct(self, table: Table, columns: Sequence[str] | None = None) -> Table:
         """Unique rows (first occurrence kept)."""
-        return tables.distinct(table, columns)
+        result = tables.distinct(table, columns)
+        args = {"columns": None if columns is None else list(columns)}
+        return self._commit("table", "Distinct", result, args, (table,))
 
     def Limit(self, table: Table, count: int) -> Table:
         """The first ``count`` rows."""
-        return tables.limit(table, count)
+        result = tables.limit(table, count)
+        return self._commit("table", "Limit", result, {"count": int(count)}, (table,))
 
     def TopK(self, table: Table, column: str, k: int, ascending: bool = False) -> Table:
         """The ``k`` extreme rows by one column."""
-        return tables.top_k(table, column, k, ascending=ascending)
+        result = tables.top_k(table, column, k, ascending=ascending)
+        args = {"column": column, "k": int(k), "ascending": bool(ascending)}
+        return self._commit("table", "TopK", result, args, (table,))
 
     def ValueCounts(self, table: Table, column: str) -> Table:
         """Distinct values with occurrence counts, descending."""
-        return tables.value_counts(table, column)
+        result = tables.value_counts(table, column)
+        return self._commit(
+            "table", "ValueCounts", result, {"column": column}, (table,)
+        )
 
     def WithColumn(self, table: Table, name: str, expression: str, as_int: bool = False) -> Table:
         """Append a computed column from an arithmetic expression."""
-        return tables.with_column(table, name, expression, as_int=as_int)
+        result = tables.with_column(table, name, expression, as_int=as_int)
+        args = {"name": name, "expression": expression, "as_int": bool(as_int)}
+        return self._commit("table", "WithColumn", result, args, (table,))
 
     def Sample(self, table: Table, count: int, seed: int = 0) -> Table:
         """A uniform random row sample."""
-        return tables.sample_rows(table, count, seed=seed)
+        result = tables.sample_rows(table, count, seed=seed)
+        args = {"count": int(count), "seed": int(seed)}
+        return self._commit("table", "Sample", result, args, (table,))
 
     # ------------------------------------------------------------------
     # Conversions (§2.4)
@@ -356,6 +615,7 @@ class Ringo:
         session catalog only on success.
         """
         start = time.perf_counter()
+        args = {"src_col": src_col, "dst_col": dst_col, "directed": bool(directed)}
         if self.budget is not None:
             estimated = estimate_graph_build_bytes(table.num_rows, directed=directed)
             if self.budget.admit("ToGraph", estimated) == ADMIT_DEGRADE:
@@ -365,12 +625,16 @@ class Ringo:
                     table.column(src_col), table.column(dst_col), directed=directed
                 )
                 self._record_conversion_rates(table.num_rows, graph, start)
-                return self._publish("graph", graph)
+                return self._commit(
+                    "graph", "ToGraph", graph, args, (table,), always_publish=True
+                )
         graph = convert.to_graph(
             table, src_col, dst_col, directed=directed, pool=self.workers
         )
         self._record_conversion_rates(table.num_rows, graph, start)
-        return self._publish("graph", graph)
+        return self._commit(
+            "graph", "ToGraph", graph, args, (table,), always_publish=True
+        )
 
     def _record_conversion_rates(self, rows: int, graph, start: float) -> None:
         """Fold one ToGraph's throughput into the paper-styled rate
@@ -407,15 +671,17 @@ class Ringo:
                 "engine.edge_export.edges", table.num_rows,
                 time.perf_counter() - start,
             )
-        return table
+        return self._commit("table", "GetEdgeTable", table, None, (graph,))
 
     @_timed
     def GetNodeTable(self, graph, include_degrees: bool = False) -> Table:
         """Graph → node table, optionally with degree columns."""
-        return convert.to_node_table(
+        table = convert.to_node_table(
             graph, include_degrees=include_degrees,
             pool=self.workers, string_pool=self.pool,
         )
+        args = {"include_degrees": bool(include_degrees)}
+        return self._commit("table", "GetNodeTable", table, args, (graph,))
 
     # ------------------------------------------------------------------
     # Graph analytics (§2.2's algorithm surface, paper-named)
@@ -519,22 +785,44 @@ class Ringo:
 
     def GenRMat(self, scale: int, num_edges: int, seed: int = 0, directed: bool = True):
         """R-MAT synthetic graph."""
-        return alg.rmat(scale, num_edges, seed=seed, directed=directed)
+        graph = alg.rmat(scale, num_edges, seed=seed, directed=directed)
+        args = {
+            "scale": int(scale), "num_edges": int(num_edges),
+            "seed": int(seed), "directed": bool(directed),
+        }
+        return self._commit("graph", "GenRMat", graph, args)
 
     def GenPrefAttach(self, num_nodes: int, edges_per_node: int, seed: int = 0):
         """Barabási–Albert synthetic graph."""
-        return alg.barabasi_albert(num_nodes, edges_per_node, seed=seed)
+        graph = alg.barabasi_albert(num_nodes, edges_per_node, seed=seed)
+        args = {
+            "num_nodes": int(num_nodes),
+            "edges_per_node": int(edges_per_node),
+            "seed": int(seed),
+        }
+        return self._commit("graph", "GenPrefAttach", graph, args)
 
     def GenErdosRenyi(self, num_nodes: int, num_edges: int, directed: bool = False, seed: int = 0):
         """G(n, m) synthetic graph."""
-        return alg.erdos_renyi_gnm(num_nodes, num_edges, directed=directed, seed=seed)
+        graph = alg.erdos_renyi_gnm(num_nodes, num_edges, directed=directed, seed=seed)
+        args = {
+            "num_nodes": int(num_nodes), "num_edges": int(num_edges),
+            "directed": bool(directed), "seed": int(seed),
+        }
+        return self._commit("graph", "GenErdosRenyi", graph, args)
 
     def GenPlantedPartition(
         self, num_communities: int, community_size: int,
         p_in: float, p_out: float, seed: int = 0,
     ):
         """Planted-partition synthetic graph (community-detection testbed)."""
-        return alg.planted_partition(num_communities, community_size, p_in, p_out, seed=seed)
+        graph = alg.planted_partition(num_communities, community_size, p_in, p_out, seed=seed)
+        args = {
+            "num_communities": int(num_communities),
+            "community_size": int(community_size),
+            "p_in": float(p_in), "p_out": float(p_out), "seed": int(seed),
+        }
+        return self._commit("graph", "GenPlantedPartition", graph, args)
 
     @_timed
     def GetKatz(self, graph, **kwargs) -> dict[int, float]:
@@ -670,11 +958,16 @@ class Ringo:
 
     def GenConfigurationModel(self, degrees, seed: int = 0):
         """Random graph approximating a degree sequence."""
-        return alg.configuration_model(degrees, seed=seed)
+        degrees = [int(d) for d in degrees]
+        graph = alg.configuration_model(degrees, seed=seed)
+        args = {"degrees": degrees, "seed": int(seed)}
+        return self._commit("graph", "GenConfigurationModel", graph, args)
 
     def Rewire(self, graph, swaps: int | None = None, seed: int = 0):
         """Degree-preserving double-edge-swap null model."""
-        return alg.rewire(graph, swaps=swaps, seed=seed)
+        result = alg.rewire(graph, swaps=swaps, seed=seed)
+        args = {"swaps": None if swaps is None else int(swaps), "seed": int(seed)}
+        return self._commit("graph", "Rewire", result, args, (graph,))
 
     def SaveTableBinary(self, table: Table, path) -> None:
         """Snapshot a table to a binary .npz archive."""
@@ -683,7 +976,10 @@ class Ringo:
     def LoadTableBinary(self, path) -> Table:
         """Load a binary table snapshot (session-pooled)."""
         table = tables.load_table_npz(path, pool=self.pool)
-        return self._publish("table", table)
+        args = {"path": os.fspath(path)}
+        return self._commit(
+            "table", "LoadTableBinary", table, args, always_publish=True
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -743,6 +1039,7 @@ class Ringo:
                 "sanitizer": _sanitize.stats(),
             },
             "obs": self._obs_report(),
+            "recovery": self._recovery_report_section(),
             "timings": self.call_timings(),
             "objects": {
                 "published": len(self._catalog),
@@ -754,6 +1051,14 @@ class Ringo:
         # state; one deep copy here makes the no-live-references
         # contract unconditional.
         return copy.deepcopy(report)
+
+    def _recovery_report_section(self) -> dict:
+        """The ``health()["recovery"]`` section: durability + last recovery."""
+        report: dict = {"armed": self._durability is not None}
+        if self._durability is not None:
+            report.update(self._durability.stats())
+        report["last_recovery"] = self._recovery_report
+        return report
 
     def _obs_report(self) -> dict:
         """The ``health()["obs"]`` section: spans, metrics, derived ratios."""

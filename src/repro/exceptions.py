@@ -164,6 +164,53 @@ class SanitizerError(AnalysisError):
         super().__init__(f"snapshot sanitizer: {check} failed — {detail}")
 
 
+class CorruptionError(RingoError):
+    """A persisted artifact failed integrity verification.
+
+    Raised (or reported through ``Ringo.health()["recovery"]``) when a
+    checksum does not match the bytes on disk: a bit-flipped checkpoint
+    array, a torn write-ahead-log frame, or a garbled snapshot file.
+    Carries the artifact path and a human-readable reason so operators
+    can find the quarantined file.
+    """
+
+    def __init__(self, path: str, reason: str, array: "str | None" = None):
+        self.path = str(path)
+        self.array = array
+        self.reason = reason
+        where = f" (array {array!r})" if array else ""
+        super().__init__(f"{path}{where}: {reason}")
+
+
+class CorruptInputError(CorruptionError):
+    """An input file (NPZ/TSV snapshot) is truncated or garbled.
+
+    The typed replacement for the raw ``zipfile``/``numpy`` exceptions a
+    damaged binary snapshot used to leak, and for the generic schema
+    error a mid-row-truncated TSV used to raise. ``path`` names the
+    file and ``array`` (when known) the offending member.
+    """
+
+
+class RecoveryError(RingoError):
+    """The durability layer was misused or could not make progress."""
+
+
+class ReplayError(RecoveryError):
+    """Replaying a write-ahead-log record did not reproduce the catalog.
+
+    Raised when a logged operation cannot be re-executed (unknown op,
+    missing input object) or re-executes to a different catalog name
+    than the one the log committed.
+    """
+
+    def __init__(self, lsn: int, op: str, reason: str):
+        self.lsn = lsn
+        self.op = op
+        self.reason = reason
+        super().__init__(f"WAL record {lsn} ({op}): {reason}")
+
+
 class ConversionError(RingoError):
     """A table/graph conversion was requested with invalid inputs."""
 

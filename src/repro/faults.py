@@ -29,6 +29,21 @@ Known sites (wired at the call points):
 ``join.materialize``  entry of the equi-join materialisation
 ``snapshot.build``    per CSR conversion in the snapshot cache
 ====================  ====================================================
+
+Durability sites (:mod:`repro.recovery`):
+
+==============================  ============================================
+``recovery.wal.append``         before a WAL frame is written (append fails
+                                cleanly, nothing reaches the file)
+``recovery.wal.torn_write``     writes only a prefix of the frame before
+                                raising — a crash mid-``write(2)``
+``recovery.checkpoint.write``   per object serialised into a checkpoint
+                                (abort leaves an uncommitted temp dir)
+``recovery.checkpoint.bit_flip`` flips one byte of the just-written
+                                artifact *silently* (disk rot: the
+                                checkpoint still commits, verification
+                                must catch it at recovery time)
+==============================  ============================================
 """
 
 from __future__ import annotations
@@ -50,6 +65,10 @@ KNOWN_SITES = (
     "convert.sort_first",
     "join.materialize",
     "snapshot.build",
+    "recovery.wal.append",
+    "recovery.wal.torn_write",
+    "recovery.checkpoint.write",
+    "recovery.checkpoint.bit_flip",
 )
 
 

@@ -1,0 +1,330 @@
+"""Atomic, checksummed catalog checkpoints.
+
+A checkpoint materialises every object in a session's catalog to disk —
+tables as ``.npz`` snapshots (:mod:`repro.tables.io_npz`), graphs
+through :mod:`repro.graphs.serialize` — together with a manifest that
+records, per object, the artifact's whole-file CRC32 and a CRC32 per
+constituent array. Everything is written into a hidden temp directory
+and committed by a single ``os.replace`` rename, so a crash at any
+point mid-checkpoint leaves either the previous state or the new one —
+never a readable-but-wrong directory.
+
+Layout under the durability directory::
+
+    <dir>/
+      wal.jsonl                  the provenance WAL (never truncated)
+      checkpoints/
+        ckpt-000001/
+          MANIFEST.json          self-checksummed commit record
+          objects/<name>.npz     one artifact per catalog object
+
+Verification failures at load time never pass silently: the damaged
+artifact is renamed aside (``*.quarantined``) and reported as a typed
+:class:`~repro.exceptions.CorruptionError`; recovery then re-derives
+the object from its WAL lineage.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import CorruptionError, InjectedFaultError, RecoveryError
+from repro.faults import fault_point
+from repro.graphs.directed import DirectedGraph
+from repro.graphs.serialize import load_graph, save_graph
+from repro.graphs.undirected import UndirectedGraph
+from repro.obs.spans import trace as _obs_trace
+from repro.tables.io_npz import load_table_npz, save_table_npz
+from repro.tables.table import Table
+
+MANIFEST_NAME = "MANIFEST.json"
+CHECKPOINT_SUBDIR = "checkpoints"
+CHECKPOINT_PREFIX = "ckpt-"
+MANIFEST_FORMAT = 1
+
+
+def array_crc(array: np.ndarray) -> int:
+    """CRC32 of an array's contiguous little-endian bytes."""
+    return zlib.crc32(np.ascontiguousarray(array).tobytes())
+
+
+def file_crc(path: "str | os.PathLike[str]") -> int:
+    """CRC32 of a file's raw bytes (streamed)."""
+    crc = 0
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            crc = zlib.crc32(chunk, crc)
+    return crc
+
+
+def _canonical(payload: dict) -> bytes:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def _flip_byte(path: Path) -> None:
+    """Corrupt one byte mid-file (the ``recovery.checkpoint.bit_flip``
+    fault's payload — simulated disk rot)."""
+    size = path.stat().st_size
+    if size == 0:
+        return
+    offset = size // 2
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)
+        handle.seek(offset)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+
+
+def table_digests(table: Table) -> dict:
+    """Per-array CRC32 digests of a table's persisted arrays."""
+    digests = {"row_ids": array_crc(np.asarray(table.row_ids))}
+    for name, _ in table.schema:
+        digests[f"col_{name}"] = array_crc(table.column(name))
+    return digests
+
+
+def graph_digests(graph) -> dict:
+    """Per-array CRC32 digests of a graph's persisted arrays."""
+    sources, targets = graph.edge_arrays()
+    return {
+        "nodes": array_crc(graph.node_array()),
+        "sources": array_crc(sources),
+        "targets": array_crc(targets),
+    }
+
+
+def checkpoint_root(directory: "str | os.PathLike[str]") -> Path:
+    """The ``checkpoints/`` directory under a durability directory."""
+    return Path(directory) / CHECKPOINT_SUBDIR
+
+
+def find_checkpoints(directory: "str | os.PathLike[str]") -> list[Path]:
+    """Committed checkpoint directories, newest first."""
+    root = checkpoint_root(directory)
+    if not root.is_dir():
+        return []
+    found = [
+        entry
+        for entry in root.iterdir()
+        if entry.is_dir() and entry.name.startswith(CHECKPOINT_PREFIX)
+    ]
+    return sorted(found, key=lambda p: p.name, reverse=True)
+
+
+def _next_sequence(root: Path) -> int:
+    highest = 0
+    if root.is_dir():
+        for entry in root.iterdir():
+            name = entry.name.lstrip(".")
+            if name.startswith("tmp-"):
+                name = name[len("tmp-"):]
+            if name.startswith(CHECKPOINT_PREFIX):
+                try:
+                    highest = max(highest, int(name[len(CHECKPOINT_PREFIX):]))
+                except ValueError:
+                    continue
+    return highest + 1
+
+
+def write_checkpoint(session, directory: "str | os.PathLike[str]") -> dict:
+    """Write one atomic checkpoint of ``session``'s catalog; returns the manifest.
+
+    Serialises every published object with per-array digests, writes the
+    self-checksummed manifest, then commits the whole directory with one
+    rename. Fault sites: ``recovery.checkpoint.write`` fires per object
+    (an abort leaves only an uncommitted ``.tmp-*`` directory);
+    ``recovery.checkpoint.bit_flip`` silently corrupts a just-written
+    artifact so recovery-time verification can be exercised.
+    """
+    directory = Path(directory)
+    root = checkpoint_root(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    sequence = _next_sequence(root)
+    final_dir = root / f"{CHECKPOINT_PREFIX}{sequence:06d}"
+    tmp_dir = root / f".tmp-{CHECKPOINT_PREFIX}{sequence:06d}"
+    objects_dir = tmp_dir / "objects"
+    with _obs_trace("recovery.checkpoint", objects=len(session.Objects())):
+        if tmp_dir.exists():
+            _remove_tree(tmp_dir)
+        objects_dir.mkdir(parents=True)
+        entries: dict[str, dict] = {}
+        for name in session.Objects():
+            obj = session.GetObject(name)
+            fault_point("recovery.checkpoint.write")
+            entry = _write_object(objects_dir, name, obj)
+            if entry is not None:
+                entries[name] = entry
+        wal = getattr(session, "_durability", None)
+        manifest = {
+            "format": MANIFEST_FORMAT,
+            "checkpoint": sequence,
+            "wal_lsn": 0 if wal is None else wal.wal.last_lsn,
+            "publish_counter": session._publish_counter,
+            "objects": entries,
+        }
+        manifest["manifest_crc"] = zlib.crc32(_canonical(manifest))
+        manifest_tmp = tmp_dir / (MANIFEST_NAME + ".tmp")
+        with open(manifest_tmp, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, sort_keys=True, indent=1)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(manifest_tmp, tmp_dir / MANIFEST_NAME)
+        os.replace(tmp_dir, final_dir)
+        _fsync_dir(root)
+    return manifest
+
+
+def _write_object(objects_dir: Path, name: str, obj) -> "dict | None":
+    """Serialise one catalog object; returns its manifest entry."""
+    path = objects_dir / f"{name}.npz"
+    if isinstance(obj, Table):
+        kind = "table"
+        save_table_npz(obj, path)
+        arrays = table_digests(obj)
+    elif isinstance(obj, (DirectedGraph, UndirectedGraph)):
+        kind = "graph"
+        save_graph(obj, path)
+        arrays = graph_digests(obj)
+    else:
+        # Not serialisable to NPZ — recovery re-derives it from the WAL.
+        return {"kind": type(obj).__name__, "stored": False}
+    crc = file_crc(path)
+    try:
+        fault_point("recovery.checkpoint.bit_flip")
+    except InjectedFaultError:
+        # Silent corruption: the checkpoint still commits; only
+        # recovery-time verification can catch the damage.
+        _flip_byte(path)
+    return {
+        "kind": kind,
+        "stored": True,
+        "file": f"objects/{name}.npz",
+        "file_crc": crc,
+        "arrays": arrays,
+    }
+
+
+def load_manifest(checkpoint_dir: Path) -> dict:
+    """Parse and verify a checkpoint manifest.
+
+    Raises :class:`CorruptionError` if the manifest is unreadable,
+    unparsable, or fails its self-CRC — the whole checkpoint is then
+    considered invalid and recovery falls back to an older one.
+    """
+    path = checkpoint_dir / MANIFEST_NAME
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except FileNotFoundError:
+        raise CorruptionError(str(path), "manifest missing (checkpoint never committed?)")
+    except (OSError, ValueError, UnicodeDecodeError) as error:
+        raise CorruptionError(str(path), f"manifest unreadable: {error}")
+    if not isinstance(manifest, dict) or "manifest_crc" not in manifest:
+        raise CorruptionError(str(path), "manifest is not a checksummed object")
+    expected = manifest.pop("manifest_crc")
+    if zlib.crc32(_canonical(manifest)) != expected:
+        raise CorruptionError(str(path), "manifest CRC mismatch")
+    if manifest.get("format") != MANIFEST_FORMAT:
+        raise CorruptionError(str(path), f"unsupported manifest format {manifest.get('format')!r}")
+    return manifest
+
+
+def verify_and_load_object(checkpoint_dir: Path, name: str, entry: dict, pool):
+    """Verify one artifact's checksums and load it.
+
+    Checks the whole-file CRC first (catches torn/garbled archives
+    cheaply), parses the artifact, then re-derives every per-array
+    digest and compares against the manifest. Any mismatch raises
+    :class:`CorruptionError` naming the artifact and offending array.
+    """
+    path = checkpoint_dir / entry["file"]
+    if not path.exists():
+        raise CorruptionError(str(path), "artifact missing from checkpoint")
+    if file_crc(path) != entry["file_crc"]:
+        raise CorruptionError(str(path), "file CRC mismatch (artifact corrupted on disk)")
+    try:
+        if entry["kind"] == "table":
+            obj = load_table_npz(path, pool=pool)
+            digests = table_digests(obj)
+        elif entry["kind"] == "graph":
+            obj = load_graph(path)
+            digests = graph_digests(obj)
+        else:
+            raise CorruptionError(str(path), f"unknown artifact kind {entry['kind']!r}")
+    except CorruptionError:
+        raise
+    except Exception as error:  # typed load errors still mean a bad artifact here
+        raise CorruptionError(str(path), f"artifact failed to parse: {error}")
+    for array_name, expected in entry.get("arrays", {}).items():
+        actual = digests.get(array_name)
+        if actual != expected:
+            raise CorruptionError(
+                str(path), "array CRC mismatch", array=array_name
+            )
+    return obj
+
+
+def quarantine(path: Path) -> Path:
+    """Rename a corrupt artifact aside (``<name>.quarantined[.N]``)."""
+    target = path.with_name(path.name + ".quarantined")
+    counter = 0
+    while target.exists():
+        counter += 1
+        target = path.with_name(f"{path.name}.quarantined.{counter}")
+    os.replace(path, target)
+    return target
+
+
+def _remove_tree(path: Path) -> None:
+    """Recursively delete a directory (stdlib-only, no shutil import cost)."""
+    for entry in path.iterdir():
+        if entry.is_dir() and not entry.is_symlink():
+            _remove_tree(entry)
+        else:
+            entry.unlink()
+    path.rmdir()
+
+
+def _fsync_dir(path: Path) -> None:
+    """Best-effort fsync of a directory entry (rename durability)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def durability_state(directory: "str | os.PathLike[str]") -> dict:
+    """What durable state exists under ``directory`` (for arming checks)."""
+    directory = Path(directory)
+    wal = directory / "wal.jsonl"
+    return {
+        "wal_exists": wal.exists() and wal.stat().st_size > 0,
+        "checkpoints": len(find_checkpoints(directory)),
+    }
+
+
+def ensure_fresh(directory: "str | os.PathLike[str]") -> None:
+    """Refuse to arm a *new* session over an existing durable state.
+
+    A fresh WAL appended after an old one would collide on LSNs and
+    catalog names; the safe paths are :meth:`Ringo.recover` (resume) or
+    pointing the session at an empty directory.
+    """
+    state = durability_state(directory)
+    if state["wal_exists"] or state["checkpoints"]:
+        raise RecoveryError(
+            f"durability directory {directory} already holds a WAL or "
+            f"checkpoints; use Ringo.recover({str(directory)!r}) to resume "
+            f"it, or choose an empty directory"
+        )

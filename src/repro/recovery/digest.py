@@ -1,0 +1,77 @@
+"""Content digests for recovery equivalence checks.
+
+Crash-recovery tests (and the CI ``recovery-smoke`` job) need to assert
+"the recovered catalog equals the reference run's" without comparing
+live Python objects. These helpers reduce each catalog object to a
+stable SHA-256 over its logical content — schema, persistent row ids,
+and decoded column values for tables; directedness, node set, and edge
+multiset for graphs — so two sessions match iff their catalogs are
+semantically identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import numpy as np
+
+from repro.graphs.directed import DirectedGraph
+from repro.graphs.undirected import UndirectedGraph
+from repro.tables.schema import ColumnType
+from repro.tables.table import Table
+
+
+def _feed(hasher, label: str, data: bytes) -> None:
+    hasher.update(label.encode("utf-8"))
+    hasher.update(str(len(data)).encode("utf-8"))
+    hasher.update(data)
+
+
+def table_digest(table: Table) -> str:
+    """SHA-256 of a table's schema, row ids, and decoded columns."""
+    hasher = hashlib.sha256()
+    schema = [[name, col_type.value] for name, col_type in table.schema]
+    _feed(hasher, "schema", json.dumps(schema).encode("utf-8"))
+    _feed(hasher, "row_ids", np.ascontiguousarray(table.row_ids).tobytes())
+    for name, col_type in table.schema:
+        if col_type is ColumnType.STRING:
+            # Decode through the pool: digests must not depend on which
+            # StringPool (or code assignment) a session happened to use.
+            payload = json.dumps(list(table.values(name))).encode("utf-8")
+        else:
+            payload = np.ascontiguousarray(table.column(name)).tobytes()
+        _feed(hasher, f"col:{name}", payload)
+    return hasher.hexdigest()
+
+
+def graph_digest(graph) -> str:
+    """SHA-256 of a graph's directedness, node set, and edge multiset."""
+    hasher = hashlib.sha256()
+    sources, targets = graph.edge_arrays()
+    edges = np.stack(
+        [np.asarray(sources, dtype=np.int64), np.asarray(targets, dtype=np.int64)]
+    ).T
+    if not graph.is_directed:
+        edges = np.sort(edges, axis=1)
+    order = np.lexsort((edges[:, 1], edges[:, 0]))
+    _feed(hasher, "directed", b"1" if graph.is_directed else b"0")
+    _feed(hasher, "nodes", np.sort(graph.node_array()).tobytes())
+    _feed(hasher, "edges", np.ascontiguousarray(edges[order]).tobytes())
+    return hasher.hexdigest()
+
+
+def object_digest(obj) -> str:
+    """Digest one catalog object (tables and graphs)."""
+    if isinstance(obj, Table):
+        return "table:" + table_digest(obj)
+    if isinstance(obj, (DirectedGraph, UndirectedGraph)):
+        return "graph:" + graph_digest(obj)
+    raise TypeError(f"no digest for {type(obj).__name__} objects")
+
+
+def catalog_digest(session) -> dict[str, str]:
+    """Digest every object in a session's catalog, keyed by catalog name."""
+    return {
+        name: object_digest(session.GetObject(name)) for name in session.Objects()
+    }

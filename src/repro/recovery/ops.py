@@ -1,0 +1,409 @@
+"""Replayable-operation registry: encoding and re-execution of WAL records.
+
+Every durable (catalog-mutating) session operation has one entry here:
+the engine encodes its arguments into JSON-safe form before appending
+the WAL record, and recovery replays the record by dispatching to the
+matching ``_replay_*`` function with the already-resolved input
+objects. Replay calls the same underlying operator implementations the
+engine methods call (``repro.tables``, ``repro.convert``,
+``repro.algorithms``), so a replayed catalog is bit-identical to the
+original — including persistent row ids, which every producing
+operator assigns deterministically, and seeded generator output.
+
+Two pseudo-ops carry *inline* state rather than a derivation:
+``__adopt_table__`` / ``__adopt_graph__`` snapshot an input object that
+was built outside the session's recorded surface (for example a table
+passed in from user code), making the log self-contained.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import algorithms as alg
+from repro import convert, tables
+from repro.exceptions import RecoveryError, ReplayError
+from repro.tables.schema import ColumnType, Schema
+from repro.tables.table import Table
+
+# ----------------------------------------------------------------------
+# JSON-safe encoding helpers
+# ----------------------------------------------------------------------
+
+
+def encode_value(value):
+    """Encode one argument value into JSON-safe form."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return {"__ndarray__": value.tolist(), "dtype": str(value.dtype)}
+    if isinstance(value, (list, tuple)):
+        return [encode_value(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): encode_value(v) for k, v in value.items()}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise RecoveryError(
+        f"cannot encode {type(value).__name__} value into a WAL record"
+    )
+
+
+def decode_value(value):
+    """Invert :func:`encode_value`."""
+    if isinstance(value, dict):
+        if "__ndarray__" in value:
+            return np.asarray(value["__ndarray__"], dtype=np.dtype(value["dtype"]))
+        return {k: decode_value(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [decode_value(v) for v in value]
+    return value
+
+
+def encode_schema(schema) -> "list | None":
+    """``Schema`` (or schema-shaped sequence) → ``[[name, type], ...]``."""
+    if schema is None:
+        return None
+    if not isinstance(schema, Schema):
+        schema = Schema(schema)
+    return [[name, col_type.value] for name, col_type in schema]
+
+
+def decode_schema(encoded) -> "Schema | None":
+    """Invert :func:`encode_schema`."""
+    if encoded is None:
+        return None
+    return Schema([(name, ColumnType.parse(type_name)) for name, type_name in encoded])
+
+
+def encode_predicate(predicate, table) -> dict:
+    """Encode a Select predicate for faithful replay.
+
+    Predicate strings are logged as-is (readable provenance). Any other
+    predicate form — a boolean mask or a pre-built ``Predicate`` — is
+    materialised against the input table *before* the operation runs
+    and logged as an explicit mask, which replays identically.
+    """
+    if isinstance(predicate, str):
+        return {"expr": predicate}
+    from repro.tables.expressions import as_predicate
+
+    mask = as_predicate(predicate).mask(table)
+    return {"mask": np.asarray(mask, dtype=bool).tolist()}
+
+
+def decode_predicate(encoded: dict):
+    """Invert :func:`encode_predicate`."""
+    if "expr" in encoded:
+        return encoded["expr"]
+    return np.asarray(encoded["mask"], dtype=bool)
+
+
+def encode_table_payload(table: Table) -> dict:
+    """Snapshot a table's full contents inline (adoption records)."""
+    columns: dict[str, object] = {}
+    for name, col_type in table.schema:
+        if col_type is ColumnType.STRING:
+            columns[name] = list(table.values(name))
+        else:
+            columns[name] = table.column(name).tolist()
+    return {
+        "schema": encode_schema(table.schema),
+        "columns": columns,
+        "row_ids": table.row_ids.tolist(),
+    }
+
+
+def decode_table_payload(payload: dict, pool) -> Table:
+    """Rebuild a table from an inline snapshot, row ids included."""
+    schema = decode_schema(payload["schema"])
+    table = Table.from_columns(payload["columns"], schema=schema, pool=pool)
+    table._replace_columns(
+        {name: table._raw_column(name) for name in schema.names},
+        np.asarray(payload["row_ids"], dtype=np.int64),
+    )
+    return table
+
+
+def encode_graph_payload(graph) -> dict:
+    """Snapshot a graph's edges and nodes inline (adoption records)."""
+    sources, targets = graph.edge_arrays()
+    return {
+        "directed": bool(graph.is_directed),
+        "nodes": graph.node_array().tolist(),
+        "sources": sources.tolist(),
+        "targets": targets.tolist(),
+    }
+
+
+def decode_graph_payload(payload: dict, pool):
+    """Rebuild a graph from an inline snapshot, isolated nodes included."""
+    graph = convert.graph_from_edge_arrays(
+        np.asarray(payload["sources"], dtype=np.int64),
+        np.asarray(payload["targets"], dtype=np.int64),
+        directed=payload["directed"],
+        pool=pool,
+    )
+    for node_id in payload["nodes"]:
+        graph.add_node(int(node_id))
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Replay dispatch
+# ----------------------------------------------------------------------
+
+
+def _one(inputs, lsn, op):
+    if len(inputs) < 1:
+        raise ReplayError(lsn, op, "record names no input object")
+    return inputs[0]
+
+
+def _two(inputs, lsn, op):
+    if len(inputs) < 2:
+        raise ReplayError(lsn, op, "record names fewer than two input objects")
+    return inputs[0], inputs[1]
+
+
+def _replay_load_table_tsv(session, args, inputs, lsn):
+    """Re-run ``LoadTableTSV`` from its source path."""
+    return tables.load_table_tsv(
+        decode_schema(args["schema"]), args["path"], pool=session.pool,
+        **decode_value(args.get("kwargs") or {}),
+    )
+
+
+def _replay_load_table_npz(session, args, inputs, lsn):
+    """Re-run ``LoadTableBinary`` from its source path."""
+    return tables.load_table_npz(args["path"], pool=session.pool)
+
+
+def _replay_table_from_columns(session, args, inputs, lsn):
+    """Rebuild a ``TableFromColumns`` result from its inline payload."""
+    return decode_table_payload(args["payload"], session.pool)
+
+
+def _replay_table_from_hashmap(session, args, inputs, lsn):
+    """Rebuild a ``TableFromHashMap`` result from its inline items."""
+    mapping = {decode_value(k): decode_value(v) for k, v in args["items"]}
+    return convert.table_from_hashmap(
+        mapping, args["key_col"], args["value_col"], pool=session.pool
+    )
+
+
+def _replay_select(session, args, inputs, lsn):
+    """Re-apply a Select (functional or in-place)."""
+    return tables.select(
+        _one(inputs, lsn, "Select"),
+        decode_predicate(args["predicate"]),
+        in_place=args["in_place"],
+    )
+
+
+def _replay_join(session, args, inputs, lsn):
+    left, right = _two(inputs, lsn, "Join")
+    return tables.join(
+        left, right, args["left_on"], args["right_on"],
+        **decode_value(args.get("kwargs") or {}),
+    )
+
+
+def _replay_project(session, args, inputs, lsn):
+    return tables.project(_one(inputs, lsn, "Project"), args["columns"])
+
+
+def _replay_rename(session, args, inputs, lsn):
+    return tables.rename(_one(inputs, lsn, "Rename"), args["mapping"])
+
+
+def _replay_group_by(session, args, inputs, lsn):
+    aggregations = args["aggregations"]
+    if aggregations is not None:
+        aggregations = {out: tuple(spec) for out, spec in aggregations.items()}
+    return tables.group_by(_one(inputs, lsn, "GroupBy"), args["keys"], aggregations)
+
+
+def _replay_order_by(session, args, inputs, lsn):
+    return tables.order_by(
+        _one(inputs, lsn, "OrderBy"), args["keys"],
+        ascending=args["ascending"], in_place=args["in_place"],
+    )
+
+
+def _replay_union(session, args, inputs, lsn):
+    left, right = _two(inputs, lsn, "Union")
+    return tables.union(left, right, distinct=args["distinct"])
+
+
+def _replay_intersect(session, args, inputs, lsn):
+    left, right = _two(inputs, lsn, "Intersect")
+    return tables.intersect(left, right)
+
+
+def _replay_minus(session, args, inputs, lsn):
+    left, right = _two(inputs, lsn, "Minus")
+    return tables.minus(left, right)
+
+
+def _replay_sim_join(session, args, inputs, lsn):
+    left, right = _two(inputs, lsn, "SimJoin")
+    return tables.sim_join(
+        left, right, args["on"], args["threshold"],
+        **decode_value(args.get("kwargs") or {}),
+    )
+
+
+def _replay_next_k(session, args, inputs, lsn):
+    return tables.next_k(
+        _one(inputs, lsn, "NextK"), args["order_col"], args["k"],
+        group_col=args["group_col"],
+    )
+
+
+def _replay_distinct(session, args, inputs, lsn):
+    return tables.distinct(_one(inputs, lsn, "Distinct"), args["columns"])
+
+
+def _replay_limit(session, args, inputs, lsn):
+    return tables.limit(_one(inputs, lsn, "Limit"), args["count"])
+
+
+def _replay_top_k(session, args, inputs, lsn):
+    return tables.top_k(
+        _one(inputs, lsn, "TopK"), args["column"], args["k"],
+        ascending=args["ascending"],
+    )
+
+
+def _replay_value_counts(session, args, inputs, lsn):
+    return tables.value_counts(_one(inputs, lsn, "ValueCounts"), args["column"])
+
+
+def _replay_with_column(session, args, inputs, lsn):
+    return tables.with_column(
+        _one(inputs, lsn, "WithColumn"), args["name"], args["expression"],
+        as_int=args["as_int"],
+    )
+
+
+def _replay_sample(session, args, inputs, lsn):
+    return tables.sample_rows(
+        _one(inputs, lsn, "Sample"), args["count"], seed=args["seed"]
+    )
+
+
+def _replay_to_graph(session, args, inputs, lsn):
+    """Rebuild a graph from its source edge table (sort-first path)."""
+    return convert.to_graph(
+        _one(inputs, lsn, "ToGraph"), args["src_col"], args["dst_col"],
+        directed=args["directed"], pool=session.workers,
+    )
+
+
+def _replay_edge_table(session, args, inputs, lsn):
+    return convert.to_edge_table(
+        _one(inputs, lsn, "GetEdgeTable"),
+        pool=session.workers, string_pool=session.pool,
+    )
+
+
+def _replay_node_table(session, args, inputs, lsn):
+    return convert.to_node_table(
+        _one(inputs, lsn, "GetNodeTable"),
+        include_degrees=args["include_degrees"],
+        pool=session.workers, string_pool=session.pool,
+    )
+
+
+def _replay_gen_rmat(session, args, inputs, lsn):
+    return alg.rmat(
+        args["scale"], args["num_edges"], seed=args["seed"],
+        directed=args["directed"],
+    )
+
+
+def _replay_gen_pref_attach(session, args, inputs, lsn):
+    return alg.barabasi_albert(
+        args["num_nodes"], args["edges_per_node"], seed=args["seed"]
+    )
+
+
+def _replay_gen_erdos_renyi(session, args, inputs, lsn):
+    return alg.erdos_renyi_gnm(
+        args["num_nodes"], args["num_edges"],
+        directed=args["directed"], seed=args["seed"],
+    )
+
+
+def _replay_gen_planted_partition(session, args, inputs, lsn):
+    return alg.planted_partition(
+        args["num_communities"], args["community_size"],
+        args["p_in"], args["p_out"], seed=args["seed"],
+    )
+
+
+def _replay_gen_configuration_model(session, args, inputs, lsn):
+    return alg.configuration_model(args["degrees"], seed=args["seed"])
+
+
+def _replay_rewire(session, args, inputs, lsn):
+    return alg.rewire(
+        _one(inputs, lsn, "Rewire"), swaps=args["swaps"], seed=args["seed"]
+    )
+
+
+def _replay_adopt_table(session, args, inputs, lsn):
+    """Rebuild an adopted (externally built) table from its snapshot."""
+    return decode_table_payload(args["payload"], session.pool)
+
+
+def _replay_adopt_graph(session, args, inputs, lsn):
+    """Rebuild an adopted (externally built) graph from its snapshot."""
+    return decode_graph_payload(args["payload"], session.workers)
+
+
+#: op name → replay function(session, args, resolved_inputs, lsn) → object.
+REPLAY = {
+    "LoadTableTSV": _replay_load_table_tsv,
+    "LoadTableBinary": _replay_load_table_npz,
+    "TableFromColumns": _replay_table_from_columns,
+    "TableFromHashMap": _replay_table_from_hashmap,
+    "Select": _replay_select,
+    "Join": _replay_join,
+    "Project": _replay_project,
+    "Rename": _replay_rename,
+    "GroupBy": _replay_group_by,
+    "OrderBy": _replay_order_by,
+    "Union": _replay_union,
+    "Intersect": _replay_intersect,
+    "Minus": _replay_minus,
+    "SimJoin": _replay_sim_join,
+    "NextK": _replay_next_k,
+    "Distinct": _replay_distinct,
+    "Limit": _replay_limit,
+    "TopK": _replay_top_k,
+    "ValueCounts": _replay_value_counts,
+    "WithColumn": _replay_with_column,
+    "Sample": _replay_sample,
+    "ToGraph": _replay_to_graph,
+    "GetEdgeTable": _replay_edge_table,
+    "GetNodeTable": _replay_node_table,
+    "GenRMat": _replay_gen_rmat,
+    "GenPrefAttach": _replay_gen_pref_attach,
+    "GenErdosRenyi": _replay_gen_erdos_renyi,
+    "GenPlantedPartition": _replay_gen_planted_partition,
+    "GenConfigurationModel": _replay_gen_configuration_model,
+    "Rewire": _replay_rewire,
+    "__adopt_table__": _replay_adopt_table,
+    "__adopt_graph__": _replay_adopt_graph,
+}
+
+
+def replay_record(session, record, resolved_inputs):
+    """Re-execute one WAL record; returns the reconstructed object."""
+    replay = REPLAY.get(record.op)
+    if replay is None:
+        raise ReplayError(record.lsn, record.op, "unknown operation in WAL")
+    return replay(session, record.args, resolved_inputs, record.lsn)

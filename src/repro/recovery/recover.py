@@ -1,0 +1,207 @@
+"""Replay recovery: checkpoint restore + WAL-suffix re-execution.
+
+:func:`recover_session` reconstructs a crashed session's catalog in
+three stages:
+
+1. **Checkpoint selection** — scan ``checkpoints/`` newest-first; the
+   first checkpoint whose manifest parses and passes its self-CRC wins.
+   Invalid checkpoints are quarantined (renamed aside) and counted.
+2. **Verified restore** — every artifact in the chosen checkpoint is
+   checksum-verified (whole file + per array) before it enters the
+   catalog. A corrupt artifact is quarantined with a typed
+   :class:`~repro.exceptions.CorruptionError` — never loaded silently —
+   and its object falls through to stage 3.
+3. **Replay** — WAL records are re-executed in LSN order through the
+   same operator implementations the live session used
+   (:mod:`repro.recovery.ops`): records newer than the checkpoint's
+   watermark rebuild the suffix; older records rebuild objects the
+   checkpoint lost to quarantine (provenance as fault tolerance, the
+   GraphX lineage idea). Determinism of the operators — persistent row
+   ids included — guarantees the replayed catalog matches the original.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.exceptions import CorruptionError, RecoveryError, ReplayError
+from repro.obs.metrics import registry as _metrics_registry
+from repro.obs.spans import enabled as _tracing_enabled
+from repro.obs.spans import trace as _obs_trace
+from repro.recovery import ops as _ops
+from repro.recovery.checkpoint import (
+    MANIFEST_NAME,
+    find_checkpoints,
+    load_manifest,
+    quarantine,
+    verify_and_load_object,
+)
+from repro.recovery.wal import WAL_FILENAME, read_wal
+
+
+def _count(name: str, amount: int = 1) -> None:
+    if _tracing_enabled():
+        _metrics_registry().counter(name).inc(amount)
+
+
+def _name_suffix(name: str) -> int:
+    """The numeric suffix of a catalog name (``table-12`` → 12)."""
+    try:
+        return int(name.rsplit("-", 1)[1])
+    except (IndexError, ValueError):
+        return 0
+
+
+def recover_session(
+    ringo_cls,
+    directory: "str | os.PathLike[str]",
+    strict: bool = False,
+    **session_kwargs,
+):
+    """Reconstruct a session from ``directory``; returns a new armed session.
+
+    See the module docstring for the three recovery stages. With
+    ``strict=True`` any object that can be neither checksum-verified
+    nor re-derived from the WAL raises; the default records it under
+    ``health()["recovery"]["last_recovery"]["unrecovered"]`` instead.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise RecoveryError(f"no durability directory at {directory}")
+    session = ringo_cls(**session_kwargs)
+    report: dict = {
+        "directory": str(directory),
+        "checkpoint": None,
+        "invalid_checkpoints": 0,
+        "restored_objects": 0,
+        "replayed_ops": 0,
+        "wal_records": 0,
+        "wal_torn_tail": False,
+        "quarantined": [],
+        "unrecovered": [],
+    }
+    with _obs_trace("recovery.recover", directory=str(directory)):
+        try:
+            _recover_into(session, directory, report, strict=strict)
+        except BaseException:
+            session.close()
+            raise
+    session._recovery_report = report
+    return session
+
+
+def _recover_into(session, directory: Path, report: dict, strict: bool) -> None:
+    manifest = None
+    chosen: "Path | None" = None
+    from_checkpoint: set[str] = set()
+    for candidate in find_checkpoints(directory):
+        try:
+            manifest = load_manifest(candidate)
+        except CorruptionError as error:
+            moved = quarantine(candidate)
+            report["invalid_checkpoints"] += 1
+            report["quarantined"].append(
+                {
+                    "artifact": str(candidate / MANIFEST_NAME),
+                    "moved_to": str(moved),
+                    "error": str(error),
+                }
+            )
+            _count("recovery.quarantined_objects")
+            continue
+        chosen = candidate
+        break
+
+    if chosen is not None:
+        report["checkpoint"] = chosen.name
+        for name in sorted(manifest["objects"], key=_name_suffix):
+            entry = manifest["objects"][name]
+            if not entry.get("stored", False):
+                continue  # replay-only object; stage 3 rebuilds it
+            try:
+                obj = verify_and_load_object(chosen, name, entry, session.pool)
+            except CorruptionError as error:
+                artifact = chosen / entry["file"]
+                moved = quarantine(artifact) if artifact.exists() else None
+                report["quarantined"].append(
+                    {
+                        "artifact": str(artifact),
+                        "moved_to": None if moved is None else str(moved),
+                        "object": name,
+                        "error": str(error),
+                    }
+                )
+                _count("recovery.quarantined_objects")
+                continue
+            session._publish_as(name, obj)
+            from_checkpoint.add(name)
+            report["restored_objects"] += 1
+
+    watermark = 0 if manifest is None else int(manifest.get("wal_lsn", 0))
+    records, tail = read_wal(directory / WAL_FILENAME)
+    report["wal_records"] = len(records)
+    report["wal_torn_tail"] = tail.torn
+
+    unavailable: set[str] = set()
+    for record in records:
+        if record.mutates:
+            # Mutations baked into the checkpointed artifact must not
+            # be re-applied; mutations newer than the watermark — or
+            # targeting an object the checkpoint lost — must be.
+            if record.output in from_checkpoint and record.lsn <= watermark:
+                continue
+        elif record.output in session._catalog:
+            continue
+        if any(name in unavailable for name in record.inputs):
+            unavailable.add(record.output)
+            report["unrecovered"].append(
+                {"object": record.output, "lsn": record.lsn,
+                 "error": "an input object could not be recovered"}
+            )
+            continue
+        try:
+            resolved = [session._catalog[name] for name in record.inputs]
+        except KeyError as missing:
+            raise ReplayError(record.lsn, record.op, f"input {missing} not in catalog")
+        try:
+            obj = _ops.replay_record(session, record, resolved)
+        except ReplayError:
+            raise
+        except Exception as error:
+            if strict:
+                raise ReplayError(record.lsn, record.op, f"replay failed: {error}")
+            unavailable.add(record.output)
+            report["unrecovered"].append(
+                {"object": record.output, "lsn": record.lsn, "error": str(error)}
+            )
+            continue
+        if not record.mutates:
+            session._publish_as(record.output, obj)
+        report["replayed_ops"] += 1
+        _count("recovery.replayed_ops")
+
+    counter = 0 if manifest is None else int(manifest.get("publish_counter", 0))
+    for name in session._catalog:
+        counter = max(counter, _name_suffix(name))
+    session._publish_counter = counter
+
+    # A quarantined artifact whose object never made it back (no WAL
+    # lineage to replay it from) is permanently lost — say so.
+    for entry in report["quarantined"]:
+        name = entry.get("object")
+        if name and name not in session._catalog and not any(
+            lost["object"] == name for lost in report["unrecovered"]
+        ):
+            report["unrecovered"].append(
+                {"object": name, "lsn": None,
+                 "error": "quarantined and no WAL lineage to replay"}
+            )
+
+    if strict and report["unrecovered"]:
+        raise CorruptionError(
+            str(directory),
+            f"strict recovery: {len(report['unrecovered'])} object(s) unrecovered",
+        )
+
+    session._arm_durability(directory, resume=True)

@@ -1,0 +1,258 @@
+"""The provenance write-ahead log (WAL).
+
+Ringo's provenance idea — record the full derivation of every object so
+it can be regenerated rather than kept — doubles as a durability
+mechanism (GraphX uses the same lineage trick for fault tolerance):
+if every catalog-mutating operation is logged *before* its result is
+published, a crashed session can be reconstructed by replaying the log.
+
+Format: one JSON object per line (JSONL), CRC32-framed. Each record
+carries a monotonically increasing ``lsn``, the operation name, its
+JSON-encoded arguments, the catalog ids of its inputs, the catalog id
+its output committed under, and a ``crc`` field — the CRC32 of the
+canonical (sorted-keys, compact) JSON of the record *without* the crc
+field. Appends are flushed and ``fsync``'d before the caller may
+publish the result, so a record on disk is the commit point.
+
+The reader tolerates a torn tail: a final line that fails to parse,
+fails its CRC, or breaks LSN monotonicity ends the readable prefix
+(everything after an invalid frame is untrusted, because later
+operations may depend on the lost one).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.exceptions import InjectedFaultError, RecoveryError
+from repro.faults import fault_point
+from repro.obs.metrics import registry as _metrics_registry
+from repro.obs.spans import enabled as _tracing_enabled
+
+
+def _count(name: str, amount: int = 1) -> None:
+    """Bump a recovery.* counter — only while tracing is armed, so the
+    metrics registry stays empty for untraced sessions."""
+    if _tracing_enabled():
+        _metrics_registry().counter(name).inc(amount)
+
+WAL_FILENAME = "wal.jsonl"
+
+
+def _canonical(payload: dict) -> bytes:
+    """The byte string the frame CRC is computed over."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def frame_record(payload: dict) -> bytes:
+    """Serialise one record payload into a CRC32-framed JSONL line."""
+    crc = zlib.crc32(_canonical(payload))
+    framed = dict(payload)
+    framed["crc"] = crc
+    return json.dumps(framed, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    ) + b"\n"
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One committed operation: op name, arguments, and object lineage."""
+
+    lsn: int
+    op: str
+    args: dict
+    inputs: tuple[str, ...]
+    output: str
+
+    @property
+    def mutates(self) -> bool:
+        """Whether this record mutates an existing object in place.
+
+        In-place operations (``Select(..., in_place=True)``,
+        ``OrderBy(..., in_place=True)``) log their target as both input
+        and output; replay re-applies them to the already-catalogued
+        object instead of publishing a new one.
+        """
+        return self.output in self.inputs
+
+
+@dataclass
+class WalTail:
+    """Diagnostics about where (and why) a WAL scan stopped."""
+
+    records: int = 0
+    valid_bytes: int = 0
+    torn: bool = False
+    reason: "str | None" = None
+    quarantined_lines: int = 0
+    errors: list = field(default_factory=list)
+
+
+def decode_line(line: bytes, expected_lsn: int) -> WalRecord:
+    """Decode and verify one framed line; raises ``ValueError`` on damage."""
+    obj = json.loads(line.decode("utf-8"))
+    if not isinstance(obj, dict) or "crc" not in obj:
+        raise ValueError("frame is not a CRC-framed record object")
+    crc = obj.pop("crc")
+    if zlib.crc32(_canonical(obj)) != crc:
+        raise ValueError("CRC mismatch")
+    lsn = obj["lsn"]
+    if lsn != expected_lsn:
+        raise ValueError(f"LSN {lsn} breaks monotonic sequence (expected {expected_lsn})")
+    return WalRecord(
+        lsn=lsn,
+        op=str(obj["op"]),
+        args=obj.get("args") or {},
+        inputs=tuple(obj.get("inputs") or ()),
+        output=str(obj["output"]),
+    )
+
+
+def read_wal(path: "str | os.PathLike[str]") -> tuple[list[WalRecord], WalTail]:
+    """Read the valid prefix of a WAL file.
+
+    Returns ``(records, tail)``. A missing file reads as empty. The
+    scan stops at the first unparsable, CRC-failing, or out-of-sequence
+    frame; ``tail`` records how many bytes were valid and why the scan
+    stopped, so a writer reopening the log can truncate the torn suffix.
+    """
+    path = Path(path)
+    tail = WalTail()
+    records: list[WalRecord] = []
+    if not path.exists():
+        return records, tail
+    offset = 0
+    with open(path, "rb") as handle:
+        for raw in handle:
+            line = raw.rstrip(b"\n")
+            if raw[-1:] != b"\n":
+                # No terminator: a torn final write.
+                tail.torn = True
+                tail.reason = "unterminated final frame"
+                break
+            if not line:
+                offset += len(raw)
+                continue
+            try:
+                record = decode_line(line, expected_lsn=len(records) + 1)
+            except (ValueError, KeyError, TypeError, UnicodeDecodeError) as error:
+                tail.torn = True
+                tail.reason = f"invalid frame after LSN {len(records)}: {error}"
+                break
+            records.append(record)
+            offset += len(raw)
+    tail.records = len(records)
+    tail.valid_bytes = offset
+    return records, tail
+
+
+class WriteAheadLog:
+    """An append-only, fsync'd, CRC32-framed JSONL operation log.
+
+    Thread-safe; one instance per durable session. Opening an existing
+    file scans it, resumes the LSN sequence after the last valid
+    record, and truncates any torn tail (the torn suffix was never
+    committed — its operation raised or the process died mid-write).
+    """
+
+    def __init__(self, path: "str | os.PathLike[str]", fsync: bool = True) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self._lock = threading.Lock()
+        records, tail = read_wal(self.path)
+        self._last_lsn = len(records)
+        self.recovered_torn_tail = tail.torn
+        if tail.torn:
+            # Drop the torn suffix so new frames append after the valid
+            # prefix instead of after garbage.
+            with open(self.path, "r+b") as handle:
+                handle.truncate(tail.valid_bytes)
+        self._handle = open(self.path, "ab")
+        self.appends = 0
+
+    @property
+    def last_lsn(self) -> int:
+        """LSN of the newest committed record (0 for an empty log)."""
+        return self._last_lsn
+
+    def append(self, op: str, args: dict, inputs: Iterable[str], output: str) -> int:
+        """Commit one operation record; returns its LSN.
+
+        The frame is written, flushed, and (by default) ``fsync``'d
+        before returning — callers publish the operation's result to
+        the catalog only after this returns, making the on-disk record
+        the commit point. Fault sites: ``recovery.wal.append`` fails
+        the append cleanly; ``recovery.wal.torn_write`` writes half a
+        frame first (a simulated crash mid-``write``).
+        """
+        if self._handle.closed:
+            raise RecoveryError(f"write-ahead log {self.path} was used after close()")
+        with self._lock:
+            fault_point("recovery.wal.append")
+            lsn = self._last_lsn + 1
+            payload = {
+                "lsn": lsn,
+                "op": op,
+                "args": args,
+                "inputs": list(inputs),
+                "output": output,
+            }
+            data = frame_record(payload)
+            try:
+                fault_point("recovery.wal.torn_write")
+            except InjectedFaultError:
+                self._handle.write(data[: max(1, len(data) // 2)])
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+                raise
+            self._handle.write(data)
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+            self._last_lsn = lsn
+            self.appends += 1
+        _count("recovery.wal.appends")
+        return lsn
+
+    def close(self) -> None:
+        """Flush and close the underlying file handle."""
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+    def stats(self) -> dict:
+        """Append/LSN counters for ``Ringo.health()["recovery"]``."""
+        return {
+            "path": str(self.path),
+            "appends": self.appends,
+            "last_lsn": self._last_lsn,
+            "recovered_torn_tail": self.recovered_torn_tail,
+        }
+
+
+class SessionDurability:
+    """The durable state one armed session owns: its directory and WAL."""
+
+    def __init__(self, directory: "str | os.PathLike[str]") -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.wal = WriteAheadLog(self.directory / WAL_FILENAME)
+        self.checkpoints_written = 0
+
+    def close(self) -> None:
+        """Close the WAL handle."""
+        self.wal.close()
+
+    def stats(self) -> dict:
+        """The ``health()["recovery"]`` view of this session's durability."""
+        return {
+            "directory": str(self.directory),
+            "wal": self.wal.stats(),
+            "checkpoints_written": self.checkpoints_written,
+        }

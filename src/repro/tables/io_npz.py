@@ -13,7 +13,9 @@ import os
 
 import numpy as np
 
-from repro.exceptions import SchemaError
+import zipfile
+
+from repro.exceptions import CorruptInputError, SchemaError
 from repro.faults import fault_point
 from repro.obs.spans import trace
 from repro.tables.schema import ColumnType, Schema
@@ -44,16 +46,37 @@ def save_table_npz(table: Table, path: "str | os.PathLike[str]") -> None:
 def load_table_npz(
     path: "str | os.PathLike[str]", pool: StringPool | None = None
 ) -> Table:
-    """Load a table saved by :func:`save_table_npz`."""
+    """Load a table saved by :func:`save_table_npz`.
+
+    A truncated or garbled archive — or one whose arrays cannot be
+    extracted — raises a typed
+    :class:`~repro.exceptions.CorruptInputError` naming the file and
+    the offending array, so callers (recovery in particular) can
+    quarantine rather than crash on a low-level parse error.
+    """
     fault_point("io.npz.load")
-    with trace("io.load_npz", path=str(path)), np.load(path) as archive:
-        version = int(archive["version"])
-        if version != _FORMAT_VERSION:
-            raise SchemaError(f"unsupported table format version {version}")
-        names = [str(n) for n in archive["names"]]
-        types = [ColumnType.parse(str(t)) for t in archive["types"]]
-        row_ids = archive["row_ids"]
-        raw = {name: archive[f"col_{name}"] for name in names}
+    current = None
+    try:
+        with trace("io.load_npz", path=str(path)), np.load(path) as archive:
+            version = int(archive["version"])
+            if version != _FORMAT_VERSION:
+                raise SchemaError(f"unsupported table format version {version}")
+            names = [str(n) for n in archive["names"]]
+            types = [ColumnType.parse(str(t)) for t in archive["types"]]
+            current = "row_ids"
+            row_ids = archive["row_ids"]
+            raw = {}
+            for name in names:
+                current = f"col_{name}"
+                raw[name] = archive[current]
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, KeyError, EOFError, OSError, ValueError) as error:
+        raise CorruptInputError(
+            os.fspath(path),
+            f"not a readable table archive: {error}",
+            array=current,
+        )
     schema = Schema(list(zip(names, types)))
     the_pool = pool if pool is not None else None
     columns: dict[str, object] = {}

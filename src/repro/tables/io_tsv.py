@@ -12,7 +12,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.exceptions import SchemaError
+from repro.exceptions import CorruptInputError, SchemaError
 from repro.faults import active_plan
 from repro.obs.spans import trace
 from repro.tables.schema import ColumnType, Schema
@@ -127,8 +127,9 @@ def load_table_tsv(
         # armed (the common case) and one dict lookup when one is.
         fault_plan = active_plan()
         with open(path, "r", encoding="utf-8") as handle:
-            for line_number, line in enumerate(handle, start=1):
-                line = line.rstrip("\n").rstrip("\r")
+            for line_number, raw_line in enumerate(handle, start=1):
+                terminated = raw_line.endswith("\n")
+                line = raw_line.rstrip("\n").rstrip("\r")
                 if not line or (comment and line.startswith(comment)):
                     continue
                 if not skipped_header:
@@ -138,6 +139,15 @@ def load_table_tsv(
                     fault_plan.check("io.tsv.parse_row")
                 fields = line.split(sep)
                 if len(fields) != expected_fields:
+                    # A short, unterminated final row is a torn write
+                    # (the producer died mid-row), not a schema problem.
+                    if not terminated and len(fields) < expected_fields:
+                        raise CorruptInputError(
+                            os.fspath(path),
+                            f"line {line_number}: final row truncated "
+                            f"mid-write ({len(fields)} of "
+                            f"{expected_fields} fields)",
+                        )
                     raise SchemaError(
                         f"{path}:{line_number}: expected {expected_fields} fields, "
                         f"got {len(fields)}"

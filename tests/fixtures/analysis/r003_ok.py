@@ -5,3 +5,8 @@ from repro.faults import fault_point
 
 def guarded_step():
     fault_point("parallel.kernel")
+
+
+def durable_step():
+    fault_point("recovery.wal.append")
+    fault_point("recovery.checkpoint.write")

@@ -132,6 +132,13 @@ def test_every_session_method_exercised(ringo, graph, tmp_path):
         [("k", "int"), ("v", "float"), ("s", "string")], tsv
     )
 
+    state = tmp_path / "state"
+    with Ringo(workers=1, durability=state) as durable:
+        durable.TableFromColumns({"a": [1, 2]})
+        exercised["checkpoint"] = durable.checkpoint()
+    with Ringo.recover(state, workers=1) as recovered:
+        exercised["recover"] = recovered.Objects()
+
     # Every public engine method must have been exercised above.
     public = {
         name

@@ -46,6 +46,12 @@ class TestExamples:
         assert result.returncode != 0
         assert "unknown tag" in result.stderr
 
+    def test_durable_session(self, tmp_path):
+        output = run_example("durable_session.py", str(tmp_path / "state"))
+        assert "Checkpoint 1 at WAL LSN" in output
+        assert "WAL records replayed" in output
+        assert "Catalog verified" in output
+
     def test_graph_construction(self):
         output = run_example("graph_construction.py")
         assert "NextK" in output

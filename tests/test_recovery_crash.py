@@ -1,0 +1,211 @@
+"""Crash consistency: SIGKILL a real session mid-write, then recover.
+
+Each test runs a child interpreter that executes a fixed, deterministic
+op sequence against a durable session and kills itself with SIGKILL at
+a scripted point (mid-WAL-append via the torn-write fault, or
+mid-checkpoint via the per-object write fault — both leave exactly the
+on-disk state a genuine crash at that syscall would). The parent then
+``Ringo.recover()``s the directory and asserts the catalog digests
+match a clean in-process reference run of the committed prefix.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.engine import Ringo
+from repro.recovery.digest import catalog_digest
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+
+CHILD_PRELUDE = """
+import os, signal, sys
+from repro.core.engine import Ringo
+from repro.exceptions import InjectedFaultError
+from repro.faults import inject_faults
+
+state = sys.argv[1]
+session = Ringo(workers=1, durability=state)
+
+def build_committed(session):
+    table = session.TableFromColumns({"a": [1, 2, 3, 4, 5], "b": [5, 4, 3, 2, 1]})
+    filtered = session.Select(table, "a>1")
+    graph = session.ToGraph(filtered, "a", "b")
+    session.OrderBy(filtered, "b", in_place=True)
+    session.GenRMat(4, 10, seed=5)
+    return table
+"""
+
+
+def run_child(body: str, state: Path) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep * bool(env.get("PYTHONPATH")) + env.get(
+        "PYTHONPATH", ""
+    )
+    return subprocess.run(
+        [sys.executable, "-c", CHILD_PRELUDE + body, str(state)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+    )
+
+
+def reference_digests():
+    """The committed prefix every crashed child shares, rerun cleanly."""
+    with Ringo(workers=1) as session:
+        table = session.TableFromColumns({"a": [1, 2, 3, 4, 5], "b": [5, 4, 3, 2, 1]})
+        filtered = session.Select(table, "a>1")
+        graph = session.ToGraph(filtered, "a", "b")
+        session.OrderBy(filtered, "b", in_place=True)
+        rmat = session.GenRMat(4, 10, seed=5)
+        from repro.recovery.digest import object_digest
+
+        return {
+            "table": object_digest(table),
+            "filtered": object_digest(filtered),
+            "graph": object_digest(graph),
+            "rmat": object_digest(rmat),
+        }
+
+
+class TestKillMidWalAppend:
+    def test_recover_reconstructs_every_committed_object(self, tmp_path):
+        state = tmp_path / "state"
+        result = run_child(
+            """
+build_committed(session)
+# Die exactly mid-append: the torn-write fault leaves half a frame
+# fsync'd on disk, then SIGKILL ends the process uncleanly.
+with inject_faults({"recovery.wal.torn_write": 1.0}):
+    try:
+        session.Distinct(session.GetObject("table-2"))
+    except InjectedFaultError:
+        os.kill(os.getpid(), signal.SIGKILL)
+""",
+            state,
+        )
+        assert result.returncode == -signal.SIGKILL, result.stderr
+
+        with Ringo.recover(state, workers=1) as recovered:
+            report = recovered.health()["recovery"]["last_recovery"]
+            assert report["wal_torn_tail"]
+            assert report["unrecovered"] == []
+            expected = reference_digests()
+            got = catalog_digest(recovered)
+            assert got == {
+                "table-1": expected["table"],
+                "table-2": expected["filtered"],
+                "graph-3": expected["graph"],
+                "graph-4": expected["rmat"],
+            }
+            # The torn (uncommitted) Distinct never surfaces.
+            assert len(recovered.Objects()) == 4
+
+    def test_recovered_session_continues_cleanly(self, tmp_path):
+        state = tmp_path / "state"
+        result = run_child(
+            """
+build_committed(session)
+with inject_faults({"recovery.wal.torn_write": 1.0}):
+    try:
+        session.Distinct(session.GetObject("table-2"))
+    except InjectedFaultError:
+        os.kill(os.getpid(), signal.SIGKILL)
+""",
+            state,
+        )
+        assert result.returncode == -signal.SIGKILL, result.stderr
+        with Ringo.recover(state, workers=1) as recovered:
+            recovered.Distinct(recovered.GetObject("table-2"))
+            reference = catalog_digest(recovered)
+        with Ringo.recover(state, workers=1) as again:
+            assert catalog_digest(again) == reference
+
+
+class TestKillMidCheckpoint:
+    def test_torn_checkpoint_is_invisible_and_wal_recovers_all(self, tmp_path):
+        state = tmp_path / "state"
+        result = run_child(
+            """
+build_committed(session)
+session.checkpoint()
+session.Distinct(session.GetObject("table-2"))
+# Second checkpoint dies after serialising two objects: the temp dir
+# never renames into place, so recovery must use checkpoint 1 + WAL.
+with inject_faults({"recovery.checkpoint.write": {"rate": 1.0, "max_triggers": 1}}):
+    try:
+        session.checkpoint()
+    except InjectedFaultError:
+        os.kill(os.getpid(), signal.SIGKILL)
+""",
+            state,
+        )
+        assert result.returncode == -signal.SIGKILL, result.stderr
+
+        committed = [p.name for p in (state / "checkpoints").iterdir()]
+        assert "ckpt-000001" in committed
+        assert "ckpt-000002" not in committed
+
+        with Ringo.recover(state, workers=1) as recovered:
+            report = recovered.health()["recovery"]["last_recovery"]
+            assert report["checkpoint"] == "ckpt-000001"
+            assert report["unrecovered"] == []
+            assert len(recovered.Objects()) == 5  # 4 committed + Distinct
+            expected = reference_digests()
+            got = catalog_digest(recovered)
+            for name, key in (
+                ("table-1", "table"),
+                ("table-2", "filtered"),
+                ("graph-3", "graph"),
+                ("graph-4", "rmat"),
+            ):
+                assert got[name] == expected[key]
+
+    def test_corrupted_checkpoint_artifact_quarantines_not_loads(self, tmp_path):
+        state = tmp_path / "state"
+        result = run_child(
+            """
+build_committed(session)
+with inject_faults({"recovery.checkpoint.bit_flip": {"rate": 1.0, "max_triggers": 1}}):
+    session.checkpoint()  # commits, one artifact silently rotted
+os.kill(os.getpid(), signal.SIGKILL)
+""",
+            state,
+        )
+        assert result.returncode == -signal.SIGKILL, result.stderr
+
+        with Ringo.recover(state, workers=1) as recovered:
+            report = recovered.health()["recovery"]["last_recovery"]
+            assert len(report["quarantined"]) == 1
+            quarantined = Path(report["quarantined"][0]["moved_to"])
+            assert quarantined.exists()
+            assert ".quarantined" in quarantined.name
+            assert report["unrecovered"] == []
+            expected = reference_digests()
+            got = catalog_digest(recovered)
+            assert got["table-1"] == expected["table"]
+            assert got["graph-3"] == expected["graph"]
+
+
+class TestWalOnDiskFormat:
+    def test_crashed_wal_prefix_is_valid_jsonl(self, tmp_path):
+        state = tmp_path / "state"
+        result = run_child(
+            """
+build_committed(session)
+os.kill(os.getpid(), signal.SIGKILL)
+""",
+            state,
+        )
+        assert result.returncode == -signal.SIGKILL, result.stderr
+        lines = (state / "wal.jsonl").read_text().splitlines()
+        assert len(lines) == 5
+        assert [json.loads(line)["op"] for line in lines] == [
+            "TableFromColumns", "Select", "ToGraph", "OrderBy", "GenRMat",
+        ]
