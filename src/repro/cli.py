@@ -10,6 +10,8 @@ Commands:
 * ``lint [PATHS ...]`` — run ringo-lint (``python -m repro.analysis``).
 * ``trace SCRIPT`` — run a Python script under the repro.obs tracer and
   print the span-tree profile (optionally writing a JSONL trace).
+* ``serve --spool DIR`` — run the multi-tenant session service until
+  SIGTERM/SIGINT, then drain (checkpoint all dirty sessions) and exit.
 """
 
 from __future__ import annotations
@@ -193,6 +195,31 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.service.server import ServiceConfig, serve_forever
+
+    config = ServiceConfig(
+        spool_dir=args.spool,
+        host=args.host,
+        port=args.port,
+        global_budget_bytes=args.global_budget_mb << 20,
+        default_tenant_budget_bytes=args.tenant_budget_mb << 20,
+        max_queue_depth=args.queue_depth,
+        default_deadline_s=args.deadline_s,
+        tick_s=args.tick_s,
+        idle_evict_s=args.idle_evict_s,
+        session_workers=args.session_workers,
+        executor_threads=args.threads,
+    )
+    asyncio.run(
+        serve_forever(config, signals=(signal.SIGTERM, signal.SIGINT))
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -279,6 +306,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="in-memory span buffer size backing the profile",
     )
     trace.set_defaults(func=_cmd_trace)
+
+    serve = sub.add_parser(
+        "serve", help="run the multi-tenant session service (drains on SIGTERM)"
+    )
+    serve.add_argument(
+        "--spool", required=True, metavar="DIR",
+        help="directory for per-tenant durable state (WAL + checkpoints)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0 picks a free port, printed at startup)",
+    )
+    serve.add_argument(
+        "--global-budget-mb", type=int, default=1024,
+        help="total resident-session memory the ledger admits, in MiB",
+    )
+    serve.add_argument(
+        "--tenant-budget-mb", type=int, default=128,
+        help="default per-tenant session memory budget, in MiB",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=16,
+        help="per-tenant queue bound; beyond it the oldest deadline is shed",
+    )
+    serve.add_argument(
+        "--deadline-s", type=float, default=30.0,
+        help="default request deadline when the client sends none",
+    )
+    serve.add_argument(
+        "--tick-s", type=float, default=0.02,
+        help="scheduler tick: queued-deadline sweep + idle-eviction cadence",
+    )
+    serve.add_argument(
+        "--idle-evict-s", type=float, default=60.0,
+        help="idle time before a resident session is evicted to checkpoint",
+    )
+    serve.add_argument(
+        "--session-workers", type=int, default=1,
+        help="worker threads inside each tenant's Ringo session",
+    )
+    serve.add_argument(
+        "--threads", type=int, default=8,
+        help="shared executor threads running engine calls",
+    )
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -155,6 +155,12 @@ class Ringo:
         self.workers = WorkerPool(workers, retry_policy=retry_policy)
         self.budget = MemoryBudget.coerce(memory_budget, on_exceed=on_budget_exceeded)
         self.registry: FunctionRegistry = build_default_registry()
+        # Catalog state is guarded so health()/Objects() polled from a
+        # monitoring thread (the session service's health endpoint) can
+        # never observe a dict mid-mutation. Mutating *operations* stay
+        # single-threaded per session — the lock makes reads safe, it
+        # does not make two concurrent Selects safe.
+        self._catalog_lock = threading.RLock()
         self._catalog: dict[str, object] = {}
         self._publish_counter = 0
         self._object_names: dict[int, str] = {}
@@ -202,16 +208,18 @@ class Ringo:
 
     def _publish(self, kind: str, obj):
         """Register a fully built object; called only after success."""
-        self._publish_counter += 1
-        name = f"{kind}-{self._publish_counter}"
-        self._catalog[name] = obj
-        self._object_names[id(obj)] = name
+        with self._catalog_lock:
+            self._publish_counter += 1
+            name = f"{kind}-{self._publish_counter}"
+            self._catalog[name] = obj
+            self._object_names[id(obj)] = name
         return obj
 
     def _publish_as(self, name: str, obj):
         """Register an object under an explicit catalog name (recovery)."""
-        self._catalog[name] = obj
-        self._object_names[id(obj)] = name
+        with self._catalog_lock:
+            self._catalog[name] = obj
+            self._object_names[id(obj)] = name
         return obj
 
     def _arm_durability(self, directory, resume: bool = False) -> None:
@@ -239,9 +247,10 @@ class Ringo:
         an inline ``__adopt_*__`` record and it is published, making
         the log self-contained.
         """
-        name = self._object_names.get(id(obj))
-        if name is not None and self._catalog.get(name) is obj:
-            return name
+        with self._catalog_lock:
+            name = self._object_names.get(id(obj))
+            if name is not None and self._catalog.get(name) is obj:
+                return name
         if isinstance(obj, Table):
             kind, op = "table", "__adopt_table__"
             payload = _rops.encode_table_payload(obj)
@@ -322,11 +331,13 @@ class Ringo:
 
     def Objects(self) -> list[str]:
         """Names of objects the session has successfully published."""
-        return list(self._catalog)
+        with self._catalog_lock:
+            return list(self._catalog)
 
     def GetObject(self, name: str):
         """Look up a published object by catalog name."""
-        return self._catalog[name]
+        with self._catalog_lock:
+            return self._catalog[name]
 
     def checkpoint(self, directory=None) -> dict:
         """Write an atomic, checksummed snapshot of the session catalog.
@@ -1030,6 +1041,9 @@ class Ringo:
         freely without reaching back into live engine state.
         """
         detector = _races.current()
+        # One consistent view of the catalog, not a racing iteration.
+        with self._catalog_lock:
+            object_names = list(self._catalog)
         report = {
             "workers": self.workers_info(),
             "memory_budget": None if self.budget is None else self.budget.snapshot(),
@@ -1042,8 +1056,8 @@ class Ringo:
             "recovery": self._recovery_report_section(),
             "timings": self.call_timings(),
             "objects": {
-                "published": len(self._catalog),
-                "names": list(self._catalog),
+                "published": len(object_names),
+                "names": object_names,
             },
         }
         # Sub-providers mostly hand back fresh dicts already, but some

@@ -211,6 +211,78 @@ class ReplayError(RecoveryError):
         super().__init__(f"WAL record {lsn} ({op}): {reason}")
 
 
+class ServiceError(RingoError):
+    """The multi-tenant session service refused or failed a request.
+
+    Base class for the typed rejections :mod:`repro.service` returns in
+    place of crashes: admission denials, shed requests, and expired
+    deadlines all derive from it, so a client can catch one type.
+    """
+
+
+class AdmissionRejected(ServiceError):
+    """The service's byte ledger cannot admit another resident session.
+
+    The typed replacement for an OOM: a tenant whose budget does not fit
+    the machine (even after evicting every idle session) is refused at
+    the front door rather than allowed to take the server down.
+    """
+
+    def __init__(self, tenant: str, requested: int, available: int):
+        self.tenant = tenant
+        self.requested = requested
+        self.available = available
+        super().__init__(
+            f"tenant {tenant!r} needs {requested} bytes but only "
+            f"{available} bytes of the service memory ledger are free"
+        )
+
+
+class AdmissionContention(AdmissionRejected, TransientError):
+    """Admission denied by *current* contention, not by capacity.
+
+    The tenant's budget would fit an empty ledger, but every charged
+    byte belongs to a busy session right now. Sessions go idle and get
+    evicted, so this clears on its own — hence transient: clients (and
+    the service's retry machinery) may back off and retry, where a
+    plain :class:`AdmissionRejected` (budget exceeds total capacity,
+    can never fit) must not be retried.
+    """
+
+
+class RequestRejected(ServiceError):
+    """A request was shed (queue saturation) or refused (server draining).
+
+    ``reason`` distinguishes ``"shed"`` (load shedding dropped it,
+    oldest-deadline-first) from ``"draining"`` (the server is shutting
+    down and no longer accepts work).
+    """
+
+    def __init__(self, request_id: object, reason: str):
+        self.request_id = request_id
+        self.reason = reason
+        super().__init__(f"request {request_id!r} rejected: {reason}")
+
+
+class DeadlineExceededError(ServiceError):
+    """A request's deadline expired before (or while) it executed.
+
+    ``phase`` records where the deadline hit: ``"queued"`` (the request
+    never started — cooperative cancellation) or ``"running"`` (the
+    engine call outlived its budget; its session-side effects may still
+    have committed, as with any RPC timeout).
+    """
+
+    def __init__(self, request_id: object, deadline_s: float, phase: str):
+        self.request_id = request_id
+        self.deadline_s = deadline_s
+        self.phase = phase
+        super().__init__(
+            f"request {request_id!r} exceeded its {deadline_s:.3f}s "
+            f"deadline while {phase}"
+        )
+
+
 class ConversionError(RingoError):
     """A table/graph conversion was requested with invalid inputs."""
 

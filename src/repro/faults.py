@@ -44,6 +44,21 @@ Durability sites (:mod:`repro.recovery`):
                                 checkpoint still commits, verification
                                 must catch it at recovery time)
 ==============================  ============================================
+
+Service sites (:mod:`repro.service` — the multi-tenant session server):
+
+=====================  =====================================================
+``service.accept``     per request accepted off a client connection, before
+                       it is queued (a fired fault is reported back to the
+                       client as a retryable typed error)
+``service.dispatch``   per request dispatch into a tenant's engine session
+                       (fires inside the dispatcher's retry loop, so the
+                       shared :class:`~repro.parallel.resilience.RetryPolicy`
+                       absorbs transient firings)
+``service.evict``      per session eviction-to-checkpoint (a fired fault
+                       aborts the eviction cleanly; the session stays
+                       resident and is retried on a later sweep)
+=====================  =====================================================
 """
 
 from __future__ import annotations
@@ -69,6 +84,9 @@ KNOWN_SITES = (
     "recovery.wal.torn_write",
     "recovery.checkpoint.write",
     "recovery.checkpoint.bit_flip",
+    "service.accept",
+    "service.dispatch",
+    "service.evict",
 )
 
 

@@ -62,18 +62,33 @@ class RetryPolicy:
         rng = random.Random(self.seed * 2654435761 + attempt)
         return min(base * (1.0 + self.jitter * rng.random()), self.max_delay)
 
+    def schedule(self) -> tuple[float, ...]:
+        """Every backoff this policy would sleep, in attempt order.
+
+        One delay per *re*-attempt (``max_attempts - 1`` entries), fully
+        determined by the policy's fields — callers (and tests) can
+        inspect the whole jittered schedule without running anything.
+        """
+        return tuple(self.delay(n) for n in range(1, self.max_attempts))
+
 
 def run_with_retry(
     task: Callable[[], R],
     policy: RetryPolicy,
     on_retry: "Callable[[int, BaseException], None] | None" = None,
     sleep: Callable[[float], None] = time.sleep,
+    metric_prefix: str = "pool",
 ) -> R:
     """Run ``task`` under ``policy``; raise :class:`RetryExhaustedError`
     (chained to the last failure) once attempts run out.
 
     ``on_retry(attempt, error)`` is invoked after each failed retryable
     attempt — the pool uses it to count retries for ``health()``.
+
+    The attempt loop is shared policy, not pool policy: the worker pool
+    runs kernels under it and the session service's dispatcher runs
+    whole requests under it. ``metric_prefix`` keeps their telemetry
+    apart (``pool.retries_total`` vs ``service.retries_total``).
     """
     last_error: BaseException | None = None
     for attempt in range(1, policy.max_attempts + 1):
@@ -82,9 +97,11 @@ def run_with_retry(
         except policy.retryable as error:
             last_error = error
             if _tracing_enabled():
-                _metrics_registry().counter("pool.retries_total").inc()
+                _metrics_registry().counter(f"{metric_prefix}.retries_total").inc()
                 _obs_event(
-                    "pool.retry", attempt=attempt, error=type(error).__name__
+                    f"{metric_prefix}.retry",
+                    attempt=attempt,
+                    error=type(error).__name__,
                 )
             if on_retry is not None:
                 on_retry(attempt, error)

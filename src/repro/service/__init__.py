@@ -1,0 +1,54 @@
+"""Multi-tenant session service for Ringo engines.
+
+The paper's setting is one big-memory machine shared by many analysts,
+each holding an interactive session. This package turns the in-process
+:class:`~repro.core.engine.Ringo` engine into that shared service:
+
+* :mod:`repro.service.server` — the asyncio front door
+  (:class:`SessionService`), its thread-hosted in-process form
+  (:class:`ServiceHandle`), and :func:`serve_forever` for the
+  ``repro serve`` CLI.
+* :mod:`repro.service.session` — per-tenant lifecycle: dispatch,
+  idle eviction to :mod:`repro.recovery` checkpoints, lazy revival.
+* :mod:`repro.service.admission` — the global resident-memory ledger.
+* :mod:`repro.service.queueing` — bounded deadline-aware FIFO queues.
+* :mod:`repro.service.protocol` — the line-delimited JSON wire format.
+* :mod:`repro.service.client` — a blocking TCP client.
+
+See ``docs/service.md`` for the protocol and the QoS contract.
+"""
+
+from repro.service.admission import MemoryLedger
+from repro.service.client import ServiceClient
+from repro.service.protocol import (
+    ProtocolError,
+    RemoteError,
+    Request,
+    TransientRemoteError,
+    allowed_engine_ops,
+)
+from repro.service.queueing import DeadlineQueue
+from repro.service.server import (
+    ServiceConfig,
+    ServiceHandle,
+    SessionService,
+    serve_forever,
+)
+from repro.service.session import SessionManager, TenantSession
+
+__all__ = [
+    "DeadlineQueue",
+    "MemoryLedger",
+    "ProtocolError",
+    "RemoteError",
+    "Request",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceHandle",
+    "SessionManager",
+    "SessionService",
+    "TenantSession",
+    "TransientRemoteError",
+    "allowed_engine_ops",
+    "serve_forever",
+]

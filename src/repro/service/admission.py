@@ -1,0 +1,113 @@
+"""Service-level admission control: a global resident-memory ledger.
+
+Two layers keep a shared big-memory machine out of OOM territory:
+
+1. Each tenant session runs under its own
+   :class:`~repro.memory.budget.MemoryBudget`
+   (``Ringo(memory_budget=)``), so one oversized join inside a session
+   fails with a typed error instead of an allocation storm.
+2. This ledger caps the *sum* of resident sessions' budgets. A session
+   only becomes resident (opened or revived from its checkpoint) after
+   charging its budget here; eviction-to-checkpoint releases the charge.
+   When a charge does not fit, the session manager first evicts idle
+   sessions — only if that still is not enough does the tenant get a
+   typed :class:`~repro.exceptions.AdmissionRejected`.
+
+The ledger is plain accounting over *declared* budgets (the same
+estimate-first philosophy as :mod:`repro.memory.budget`): it bounds the
+worst case every resident session is entitled to, which is the quantity
+an admission controller can actually reason about up front.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.exceptions import AdmissionContention, AdmissionRejected, RingoError
+
+
+class MemoryLedger:
+    """Byte accounting for resident sessions against a global capacity.
+
+    >>> ledger = MemoryLedger(1000)
+    >>> ledger.charge("alice", 600)
+    >>> ledger.would_fit(600)
+    False
+    >>> ledger.release("alice")
+    600
+    >>> ledger.free_bytes
+    1000
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise RingoError(
+                f"ledger capacity must be positive, got {capacity_bytes}"
+            )
+        self.capacity_bytes = int(capacity_bytes)
+        self._lock = threading.Lock()
+        self._charges: dict[str, int] = {}
+        self._admitted = 0
+        self._rejections = 0
+        self._peak_bytes = 0
+
+    @property
+    def charged_bytes(self) -> int:
+        """Total bytes currently charged by resident sessions."""
+        with self._lock:
+            return sum(self._charges.values())
+
+    @property
+    def free_bytes(self) -> int:
+        """Capacity not yet charged."""
+        with self._lock:
+            return self.capacity_bytes - sum(self._charges.values())
+
+    def would_fit(self, requested: int) -> bool:
+        """Whether a charge of ``requested`` bytes fits right now."""
+        with self._lock:
+            return sum(self._charges.values()) + requested <= self.capacity_bytes
+
+    def charge(self, tenant: str, requested: int) -> None:
+        """Charge a tenant's budget; raises on overflow.
+
+        Two distinct denials (callers evict idle sessions before either):
+        a budget larger than the whole ledger raises the permanent
+        :class:`AdmissionRejected`; one that merely does not fit *right
+        now* raises the retryable :class:`AdmissionContention` — busy
+        sessions go idle and free their charges.
+        """
+        if requested <= 0:
+            raise RingoError(f"charge must be positive, got {requested}")
+        with self._lock:
+            if tenant in self._charges:
+                raise RingoError(f"tenant {tenant!r} is already charged")
+            used = sum(self._charges.values())
+            if used + requested > self.capacity_bytes:
+                self._rejections += 1
+                available = self.capacity_bytes - used
+                if requested > self.capacity_bytes:
+                    raise AdmissionRejected(tenant, requested, available)
+                raise AdmissionContention(tenant, requested, available)
+            self._charges[tenant] = requested
+            self._admitted += 1
+            self._peak_bytes = max(self._peak_bytes, used + requested)
+
+    def release(self, tenant: str) -> int:
+        """Release a tenant's charge (eviction/close); returns the bytes."""
+        with self._lock:
+            return self._charges.pop(tenant, 0)
+
+    def snapshot(self) -> dict:
+        """Accounting for the service health report."""
+        with self._lock:
+            used = sum(self._charges.values())
+            return {
+                "capacity_bytes": self.capacity_bytes,
+                "charged_bytes": used,
+                "free_bytes": self.capacity_bytes - used,
+                "resident": len(self._charges),
+                "admitted": self._admitted,
+                "rejections": self._rejections,
+                "peak_bytes": self._peak_bytes,
+            }

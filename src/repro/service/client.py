@@ -1,0 +1,165 @@
+"""A blocking TCP client for the session service.
+
+:class:`ServiceClient` speaks the line-delimited JSON protocol of
+:mod:`repro.service.protocol` over a plain socket. It supports two
+styles:
+
+* ``call(op, ...)`` — send one request and block for its response,
+  optionally retrying transient failures under a shared
+  :class:`~repro.parallel.resilience.RetryPolicy` (the server marks
+  retryable errors with ``retryable: true`` in the envelope).
+* ``send(op, ...)`` + ``wait(request_id)`` — pipeline many requests on
+  one connection; responses are matched by ``id`` regardless of the
+  order the server answers in.
+
+The client is intentionally synchronous: tenants of an interactive
+analytics service are scripts and notebooks, and a blocking call per
+analytics step is their natural shape.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+from repro.exceptions import RingoError
+from repro.parallel.resilience import RetryPolicy, run_with_retry
+from repro.service.protocol import raise_remote_error
+
+
+class ServiceClient:
+    """One tenant's connection to a running session service.
+
+    >>> client = ServiceClient("127.0.0.1", 9000, tenant="alice")  # doctest: +SKIP
+    >>> client.call("ping")  # doctest: +SKIP
+    'pong'
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        tenant: str,
+        timeout: float = 60.0,
+        retry_policy: "RetryPolicy | None" = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout = timeout
+        self.retry_policy = retry_policy
+        self._sock: "socket.socket | None" = None
+        self._file = None
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._received: dict[object, dict] = {}
+
+    # -- connection lifecycle -------------------------------------------
+
+    def connect(self) -> "ServiceClient":
+        """Open the TCP connection (idempotent)."""
+        if self._sock is None:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock = sock
+            self._file = sock.makefile("rwb")
+        return self
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- request plumbing ------------------------------------------------
+
+    def send(
+        self, op: str, deadline_ms: "int | None" = None, **args: object
+    ) -> int:
+        """Write one request without waiting; returns its request id.
+
+        Use with :meth:`wait` to pipeline many requests on one
+        connection (how the benchmarks saturate a queue).
+        """
+        self.connect()
+        with self._lock:
+            self._next_id += 1
+            request_id = self._next_id
+            raw: dict = {
+                "id": request_id,
+                "tenant": self.tenant,
+                "op": op,
+                "args": args,
+            }
+            if deadline_ms is not None:
+                raw["deadline_ms"] = deadline_ms
+            line = (json.dumps(raw, separators=(",", ":")) + "\n").encode()
+            self._file.write(line)
+            self._file.flush()
+        return request_id
+
+    def wait(self, request_id: int) -> dict:
+        """Block for the response envelope with ``id == request_id``."""
+        while True:
+            with self._lock:
+                if request_id in self._received:
+                    return self._received.pop(request_id)
+                line = self._file.readline()
+            if not line:
+                raise RingoError(
+                    f"connection closed waiting for response {request_id}"
+                )
+            envelope = json.loads(line.decode())
+            if envelope.get("id") == request_id:
+                return envelope
+            self._received[envelope.get("id")] = envelope
+
+    # -- the convenience surface ----------------------------------------
+
+    def call(
+        self, op: str, deadline_ms: "int | None" = None, **args: object
+    ) -> object:
+        """One request, blocking; unwraps the result or raises typed errors.
+
+        Failure envelopes become
+        :class:`~repro.service.protocol.RemoteError` (or its retryable
+        subclass). When the client was built with a ``retry_policy``,
+        retryable failures are re-sent with jittered backoff — the same
+        policy machinery the server's dispatcher uses.
+        """
+
+        def attempt() -> object:
+            envelope = self.wait(self.send(op, deadline_ms=deadline_ms, **args))
+            if not envelope.get("ok"):
+                raise_remote_error(envelope)
+            return envelope.get("result")
+
+        if self.retry_policy is None:
+            return attempt()
+        return run_with_retry(attempt, self.retry_policy, metric_prefix="client")
+
+    def ping(self) -> object:
+        """Liveness probe."""
+        return self.call("ping")
+
+    def health(self) -> dict:
+        """The server's full health report."""
+        return self.call("health")

@@ -1,0 +1,261 @@
+"""Wire protocol for the session service: line-delimited JSON.
+
+One request per line, one response per line, correlated by ``id`` (the
+server may answer out of order when a connection pipelines requests).
+
+Request::
+
+    {"id": 7, "tenant": "alice", "op": "GetPageRank",
+     "args": {"graph": {"$ref": "graph-1"}}, "deadline_ms": 500}
+
+Response::
+
+    {"id": 7, "ok": true, "result": {"1": 0.31, ...}}
+    {"id": 7, "ok": false,
+     "error": {"type": "DeadlineExceededError", "message": "...",
+               "retryable": false}}
+
+``op`` is either a *service op* (lowercase: ``ping``, ``open``,
+``health``, ``objects``, ``digest``) or an *engine op* — any CamelCase
+method of :class:`~repro.core.engine.Ringo` (``LoadTableTSV``,
+``Select``, ``ToGraph``, ``GetPageRank``, ...), so the analytics API the
+paper defines is served unchanged. Arguments reference catalog objects
+as ``{"$ref": "<catalog-name>"}``; results that are tables or graphs
+come back as a ``$ref`` envelope carrying their catalog name and shape,
+everything else is encoded to plain JSON.
+
+The service is an analytics front-end for trusted tenants sharing one
+big-memory machine, not a security boundary: path-taking ops
+(``LoadTableTSV``...) read the server's filesystem.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.engine import Ringo
+from repro.exceptions import RingoError, ServiceError, TransientError
+from repro.graphs.directed import DirectedGraph
+from repro.graphs.undirected import UndirectedGraph
+from repro.tables.table import Table
+
+REF_KEY = "$ref"
+
+#: Service-level ops handled by the server itself, not a tenant engine.
+SERVICE_OPS = ("ping", "open", "health", "objects", "digest")
+
+#: Engine lifecycle/introspection surface a remote tenant must not drive
+#: directly — the service owns checkpointing, recovery, and shutdown.
+_DENIED_ENGINE_OPS = frozenset({"Objects", "GetObject"})
+
+
+def allowed_engine_ops() -> frozenset:
+    """The CamelCase :class:`Ringo` methods the service dispatches.
+
+    Computed from the class so the served surface tracks the engine
+    automatically: every public CamelCase method except the catalog
+    accessors (those are service ops with JSON-shaped responses).
+    """
+    ops = set()
+    for name in dir(Ringo):
+        if name.startswith("_") or name in _DENIED_ENGINE_OPS:
+            continue
+        if not name[0].isupper():
+            continue  # lifecycle/introspection: health, checkpoint, ...
+        if callable(getattr(Ringo, name)):
+            ops.add(name)
+    return frozenset(ops)
+
+
+_ALLOWED_ENGINE_OPS = allowed_engine_ops()
+
+
+class ProtocolError(ServiceError):
+    """A request line could not be parsed or names an unknown op."""
+
+
+@dataclass
+class Request:
+    """One parsed client request, plus the server-side bookkeeping.
+
+    ``deadline`` is absolute (event-loop clock), computed at accept time
+    from the client's relative ``deadline_ms`` budget; ``future``
+    resolves to the response envelope (set exactly once, whether the
+    request completed, expired, or was shed).
+    """
+
+    id: object
+    tenant: str
+    op: str
+    args: dict = field(default_factory=dict)
+    deadline: float = 0.0
+    accepted_at: float = 0.0
+    future: object = None
+
+
+def parse_request(raw: object) -> "tuple[object, str, str, dict, float | None]":
+    """Validate one decoded request object.
+
+    Returns ``(id, tenant, op, args, deadline_s-or-None)``; raises
+    :class:`ProtocolError` on anything malformed. Deadlines stay
+    relative here — the accept loop anchors them to its clock.
+    """
+    if not isinstance(raw, dict):
+        raise ProtocolError(f"request must be a JSON object, got {type(raw).__name__}")
+    request_id = raw.get("id")
+    tenant = raw.get("tenant")
+    op = raw.get("op")
+    args = raw.get("args", {})
+    if not isinstance(tenant, str) or not tenant:
+        raise ProtocolError("request needs a non-empty string 'tenant'")
+    if not isinstance(op, str) or not op:
+        raise ProtocolError("request needs a non-empty string 'op'")
+    if op not in SERVICE_OPS and op not in _ALLOWED_ENGINE_OPS:
+        raise ProtocolError(f"unknown op {op!r}")
+    if not isinstance(args, dict):
+        raise ProtocolError("request 'args' must be a JSON object")
+    deadline_ms = raw.get("deadline_ms")
+    if deadline_ms is None:
+        return request_id, tenant, op, args, None
+    if not isinstance(deadline_ms, (int, float)) or deadline_ms <= 0:
+        raise ProtocolError("'deadline_ms' must be a positive number")
+    return request_id, tenant, op, args, float(deadline_ms) / 1000.0
+
+
+def decode_args(session: Ringo, args: Mapping) -> dict:
+    """Resolve ``{"$ref": name}`` placeholders against a session catalog."""
+
+    def walk(value):
+        if isinstance(value, dict):
+            if set(value) == {REF_KEY}:
+                return session.GetObject(value[REF_KEY])
+            return {key: walk(item) for key, item in value.items()}
+        if isinstance(value, list):
+            return [walk(item) for item in value]
+        return value
+
+    return {key: walk(value) for key, value in dict(args).items()}
+
+
+def encode_result(session: Ringo, result: object) -> object:
+    """Encode one engine result into JSON-safe content.
+
+    Catalogued tables/graphs become ``$ref`` envelopes; anonymous ones
+    (a session without durability does not publish every derivation)
+    are summarised without a ref. Mappings get string keys, sets become
+    sorted lists, numpy scalars/arrays become Python numbers/lists.
+    """
+    if isinstance(result, Table):
+        envelope: dict = {
+            "kind": "table",
+            "rows": result.num_rows,
+            "columns": [name for name, _ in result.schema],
+        }
+        name = _catalog_name(session, result)
+        if name is not None:
+            envelope[REF_KEY] = name
+        return envelope
+    if isinstance(result, (DirectedGraph, UndirectedGraph)):
+        envelope = {
+            "kind": "graph",
+            "nodes": result.num_nodes,
+            "edges": result.num_edges,
+            "directed": result.is_directed,
+        }
+        name = _catalog_name(session, result)
+        if name is not None:
+            envelope[REF_KEY] = name
+        return envelope
+    return _plain(result)
+
+
+def _catalog_name(session: Ringo, obj: object) -> "str | None":
+    with session._catalog_lock:
+        name = session._object_names.get(id(obj))
+        if name is not None and session._catalog.get(name) is obj:
+            return name
+    return None
+
+
+def _plain(value: object) -> object:
+    """Recursively reduce a value to JSON-native types."""
+    if isinstance(value, (str, bool)) or value is None:
+        return value
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, np.ndarray):
+        return [_plain(item) for item in value.tolist()]
+    if isinstance(value, Mapping):
+        return {str(_plain(key)): _plain(item) for key, item in value.items()}
+    if isinstance(value, (set, frozenset)):
+        return sorted(_plain(item) for item in value)
+    if isinstance(value, (list, tuple)):
+        return [_plain(item) for item in value]
+    return repr(value)
+
+
+def ok_response(request_id: object, result: object) -> dict:
+    """A success envelope."""
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(request_id: object, error: BaseException) -> dict:
+    """A typed failure envelope.
+
+    ``retryable`` tells the client whether re-sending the same request
+    can succeed (transient faults: yes; budget denials, bad ops: no) —
+    the client-side :func:`~repro.parallel.resilience.run_with_retry`
+    keys off it.
+    """
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {
+            "type": type(error).__name__,
+            "message": str(error),
+            "retryable": isinstance(error, TransientError),
+        },
+    }
+
+
+class RemoteError(RingoError):
+    """A typed error envelope reconstructed on the client side."""
+
+    def __init__(self, error_type: str, message: str):
+        self.error_type = error_type
+        super().__init__(f"{error_type}: {message}")
+
+
+class TransientRemoteError(RemoteError, TransientError):
+    """A retryable remote failure — a client retry policy re-attempts it."""
+
+
+def raise_remote_error(envelope: Mapping) -> None:
+    """Raise the typed client-side exception for a failure envelope."""
+    error = envelope.get("error") or {}
+    error_type = str(error.get("type", "ServiceError"))
+    message = str(error.get("message", ""))
+    if error.get("retryable"):
+        raise TransientRemoteError(error_type, message)
+    raise RemoteError(error_type, message)
+
+
+def dump_line(message: Mapping) -> bytes:
+    """Serialise one protocol message as a newline-terminated JSON line."""
+    return (json.dumps(message, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def load_line(line: bytes) -> object:
+    """Parse one protocol line; raises :class:`ProtocolError` on bad JSON."""
+    try:
+        return json.loads(line.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as error:
+        raise ProtocolError(f"request line is not valid JSON: {error}")

@@ -1,0 +1,98 @@
+"""Per-session request queues: bounded FIFO, deadlines, load shedding.
+
+Each tenant session gets one :class:`DeadlineQueue`. Requests execute in
+arrival order (a Ringo session is a sequential interactive catalog —
+reordering would change what ``$ref`` names mean), but two QoS rules cut
+across the FIFO discipline:
+
+* **Cooperative expiry** — a request whose deadline passes while it is
+  still queued is removed and answered with a typed
+  :class:`~repro.exceptions.DeadlineExceededError` instead of being run
+  late; the sweep runs once per scheduler tick and on every dequeue.
+* **Load shedding** — a full queue sheds *oldest-deadline-first*: the
+  entry with the least remaining time (including, possibly, the new
+  arrival itself) is dropped with a typed
+  :class:`~repro.exceptions.RequestRejected`, because the request most
+  likely to miss its deadline anyway is the cheapest one to sacrifice.
+
+The queue is an asyncio-internal structure: it is only touched from the
+server's event-loop thread, so it needs wakeup machinery but no locks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Iterator
+
+from repro.exceptions import RingoError
+
+from repro.service.protocol import Request
+
+
+class DeadlineQueue:
+    """A bounded FIFO of :class:`Request` with deadline-aware shedding."""
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize <= 0:
+            raise RingoError(f"queue maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: deque[Request] = deque()
+        self._ready = asyncio.Event()
+        self.shed_total = 0
+        self.expired_total = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(tuple(self._entries))
+
+    def push(self, request: Request) -> "Request | None":
+        """Enqueue ``request``; returns the shed victim when saturated.
+
+        The victim is the queued-or-incoming request with the earliest
+        deadline. When the victim is the incoming request itself it is
+        never enqueued; either way the caller owes the victim a typed
+        rejection.
+        """
+        victim: "Request | None" = None
+        if len(self._entries) >= self.maxsize:
+            victim = min(self._entries, key=lambda r: r.deadline)
+            if victim.deadline <= request.deadline:
+                self._entries.remove(victim)
+            else:
+                victim = request
+            self.shed_total += 1
+        if victim is not request:
+            self._entries.append(request)
+            self._ready.set()
+        return victim
+
+    async def pop(self) -> Request:
+        """Wait for and remove the head request (FIFO)."""
+        while not self._entries:
+            self._ready.clear()
+            await self._ready.wait()
+        request = self._entries.popleft()
+        if not self._entries:
+            self._ready.clear()
+        return request
+
+    def remove_expired(self, now: float) -> list[Request]:
+        """Remove and return every queued request whose deadline passed."""
+        expired = [r for r in self._entries if r.deadline <= now]
+        if expired:
+            for request in expired:
+                self._entries.remove(request)
+            self.expired_total += len(expired)
+            if not self._entries:
+                self._ready.clear()
+        return expired
+
+    def drain(self) -> list[Request]:
+        """Remove and return everything queued (server drain path)."""
+        drained = list(self._entries)
+        self._entries.clear()
+        self._ready.clear()
+        return drained

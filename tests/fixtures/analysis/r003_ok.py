@@ -10,3 +10,9 @@ def guarded_step():
 def durable_step():
     fault_point("recovery.wal.append")
     fault_point("recovery.checkpoint.write")
+
+
+def service_step():
+    fault_point("service.accept")
+    fault_point("service.dispatch")
+    fault_point("service.evict")

@@ -1,0 +1,59 @@
+"""Regression: ``health()`` polled concurrently with mutating methods.
+
+The session service polls ``health()`` (and ``Objects()``) from its
+monitoring path while a tenant's engine call runs on an executor
+thread. Before the catalog lock, that was a ``RuntimeError: dictionary
+changed size during iteration`` waiting to happen — ``health()``
+iterated ``self._catalog`` while ``_publish`` inserted into it.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.engine import Ringo
+
+
+@pytest.mark.parametrize("probe", ["health", "objects"])
+def test_health_and_objects_race_mutating_publishes(tmp_path, probe):
+    errors = []
+    stop = threading.Event()
+
+    # Durable so every derivation publishes — maximum catalog churn.
+    with Ringo(workers=1, durability=tmp_path) as ringo:
+
+        def poll():
+            try:
+                while not stop.is_set():
+                    if probe == "health":
+                        report = ringo.health()
+                        names = report["objects"]["names"]
+                        assert report["objects"]["published"] == len(names)
+                    else:
+                        for name in ringo.Objects():
+                            ringo.GetObject(name)
+            except Exception as error:  # pragma: no cover - the regression
+                errors.append(error)
+
+        pollers = [threading.Thread(target=poll) for _ in range(4)]
+        for thread in pollers:
+            thread.start()
+        try:
+            for i in range(150):
+                table = ringo.TableFromColumns({"x": [i, i + 1, i + 2]})
+                ringo.Select(table, f"x>{i}")
+        finally:
+            stop.set()
+            for thread in pollers:
+                thread.join()
+
+    assert errors == []
+
+
+def test_health_object_count_matches_names(tmp_path):
+    with Ringo(workers=1, durability=tmp_path) as ringo:
+        ringo.TableFromColumns({"x": [1, 2]})
+        ringo.TableFromColumns({"y": [3]})
+        report = ringo.health()
+        assert report["objects"]["published"] == 2
+        assert sorted(report["objects"]["names"]) == sorted(ringo.Objects())

@@ -75,3 +75,11 @@ class TestExamples:
         assert "communities found: 4" in output
         assert "modularity" in output
         assert "predictions inside a planted community" in output
+
+    def test_service_client(self, tmp_path):
+        output = run_example("service_client.py", str(tmp_path / "spool"))
+        assert "Running both tenant workloads" in output
+        assert "DeadlineExceededError" in output
+        assert "alice evicted: True" in output
+        assert "revivals: 1" in output
+        assert "both tenant catalogs identical after drain" in output

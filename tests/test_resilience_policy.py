@@ -1,0 +1,96 @@
+"""The shared RetryPolicy: deterministic schedules, shared telemetry."""
+
+import pytest
+
+from repro import obs
+from repro.exceptions import RetryExhaustedError, TransientError
+from repro.parallel.resilience import RetryPolicy, run_with_retry
+
+
+class Flaky(TransientError):
+    """A transient failure for retry tests."""
+
+
+def test_schedule_is_deterministic_for_a_seed():
+    policy = RetryPolicy(max_attempts=5, base_delay=0.01, seed=42)
+    again = RetryPolicy(max_attempts=5, base_delay=0.01, seed=42)
+    assert policy.schedule() == again.schedule()
+    assert len(policy.schedule()) == 4  # one delay per re-attempt
+    assert policy.schedule() == tuple(policy.delay(n) for n in range(1, 5))
+
+
+def test_schedule_varies_with_seed_but_not_with_callers():
+    base = RetryPolicy(max_attempts=4, base_delay=0.01, jitter=0.5, seed=1)
+    other = RetryPolicy(max_attempts=4, base_delay=0.01, jitter=0.5, seed=2)
+    assert base.schedule() != other.schedule()
+    # Consuming delays in any order or repeatedly never perturbs them —
+    # jitter is a pure function of (seed, attempt), not global RNG state.
+    forward = [base.delay(n) for n in (1, 2, 3)]
+    backward = [base.delay(n) for n in (3, 2, 1)]
+    assert forward == backward[::-1]
+
+
+def test_schedule_respects_backoff_bounds():
+    policy = RetryPolicy(
+        max_attempts=6, base_delay=0.01, max_delay=0.05, jitter=0.5, seed=9
+    )
+    for attempt, delay in enumerate(policy.schedule(), start=1):
+        floor = policy.base_delay * (2.0 ** (attempt - 1))
+        assert delay <= policy.max_delay
+        assert delay >= min(floor, policy.max_delay)
+        assert delay <= floor * (1.0 + policy.jitter)
+
+
+def test_run_with_retry_sleeps_the_published_schedule():
+    policy = RetryPolicy(max_attempts=4, base_delay=0.01, seed=7)
+    slept = []
+    attempts = []
+
+    def task():
+        attempts.append(True)
+        raise Flaky("still failing")
+
+    with pytest.raises(RetryExhaustedError):
+        run_with_retry(task, policy, sleep=slept.append)
+    assert len(attempts) == policy.max_attempts
+    # The exact jittered schedule the policy advertised is what ran.
+    assert tuple(slept) == policy.schedule()
+
+
+def test_metric_prefix_separates_pool_and_service_telemetry():
+    policy = RetryPolicy(max_attempts=3, base_delay=0.0, seed=0)
+    failures = {"count": 2}
+
+    def task():
+        if failures["count"] > 0:
+            failures["count"] -= 1
+            raise Flaky("transient")
+        return "done"
+
+    tracer = obs.enable(sinks=[obs.RingBufferSink(capacity=64)])
+    try:
+        registry = obs.registry()
+        before = registry.counter("service.retries_total").value
+        pool_before = registry.counter("pool.retries_total").value
+        result = run_with_retry(
+            task, policy, sleep=lambda _s: None, metric_prefix="service"
+        )
+        assert result == "done"
+        assert registry.counter("service.retries_total").value == before + 2
+        assert registry.counter("pool.retries_total").value == pool_before
+    finally:
+        if obs.current_tracer() is tracer:
+            obs.disable()
+
+
+def test_non_retryable_errors_propagate_immediately():
+    policy = RetryPolicy(max_attempts=5, base_delay=0.0)
+    calls = []
+
+    def task():
+        calls.append(True)
+        raise ValueError("not transient")
+
+    with pytest.raises(ValueError):
+        run_with_retry(task, policy, sleep=lambda _s: None)
+    assert len(calls) == 1

@@ -1,0 +1,152 @@
+"""Admission control and QoS queue units: ledger, shedding, expiry."""
+
+import asyncio
+
+import pytest
+
+from repro.exceptions import AdmissionContention, AdmissionRejected, RingoError, TransientError
+from repro.service.admission import MemoryLedger
+from repro.service.protocol import Request
+from repro.service.queueing import DeadlineQueue
+
+
+# -- the memory ledger -----------------------------------------------------
+
+
+def test_ledger_charges_and_releases():
+    ledger = MemoryLedger(1000)
+    ledger.charge("a", 400)
+    ledger.charge("b", 500)
+    assert ledger.charged_bytes == 900
+    assert ledger.free_bytes == 100
+    assert not ledger.would_fit(200)
+    assert ledger.release("a") == 400
+    assert ledger.would_fit(200)
+    assert ledger.release("a") == 0  # idempotent
+
+
+def test_ledger_contention_denial_is_transient():
+    ledger = MemoryLedger(1000)
+    ledger.charge("a", 800)
+    # 300 would fit an empty ledger — denial is contention, retryable.
+    with pytest.raises(AdmissionContention) as info:
+        ledger.charge("b", 300)
+    assert isinstance(info.value, AdmissionRejected)
+    assert isinstance(info.value, TransientError)
+    assert info.value.tenant == "b"
+    assert info.value.requested == 300
+    assert info.value.available == 200
+    # The rejected tenant is not charged; the ledger is unchanged.
+    assert ledger.charged_bytes == 800
+    assert ledger.snapshot()["rejections"] == 1
+
+
+def test_ledger_over_capacity_denial_is_permanent():
+    ledger = MemoryLedger(1000)
+    # 2000 can never fit: the permanent, non-retryable rejection.
+    with pytest.raises(AdmissionRejected) as info:
+        ledger.charge("giant", 2000)
+    assert not isinstance(info.value, TransientError)
+    assert ledger.snapshot()["rejections"] == 1
+
+
+def test_ledger_double_charge_is_a_bug_not_a_rejection():
+    ledger = MemoryLedger(1000)
+    ledger.charge("a", 100)
+    with pytest.raises(RingoError):
+        ledger.charge("a", 100)
+
+
+def test_ledger_snapshot_accounting():
+    ledger = MemoryLedger(1000)
+    ledger.charge("a", 600)
+    ledger.release("a")
+    ledger.charge("b", 300)
+    snap = ledger.snapshot()
+    assert snap == {
+        "capacity_bytes": 1000, "charged_bytes": 300, "free_bytes": 700,
+        "resident": 1, "admitted": 2, "rejections": 0, "peak_bytes": 600,
+    }
+
+
+def test_ledger_validates_inputs():
+    with pytest.raises(RingoError):
+        MemoryLedger(0)
+    with pytest.raises(RingoError):
+        MemoryLedger(10).charge("a", 0)
+
+
+# -- the deadline queue ----------------------------------------------------
+
+
+def _request(rid, deadline):
+    return Request(id=rid, tenant="t", op="ping", deadline=deadline)
+
+
+def test_queue_sheds_oldest_deadline_first():
+    queue = DeadlineQueue(maxsize=2)
+    assert queue.push(_request(1, deadline=10.0)) is None
+    assert queue.push(_request(2, deadline=5.0)) is None
+    # Full; the incoming request has the *latest* deadline, so the
+    # queued earliest-deadline entry (id=2) is the victim.
+    victim = queue.push(_request(3, deadline=20.0))
+    assert victim.id == 2
+    assert [r.id for r in queue] == [1, 3]
+    assert queue.shed_total == 1
+
+
+def test_queue_sheds_incoming_when_it_has_earliest_deadline():
+    queue = DeadlineQueue(maxsize=2)
+    queue.push(_request(1, deadline=10.0))
+    queue.push(_request(2, deadline=20.0))
+    incoming = _request(3, deadline=1.0)
+    victim = queue.push(incoming)
+    assert victim is incoming  # never enqueued
+    assert [r.id for r in queue] == [1, 2]
+
+
+def test_queue_pop_is_fifo_not_deadline_ordered():
+    async def scenario():
+        queue = DeadlineQueue(maxsize=4)
+        queue.push(_request(1, deadline=30.0))
+        queue.push(_request(2, deadline=10.0))
+        queue.push(_request(3, deadline=20.0))
+        return [(await queue.pop()).id for _ in range(3)]
+
+    assert asyncio.run(scenario()) == [1, 2, 3]
+
+
+def test_queue_pop_waits_for_a_push():
+    async def scenario():
+        queue = DeadlineQueue(maxsize=2)
+        waiter = asyncio.ensure_future(queue.pop())
+        await asyncio.sleep(0)
+        assert not waiter.done()
+        queue.push(_request(9, deadline=1.0))
+        return (await waiter).id
+
+    assert asyncio.run(scenario()) == 9
+
+
+def test_queue_remove_expired_keeps_live_requests():
+    queue = DeadlineQueue(maxsize=8)
+    queue.push(_request(1, deadline=1.0))
+    queue.push(_request(2, deadline=5.0))
+    queue.push(_request(3, deadline=2.0))
+    expired = queue.remove_expired(now=2.5)
+    assert sorted(r.id for r in expired) == [1, 3]
+    assert [r.id for r in queue] == [2]
+    assert queue.expired_total == 2
+
+
+def test_queue_drain_empties_everything():
+    queue = DeadlineQueue(maxsize=4)
+    queue.push(_request(1, deadline=1.0))
+    queue.push(_request(2, deadline=2.0))
+    assert [r.id for r in queue.drain()] == [1, 2]
+    assert len(queue) == 0
+
+
+def test_queue_validates_maxsize():
+    with pytest.raises(RingoError):
+        DeadlineQueue(0)
