@@ -1,0 +1,205 @@
+"""Multi-core backend benchmark: threads vs processes on one snapshot.
+
+Times the partitioned kernels on both execution backends and writes the
+JSON artifact ``BENCH_multicore.json`` at the repo root for CI to
+archive:
+
+* **pure-Python PageRank** (``pagerank_python_array``) — the GIL-bound
+  workload the process backend exists for: serial, thread-pool, and
+  process-pool timings over the same snapshot;
+* **numpy triangles and WCC** — the GIL-releasing kernels, where
+  threads are already parallel and the process backend must at least
+  not corrupt results while the adaptive crossover learns which side
+  is faster.
+
+Gates (CI fails on any):
+
+* every threads-vs-processes pair is **digest-equal** (bitwise);
+* zero leaked ``/dev/shm`` segments after the run;
+* on machines with >= 4 usable cores, process-backend pure-Python
+  PageRank is >= 2x faster than the thread backend. On fewer cores the
+  speedup is recorded but not enforced — a one-core host runs both
+  backends serially and the curve is flat (same posture as the A3
+  ablation in EXPERIMENTS.md).
+
+Run:  python scripts/bench_multicore.py [--quick] [--workers N]
+"""
+
+import argparse
+import hashlib
+import json
+import sys
+import time
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+sys.path.insert(0, str(SRC))
+
+import numpy as np  # noqa: E402
+
+from repro.algorithms.components import (  # noqa: E402
+    _wcc_labels_parallel,
+)
+from repro.algorithms.pagerank import pagerank_python_array  # noqa: E402
+from repro.algorithms.triangles import triangle_count_array  # noqa: E402
+from repro.convert.table_to_graph import graph_from_edge_arrays  # noqa: E402
+from repro.graphs.snapshot import csr_snapshot  # noqa: E402
+from repro.parallel.executor import (  # noqa: E402
+    WorkerPool,
+    kernel_dispatcher,
+    machine_cpu_count,
+)
+from repro.parallel.shm import leaked_segments, shm_registry  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULT_PATH = REPO_ROOT / "BENCH_multicore.json"
+SPEEDUP_FLOOR = 2.0
+MIN_CORES_FOR_GATE = 4
+
+
+def digest(array: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(array).tobytes()).hexdigest()
+
+
+def build_graph(num_nodes: int, num_edges: int, seed: int):
+    """Skewed random digraph (Zipf-ish sources approximate an R-MAT hub
+    profile, which is what makes degree-balanced partitioning matter)."""
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, num_nodes + 1, dtype=np.float64)
+    weights = 1.0 / ranks
+    weights /= weights.sum()
+    src = rng.choice(num_nodes, size=num_edges, p=weights)
+    dst = rng.integers(0, num_nodes, size=num_edges)
+    return graph_from_edge_arrays(src, dst, directed=True)
+
+
+def timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller graph / fewer iterations (CI smoke)")
+    parser.add_argument("--workers", type=int, default=8,
+                        help="worker count for both backends (default 8)")
+    parser.add_argument("--seed", type=int, default=2015)
+    args = parser.parse_args(argv)
+
+    nodes = 50_000 if args.quick else 100_000
+    edges = 400_000 if args.quick else 800_000
+    iterations = 3 if args.quick else 5
+    workers = max(2, args.workers)
+    cores = machine_cpu_count()
+
+    graph = build_graph(nodes, edges, args.seed)
+    csr = csr_snapshot(graph)
+    sym = csr.undirected_projection()
+    print(f"graph: {csr.num_nodes} nodes, {csr.num_edges} edges; "
+          f"{cores} usable cores, {workers} workers", flush=True)
+
+    dispatcher = kernel_dispatcher()
+    dispatcher.configure(backend="auto", process_workers=workers)
+    thread_pool = WorkerPool(workers)
+    serial = WorkerPool(1)
+
+    # Untimed warm-up: fork the worker processes and export the arrays
+    # once, so the timings measure steady-state dispatch (the backend's
+    # workers are long-lived by design), not executor start-up.
+    pagerank_python_array(csr, iterations=1, backend="processes")
+
+    report = {
+        "quick": args.quick,
+        "machine": {"usable_cores": cores, "workers": workers},
+        "graph": {"nodes": csr.num_nodes, "edges": csr.num_edges},
+    }
+    failures = []
+
+    # -- pure-Python PageRank: the GIL-bound headline workload ---------
+    pr_serial, serial_s = timed(lambda: pagerank_python_array(
+        csr, iterations=iterations, pool=serial, backend="threads"))
+    pr_threads, threads_s = timed(lambda: pagerank_python_array(
+        csr, iterations=iterations, pool=thread_pool, backend="threads"))
+    pr_procs, procs_s = timed(lambda: pagerank_python_array(
+        csr, iterations=iterations, backend="processes"))
+    speedup = threads_s / procs_s if procs_s > 0 else float("inf")
+    pagerank_equal = digest(pr_threads) == digest(pr_procs) == digest(pr_serial)
+    report["pagerank_python"] = {
+        "iterations": iterations,
+        "serial_seconds": serial_s,
+        "threads_seconds": threads_s,
+        "process_seconds": procs_s,
+        "process_speedup_vs_threads": speedup,
+        "digest_equal": pagerank_equal,
+    }
+    print(f"pagerank(py): serial {serial_s:.3f}s threads {threads_s:.3f}s "
+          f"processes {procs_s:.3f}s ({speedup:.2f}x)", flush=True)
+
+    # -- numpy kernels: correctness + crossover bookkeeping ------------
+    tri_threads, tri_threads_s = timed(
+        lambda: triangle_count_array(sym, pool=thread_pool, backend="threads"))
+    tri_procs, tri_procs_s = timed(
+        lambda: triangle_count_array(sym, backend="processes"))
+    triangles_equal = digest(tri_threads) == digest(tri_procs)
+    report["triangles"] = {
+        "threads_seconds": tri_threads_s,
+        "process_seconds": tri_procs_s,
+        "digest_equal": triangles_equal,
+    }
+    print(f"triangles: threads {tri_threads_s:.3f}s "
+          f"processes {tri_procs_s:.3f}s", flush=True)
+
+    wcc_threads, wcc_threads_s = timed(
+        lambda: _wcc_labels_parallel(csr, pool=thread_pool, backend="threads"))
+    wcc_procs, wcc_procs_s = timed(
+        lambda: _wcc_labels_parallel(csr, backend="processes"))
+    wcc_equal = digest(wcc_threads) == digest(wcc_procs)
+    report["wcc"] = {
+        "threads_seconds": wcc_threads_s,
+        "process_seconds": wcc_procs_s,
+        "digest_equal": wcc_equal,
+    }
+    print(f"wcc: threads {wcc_threads_s:.3f}s "
+          f"processes {wcc_procs_s:.3f}s", flush=True)
+
+    report["crossover"] = dispatcher.crossover.snapshot()
+
+    # -- gates ---------------------------------------------------------
+    if not (pagerank_equal and triangles_equal and wcc_equal):
+        failures.append("digest mismatch between thread and process backends")
+
+    dispatcher.shutdown()
+    thread_pool.close()
+    shm_registry().drop_all()
+    leaked = leaked_segments()
+    if leaked:
+        failures.append(f"leaked shared-memory segments: {leaked}")
+
+    speedup_enforced = cores >= MIN_CORES_FOR_GATE
+    if speedup_enforced and speedup < SPEEDUP_FLOOR:
+        failures.append(
+            f"process backend only {speedup:.2f}x vs threads on the "
+            f"pure-Python kernel (floor {SPEEDUP_FLOOR}x at {cores} cores)"
+        )
+
+    report["gates"] = {
+        "digest_equality": pagerank_equal and triangles_equal and wcc_equal,
+        "zero_leaked_segments": not leaked,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "speedup_enforced": speedup_enforced,
+        "failures": failures,
+    }
+
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {RESULT_PATH}")
+    if failures:
+        for failure in failures:
+            print(f"GATE FAILED: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,7 +19,53 @@ import numpy as np
 
 from repro.algorithms.common import as_csr, scores_to_dict
 from repro.exceptions import AlgorithmError
+from repro.parallel.executor import kernel_dispatcher
 from repro.util.validation import check_fraction, check_positive
+
+
+def _pagerank_spread_partition(arrays, lo, hi, share):
+    """One power-iteration spread over the dense node span ``[lo, hi)``.
+
+    Gather formulation: each destination sums ``share`` over its
+    in-neighbours, so partitions write disjoint output spans (R006's
+    safe-write discipline) and the result is independent of the
+    partition count. Within one destination the in-adjacency is
+    src-ascending — the same accumulation order as the full-vector
+    ``bincount`` scatter in :func:`pagerank_array`, so both
+    formulations agree bitwise.
+    """
+    in_indptr = arrays["in_indptr"]
+    in_indices = arrays["in_indices"]
+    width = hi - lo
+    base, stop = int(in_indptr[lo]), int(in_indptr[hi])
+    if base == stop:
+        return np.zeros(width, dtype=np.float64)
+    counts = np.diff(in_indptr[lo:hi + 1])
+    local_dst = np.repeat(np.arange(width, dtype=np.int64), counts)
+    contrib = share[in_indices[base:stop]]
+    return np.bincount(local_dst, weights=contrib, minlength=width)
+
+
+def _pagerank_python_partition(arrays, lo, hi, share):
+    """Pure-Python spread over ``[lo, hi)`` — deliberately GIL-bound.
+
+    The multicore benchmark's demonstration kernel: per-edge Python
+    bytecode that thread workers serialize on the GIL but process
+    workers run truly concurrently. Numerically it matches
+    :func:`_pagerank_spread_partition` (same src-ascending per-node
+    accumulation order).
+    """
+    row = arrays["in_indptr"][lo:hi + 1].tolist()
+    base = row[0]
+    neighbors = arrays["in_indices"][base:row[-1]].tolist()
+    shares = share.tolist()
+    out = [0.0] * (hi - lo)
+    for node in range(hi - lo):
+        total = 0.0
+        for position in range(row[node] - base, row[node + 1] - base):
+            total += shares[neighbors[position]]
+        out[node] = total
+    return np.asarray(out, dtype=np.float64)
 
 
 def pagerank(
@@ -78,8 +124,18 @@ def pagerank_array(
     tolerance: float = 1e-9,
     iterations: int | None = None,
     personalize_dense: np.ndarray | None = None,
+    pool=None,
+    backend: str | None = None,
 ) -> np.ndarray:
-    """Dense-index PageRank over a CSR snapshot (the vectorised kernel)."""
+    """Dense-index PageRank over a CSR snapshot (the vectorised kernel).
+
+    The spread step has two formulations that agree bitwise: a
+    full-vector ``bincount`` scatter (fastest in a single process, the
+    default) and the partitioned gather kernel
+    :func:`_pagerank_spread_partition`, used when the kernel dispatcher
+    routes this snapshot to the process backend (``backend=`` overrides
+    the configured default).
+    """
     count = csr.num_nodes
     if iterations is not None:
         check_positive(iterations, "iterations")
@@ -88,9 +144,15 @@ def pagerank_array(
     # (via the cached edge_sources) the scatter index.
     out_deg = csr.out_degrees().astype(np.float64)
     dangling = out_deg == 0
-    # Edge list grouped by source: contribution scatter via bincount.
-    edge_src = csr.edge_sources()
-    edge_dst = csr.out_indices
+    dispatcher = kernel_dispatcher()
+    dispatch = (
+        count > 0
+        and dispatcher.decide(csr.num_edges, backend) == "processes"
+    )
+    if not dispatch:
+        # Edge list grouped by source: contribution scatter via bincount.
+        edge_src = csr.edge_sources()
+        edge_dst = csr.out_indices
     base = (
         personalize_dense
         if personalize_dense is not None
@@ -101,13 +163,70 @@ def pagerank_array(
     rounds = iterations if iterations is not None else max_iterations
     for _ in range(rounds):
         share = ranks / safe_deg
-        spread = np.bincount(edge_dst, weights=share[edge_src], minlength=count)
+        if dispatch:
+            spread = np.concatenate(
+                dispatcher.run_kernel(
+                    csr,
+                    _pagerank_spread_partition,
+                    arrays=("in_indptr", "in_indices"),
+                    total=count,
+                    extra=(share,),
+                    pool=pool,
+                    backend=backend,
+                )
+            )
+        else:
+            spread = np.bincount(edge_dst, weights=share[edge_src], minlength=count)
         dangling_mass = float(ranks[dangling].sum())
         new_ranks = (1.0 - damping) * base + damping * (spread + dangling_mass * base)
         delta = float(np.abs(new_ranks - ranks).sum())
         ranks = new_ranks
         if iterations is None and delta < tolerance:
             break
+    return ranks
+
+
+def pagerank_python_array(
+    csr,
+    damping: float = 0.85,
+    iterations: int = 10,
+    pool=None,
+    backend: str | None = None,
+) -> np.ndarray:
+    """Dense-index PageRank with the pure-Python per-edge spread kernel.
+
+    The backend-comparison workload: identical numerics to
+    :func:`pagerank_array` with ``iterations`` fixed, but every edge is
+    visited by Python bytecode, so the thread backend serializes on the
+    GIL while the process backend scales with cores. Used by
+    ``scripts/bench_multicore.py`` and the digest-equality tests.
+    """
+    check_fraction(damping, "damping")
+    check_positive(iterations, "iterations")
+    count = csr.num_nodes
+    if count == 0:
+        return np.zeros(0, dtype=np.float64)
+    dispatcher = kernel_dispatcher()
+    out_deg = csr.out_degrees().astype(np.float64)
+    dangling = out_deg == 0
+    safe_deg = np.where(dangling, 1.0, out_deg)
+    base = np.full(count, 1.0 / count, dtype=np.float64)
+    ranks = base.copy()
+    for _ in range(iterations):
+        share = ranks / safe_deg
+        spread = np.concatenate(
+            dispatcher.run_kernel(
+                csr,
+                _pagerank_python_partition,
+                arrays=("in_indptr", "in_indices"),
+                total=count,
+                extra=(share,),
+                pool=pool,
+                backend=backend,
+            )
+        )
+        dangling_mass = float(ranks[dangling].sum())
+        ranks = (1.0 - damping) * base + damping * (spread + dangling_mass * base)
     return ranks
 
 

@@ -18,8 +18,52 @@ import numpy as np
 
 from repro.algorithms.common import as_csr, counts_to_dict
 from repro.graphs.csr import CSRGraph
-from repro.parallel.executor import WorkerPool, serial_pool
-from repro.parallel.partition import split_range
+from repro.parallel.executor import WorkerPool, kernel_dispatcher
+
+
+def _triangle_partition(arrays, lo: int, hi: int) -> np.ndarray:
+    """Forward-algorithm triangle counts for wedges rooted in ``[lo, hi)``.
+
+    Returns a full-length per-node partial (a wedge at ``u`` closes a
+    triangle whose credit lands on ``u``, ``v``, *and* ``w``, which may
+    lie outside the span); the caller sums the partials, so partitions
+    never write shared state. Module-level and array-dict-driven so the
+    process backend can dispatch it by reference over a shared-memory
+    export — the thread backend runs the very same function.
+    """
+    findptr = arrays["forward_indptr"]
+    findices = arrays["forward_indices"]
+    edge_keys = arrays["forward_edge_keys"]
+    count = len(findptr) - 1
+    fdeg = np.diff(findptr)
+    base, stop = int(findptr[lo]), int(findptr[hi])
+    partial = np.zeros(count, dtype=np.int64)
+    if base == stop:
+        return partial
+    # Wedges at u: for each forward edge (u, v), every w in
+    # forward[u]. Triangle (u, v, w) closes iff (v, w) is itself a
+    # forward edge (rank u < rank v < rank w by construction).
+    e_src = np.repeat(np.arange(lo, hi, dtype=np.int64), fdeg[lo:hi])
+    e_dst = findices[base:stop]
+    cand_counts = fdeg[e_src]
+    total = int(cand_counts.sum())
+    if total == 0:
+        return partial
+    starts = np.repeat(findptr[e_src], cand_counts)
+    group_offsets = np.repeat(
+        np.cumsum(cand_counts) - cand_counts, cand_counts
+    )
+    w = findices[starts + (np.arange(total) - group_offsets)]
+    v = np.repeat(e_dst, cand_counts)
+    u = np.repeat(e_src, cand_counts)
+    query = v * count + w
+    position = np.searchsorted(edge_keys, query)
+    position = np.minimum(position, len(edge_keys) - 1)
+    closed = edge_keys[position] == query
+    partial += np.bincount(u[closed], minlength=count)
+    partial += np.bincount(v[closed], minlength=count)
+    partial += np.bincount(w[closed], minlength=count)
+    return partial
 
 
 def _undirected_csr(graph) -> CSRGraph:
@@ -47,58 +91,36 @@ def triangle_counts(graph, pool: WorkerPool | None = None) -> dict[int, int]:
     return counts_to_dict(sym, counts)
 
 
-def triangle_count_array(sym: CSRGraph, pool: WorkerPool | None = None) -> np.ndarray:
+def triangle_count_array(
+    sym: CSRGraph,
+    pool: WorkerPool | None = None,
+    backend: str | None = None,
+) -> np.ndarray:
     """Per-node triangle counts over a symmetrised, loop-free CSR.
 
     Forward algorithm with degree-rank ordering: every node keeps only
     its higher-ranked neighbours, so each triangle is closed exactly once
     (at its lowest-ranked vertex) and hub work collapses from O(d^2) to
     the O(m^1.5) bound — the "straightforward approach, similar to
-    PATRIC" the paper cites. The forward orientation comes from the
-    snapshot's cached :meth:`~repro.graphs.csr.CSRGraph.forward_adjacency`,
-    and the wedge-closure test runs as one vectorised binary search per
-    node partition instead of a per-edge Python loop.
+    PATRIC" the paper cites. The partitioned wedge-closure kernel
+    :func:`_triangle_partition` runs through the kernel dispatcher:
+    thread workers share the snapshot's cached forward adjacency
+    in-process, process workers map its shared-memory export, and the
+    per-partition integer partials sum identically either way.
     """
-    pool = pool if pool is not None else serial_pool()
     count = sym.num_nodes
-    findptr, findices = sym.forward_adjacency()
-    fdeg = np.diff(findptr)
-    # Every forward edge (u, v) as a single sortable key; findices are
-    # id-sorted inside each node slice, so the key array is ascending.
-    edge_keys = np.repeat(np.arange(count, dtype=np.int64), fdeg) * count + findices
     totals = np.zeros(count, dtype=np.int64)
-
-    def count_partition(lo: int, hi: int) -> np.ndarray:
-        base, stop = int(findptr[lo]), int(findptr[hi])
-        partial = np.zeros(count, dtype=np.int64)
-        if base == stop:
-            return partial
-        # Wedges at u: for each forward edge (u, v), every w in
-        # forward[u]. Triangle (u, v, w) closes iff (v, w) is itself a
-        # forward edge (rank u < rank v < rank w by construction).
-        e_src = np.repeat(np.arange(lo, hi, dtype=np.int64), fdeg[lo:hi])
-        e_dst = findices[base:stop]
-        cand_counts = fdeg[e_src]
-        total = int(cand_counts.sum())
-        if total == 0:
-            return partial
-        starts = np.repeat(findptr[e_src], cand_counts)
-        group_offsets = np.repeat(
-            np.cumsum(cand_counts) - cand_counts, cand_counts
-        )
-        w = findices[starts + (np.arange(total) - group_offsets)]
-        v = np.repeat(e_dst, cand_counts)
-        u = np.repeat(e_src, cand_counts)
-        query = v * count + w
-        position = np.searchsorted(edge_keys, query)
-        position = np.minimum(position, len(edge_keys) - 1)
-        closed = edge_keys[position] == query
-        partial += np.bincount(u[closed], minlength=count)
-        partial += np.bincount(v[closed], minlength=count)
-        partial += np.bincount(w[closed], minlength=count)
-        return partial
-
-    for partial in pool.map_range(count, count_partition):
+    if count == 0:
+        return totals
+    partials = kernel_dispatcher().run_kernel(
+        sym,
+        _triangle_partition,
+        arrays=("forward_indptr", "forward_indices", "forward_edge_keys"),
+        total=count,
+        pool=pool,
+        backend=backend,
+    )
+    for partial in partials:
         totals += partial
     return totals
 

@@ -54,6 +54,7 @@ class CSRGraph:
         self._num_self_loops: int | None = None
         self._undirected: "CSRGraph | None" = None
         self._forward: "tuple[np.ndarray, np.ndarray] | None" = None
+        self._forward_edge_keys: "np.ndarray | None" = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -373,6 +374,27 @@ class CSRGraph:
             findices.flags.writeable = False
             self._forward = (findptr, findices)
         return self._forward
+
+    def forward_edge_keys(self) -> np.ndarray:
+        """Each forward edge ``(u, v)`` as the sortable key ``u*n + v``.
+
+        The binary-search side of the triangle kernel's wedge-closure
+        test. ``forward_indices`` are id-sorted within each node's
+        slice, so the key array is globally ascending. Cached like the
+        other derived arrays (and exported once per snapshot by the
+        process backend instead of being rebuilt per dispatch).
+        """
+        if self._forward_edge_keys is None:
+            findptr, findices = self.forward_adjacency()
+            count = self.num_nodes
+            keys = (
+                np.repeat(np.arange(count, dtype=np.int64), np.diff(findptr))
+                * count
+                + findices
+            )
+            keys.flags.writeable = False
+            self._forward_edge_keys = keys
+        return self._forward_edge_keys
 
     def memory_bytes(self) -> int:
         """Bytes held by the five CSR arrays (Table 2 / A2 accounting)."""

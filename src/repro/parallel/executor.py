@@ -33,7 +33,12 @@ from concurrent.futures import FIRST_EXCEPTION, Future, ThreadPoolExecutor, wait
 from typing import Callable, Sequence, TypeVar
 
 from repro.analysis.hooks import kernel_dispatch
-from repro.exceptions import PoolClosedError, RingoError, WorkerTimeoutError
+from repro.exceptions import (
+    ExecutionError,
+    PoolClosedError,
+    RingoError,
+    WorkerTimeoutError,
+)
 from repro.faults import fault_point
 from repro.obs.metrics import registry as _metrics_registry
 from repro.obs.spans import current_span_id
@@ -47,13 +52,45 @@ R = TypeVar("R")
 T = TypeVar("T")
 
 _DEFAULT_WORKERS_ENV = "REPRO_WORKERS"
+_BACKEND_ENV = "REPRO_BACKEND"
+_PROC_THRESHOLD_ENV = "REPRO_PROC_THRESHOLD"
+
+BACKENDS = ("auto", "threads", "processes")
+
+# Static crossover seed: below this many edges the dispatch overhead of
+# the process backend (descriptor pickling, IPC, result unpickling)
+# usually exceeds the kernel itself. Refined online by
+# :class:`AdaptiveCrossover` from observed per-partition kernel costs.
+_DEFAULT_PROC_THRESHOLD = 150_000
+
+
+def machine_cpu_count() -> int:
+    """CPUs actually usable by this process, not just present.
+
+    Prefers ``os.process_cpu_count`` (3.13+), then the scheduler
+    affinity mask — the number that matters in cgroup-pinned CI
+    containers — then ``os.cpu_count()``. Always >= 1.
+    """
+    getter = getattr(os, "process_cpu_count", None)
+    if getter is not None:  # pragma: no cover - 3.13+
+        return getter() or 1
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 def effective_worker_count(workers: int | None = None) -> int:
     """Resolve a worker count.
 
     ``None`` means "use the machine": the ``REPRO_WORKERS`` environment
-    variable if set, otherwise the CPU count. The result is always >= 1.
+    variable if set, otherwise the usable-CPU count. Machine-derived
+    defaults (env or autodetect) are capped at
+    :func:`machine_cpu_count` so a containerized CI runner cannot
+    oversubscribe the process pool; an explicit ``workers`` argument is
+    taken verbatim (callers asking for more threads than cores — e.g.
+    latency-hiding IO pools — know what they want). The result is
+    always >= 1.
     """
     if workers is not None:
         check_positive(workers, "workers")
@@ -67,8 +104,28 @@ def effective_worker_count(workers: int | None = None) -> int:
                 f"{_DEFAULT_WORKERS_ENV} must be an integer, got {env!r}"
             ) from None
         check_positive(value, _DEFAULT_WORKERS_ENV)
-        return value
-    return os.cpu_count() or 1
+        return min(value, machine_cpu_count())
+    return machine_cpu_count()
+
+
+def resolve_backend(name: "str | None" = None) -> str:
+    """Normalise a backend selector (argument wins, then env, then auto).
+
+    >>> resolve_backend("threads")
+    'threads'
+    """
+    from_env = name is None
+    value = name if name is not None else os.environ.get(_BACKEND_ENV)
+    if value is None or not str(value).strip():
+        return "auto"
+    value = str(value).strip().lower()
+    if value not in BACKENDS:
+        source = f"{_BACKEND_ENV}=" if from_env else ""
+        raise RingoError(
+            f"unknown parallel backend {source}{value!r}; expected one of "
+            f"{', '.join(BACKENDS)}"
+        )
+    return value
 
 
 class WorkerPool:
@@ -321,3 +378,360 @@ def serial_pool() -> WorkerPool:
             if _SERIAL_POOL is None:
                 _SERIAL_POOL = WorkerPool(1)
     return _SERIAL_POOL
+
+
+class AdaptiveCrossover:
+    """Online threads-vs-processes crossover model.
+
+    Seeded with a static edge-count threshold (``REPRO_PROC_THRESHOLD``
+    or :data:`_DEFAULT_PROC_THRESHOLD`) and refined from observed
+    dispatches: the thread backend's throughput ``Rt`` (edges/s of wall
+    time), the process backend's parallel kernel throughput ``Rp``
+    (edges/s of summed worker kernel time divided by workers), and the
+    process backend's fixed per-dispatch overhead ``O`` (wall minus the
+    ideal parallel kernel time). The learned crossover is the edge count
+    where ``E/Rt == O + E/Rp`` — below it threads win on overhead,
+    above it processes win on parallelism. All rates are exponential
+    moving averages, so a drifting workload re-learns its threshold.
+    """
+
+    _EMA = 0.3
+    _MIN_THRESHOLD = 1_000
+    _MAX_THRESHOLD = 100_000_000
+
+    def __init__(self, threshold: "int | None" = None) -> None:
+        if threshold is None:
+            env = os.environ.get(_PROC_THRESHOLD_ENV)
+            threshold = int(env) if env else _DEFAULT_PROC_THRESHOLD
+        check_positive(threshold, "threshold")
+        self.static_threshold = threshold
+        self._lock = threading.Lock()
+        self._thread_rate: "float | None" = None
+        self._proc_rate: "float | None" = None
+        self._proc_overhead: "float | None" = None
+        self._observations = 0
+
+    def _blend(self, current: "float | None", sample: float) -> float:
+        if current is None:
+            return sample
+        return current + self._EMA * (sample - current)
+
+    def observe(
+        self,
+        backend: str,
+        edges: int,
+        wall_seconds: float,
+        kernel_seconds: float,
+        workers: int,
+    ) -> None:
+        """Fold one completed dispatch into the model."""
+        if edges <= 0 or wall_seconds <= 0:
+            return
+        with self._lock:
+            self._observations += 1
+            if backend == "threads":
+                self._thread_rate = self._blend(
+                    self._thread_rate, edges / wall_seconds
+                )
+            else:
+                ideal = max(kernel_seconds / max(workers, 1), 1e-9)
+                self._proc_rate = self._blend(self._proc_rate, edges / ideal)
+                self._proc_overhead = self._blend(
+                    self._proc_overhead, max(wall_seconds - ideal, 0.0)
+                )
+        if _tracing_enabled():
+            _metrics_registry().histogram(
+                f"parallel.{backend}.edges_per_second"
+            ).observe(edges / wall_seconds)
+
+    def threshold(self) -> int:
+        """Current crossover edge count (learned when possible)."""
+        with self._lock:
+            thread_rate = self._thread_rate
+            proc_rate = self._proc_rate
+            overhead = self._proc_overhead
+        if thread_rate is None or proc_rate is None or overhead is None:
+            return self.static_threshold
+        gain = 1.0 / thread_rate - 1.0 / proc_rate
+        if gain <= 0:
+            # Processes have shown no per-edge advantage (e.g. a
+            # single-core host): never prefer them automatically.
+            return self._MAX_THRESHOLD
+        learned = int(overhead / gain)
+        return max(self._MIN_THRESHOLD, min(learned, self._MAX_THRESHOLD))
+
+    def choose(self, edges: int) -> str:
+        """Backend for a kernel over ``edges`` edges (auto mode)."""
+        return "processes" if edges >= self.threshold() else "threads"
+
+    def snapshot(self) -> dict:
+        """Model state for ``Ringo.health()["parallel"]["crossover"]``."""
+        with self._lock:
+            state = {
+                "static_threshold": self.static_threshold,
+                "thread_rate": self._thread_rate,
+                "process_rate": self._proc_rate,
+                "process_overhead_seconds": self._proc_overhead,
+                "observations": self._observations,
+            }
+        state["effective_threshold"] = self.threshold()
+        return state
+
+
+class KernelDispatcher:
+    """Routes partitioned kernels to the thread or process backend.
+
+    One dispatcher serves the process (mirroring the snapshot cache and
+    metrics registry: one interactive session per process is the
+    paper's deployment model); :func:`kernel_dispatcher` returns it and
+    ``Ringo(backend=...)`` configures it. Kernels must be module-level
+    functions ``fn(arrays, lo, hi, *extra)`` returning a per-partition
+    result merged by the caller — lint rule R007 rejects closures at
+    dispatch sites, because the process backend pickles ``fn`` by
+    reference.
+
+    Backend choice per call: an explicit ``backend=`` argument wins,
+    then the configured default (``Ringo(backend=)``/``REPRO_BACKEND``),
+    with ``auto`` delegating to the :class:`AdaptiveCrossover`. The
+    process path degrades to threads — never to an error — when the
+    export fails, the dispatch faults, or a worker crashes; deadline
+    expiries and genuine kernel errors propagate unchanged.
+    """
+
+    def __init__(
+        self,
+        backend: "str | None" = None,
+        process_workers: "int | None" = None,
+        threshold: "int | None" = None,
+        retry_policy=None,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._backend = resolve_backend(backend)
+        self._process_workers = process_workers
+        self._retry_policy = retry_policy
+        self.crossover = AdaptiveCrossover(threshold)
+        self._procs = None
+        self._decisions = {"threads": 0, "processes": 0}
+        self._fallbacks = 0
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+
+    @property
+    def backend(self) -> str:
+        """The configured default backend selector."""
+        return self._backend
+
+    def configure(
+        self,
+        backend: "str | None" = None,
+        process_workers: "int | None | str" = "unchanged",
+        threshold: "int | None" = None,
+        retry_policy="unchanged",
+    ) -> None:
+        """Adjust the dispatcher in place (``Ringo.__init__`` calls this).
+
+        Changing ``process_workers`` retires any live process pool so
+        the next process dispatch builds one at the new width.
+        """
+        with self._lock:
+            if backend is not None:
+                self._backend = resolve_backend(backend)
+            if process_workers != "unchanged":
+                self._process_workers = process_workers
+                if self._procs is not None:
+                    self._procs.close()
+                    self._procs = None
+            if retry_policy != "unchanged":
+                self._retry_policy = retry_policy
+                if self._procs is not None:
+                    self._procs.retry_policy = retry_policy
+        if threshold is not None:
+            check_positive(threshold, "threshold")
+            self.crossover.static_threshold = threshold
+
+    def process_pool(self):
+        """The lazily-built :class:`~repro.parallel.procpool.ProcessPool`."""
+        with self._lock:
+            if self._procs is None:
+                from repro.parallel.procpool import ProcessPool
+
+                self._procs = ProcessPool(
+                    workers=self._process_workers,
+                    retry_policy=self._retry_policy,
+                )
+            return self._procs
+
+    def shutdown(self) -> None:
+        """Close the process pool (a later dispatch rebuilds it)."""
+        with self._lock:
+            if self._procs is not None:
+                self._procs.close()
+                self._procs = None
+
+    # ------------------------------------------------------------------
+    # Backend choice
+    # ------------------------------------------------------------------
+
+    def decide(self, edges: int, backend: "str | None" = None) -> str:
+        """The backend a kernel over ``edges`` edges would run on.
+
+        Exposed so algorithms can keep a cheaper serial formulation
+        when the answer is ``threads`` anyway (e.g. PageRank's
+        full-vector ``bincount`` beats partitioned dispatch on one
+        worker).
+        """
+        selected = resolve_backend(backend) if backend is not None else self._backend
+        if selected == "threads":
+            return "threads"
+        procs_usable = True
+        with self._lock:
+            if self._procs is not None and (
+                self._procs.degraded or self._procs.closed
+            ):
+                procs_usable = False
+        if not procs_usable:
+            return "threads"
+        if selected == "processes":
+            return "processes"
+        # Auto: a one-worker process pool can never beat threads.
+        if effective_worker_count(self._process_workers) < 2:
+            return "threads"
+        return self.crossover.choose(edges)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def run_kernel(
+        self,
+        csr,
+        fn,
+        arrays,
+        total: int,
+        extra: tuple = (),
+        edges: "int | None" = None,
+        timeout: "float | None" = None,
+        retry=None,
+        pool: "WorkerPool | None" = None,
+        backend: "str | None" = None,
+    ) -> list:
+        """Run ``fn(arrays_dict, lo, hi, *extra)`` over spans of ``total``.
+
+        ``arrays`` names entries of
+        :data:`~repro.parallel.procpool.ARRAY_PROVIDERS` to materialise
+        from ``csr`` — the thread path passes them in-process, the
+        process path maps the snapshot's shared-memory export. Returns
+        per-partition results in span order.
+        """
+        from repro.parallel.procpool import build_arrays
+
+        edge_count = edges if edges is not None else csr.num_edges
+        choice = self.decide(edge_count, backend)
+        if choice == "processes":
+            outcome = self._run_processes(
+                csr, fn, arrays, total, extra, edge_count, timeout, retry
+            )
+            if outcome is not None:
+                return outcome
+            self._note_fallback()
+        with self._lock:
+            self._decisions["threads"] += 1
+        use_pool = pool if pool is not None else serial_pool()
+        arrays_dict = build_arrays(csr, arrays)
+        spans = split_range(total, use_pool.workers)
+        start = time.perf_counter()
+        results = use_pool.map_chunks(
+            spans,
+            lambda span: fn(arrays_dict, span[0], span[1], *extra),
+            timeout=timeout,
+            retry=retry,
+        )
+        self.crossover.observe(
+            "threads",
+            edge_count,
+            time.perf_counter() - start,
+            0.0,
+            use_pool.workers,
+        )
+        return results
+
+    def _run_processes(
+        self, csr, fn, arrays, total, extra, edge_count, timeout, retry
+    ) -> "list | None":
+        """Process-backend attempt; ``None`` means "degrade to threads"."""
+        from repro.exceptions import (
+            InjectedFaultError,
+            WorkerCrashedError,
+        )
+        from repro.parallel.procpool import build_arrays
+        from repro.parallel.shm import shm_registry
+
+        procs = self.process_pool()
+        registry = shm_registry()
+        try:
+            export, descriptor = registry.lease(csr, build_arrays(csr, arrays))
+        except ExecutionError:
+            # A failed export (including an injected parallel.shm.export
+            # fault) costs one fallback, never a user-visible error.
+            return None
+        try:
+            spans = split_range(total, procs.workers)
+            start = time.perf_counter()
+            results, kernel_seconds = procs.run(
+                fn, descriptor, spans, extra=extra, timeout=timeout, retry=retry
+            )
+        except (WorkerCrashedError, InjectedFaultError):
+            # Crashed worker or injected parallel.proc.dispatch fault:
+            # both fire before any partial results exist, so the thread
+            # rerun is clean. Timeouts and real kernel errors propagate.
+            return None
+        finally:
+            registry.release(export)
+        with self._lock:
+            self._decisions["processes"] += 1
+        self.crossover.observe(
+            "processes",
+            edge_count,
+            time.perf_counter() - start,
+            kernel_seconds,
+            procs.workers,
+        )
+        return results
+
+    def _note_fallback(self) -> None:
+        with self._lock:
+            self._fallbacks += 1
+        if _tracing_enabled():
+            _metrics_registry().counter("parallel.backend.fallbacks_total").inc()
+
+    def snapshot(self) -> dict:
+        """Dispatcher state for ``Ringo.health()["parallel"]``."""
+        from repro.parallel.shm import shm_registry
+
+        with self._lock:
+            procs = self._procs
+            state = {
+                "backend": self._backend,
+                "decisions": dict(self._decisions),
+                "fallbacks": self._fallbacks,
+            }
+        state["crossover"] = self.crossover.snapshot()
+        state["process_pool"] = procs.snapshot() if procs is not None else None
+        state["shm"] = shm_registry().stats()
+        return state
+
+
+_DISPATCHER: "KernelDispatcher | None" = None
+_DISPATCHER_LOCK = threading.Lock()
+
+
+def kernel_dispatcher() -> KernelDispatcher:
+    """The process-wide kernel dispatcher (lazily built, lock-guarded)."""
+    global _DISPATCHER
+    if _DISPATCHER is None:
+        with _DISPATCHER_LOCK:
+            if _DISPATCHER is None:
+                _DISPATCHER = KernelDispatcher()
+    return _DISPATCHER

@@ -37,7 +37,13 @@ def save_table_npz(table: Table, path: "str | os.PathLike[str]") -> None:
     }
     for name, col_type in table.schema:
         if col_type is ColumnType.STRING:
-            payload[f"col_{name}"] = np.array(table.values(name), dtype=np.str_)
+            values = table.values(name)
+            payload[f"col_{name}"] = np.array(values, dtype=np.str_)
+            # numpy's fixed-width unicode dtype drops trailing NULs, so
+            # record true lengths to re-pad on load.
+            payload[f"len_{name}"] = np.array(
+                [len(v) for v in values], dtype=np.int64
+            )
         else:
             payload[f"col_{name}"] = table.column(name)
     np.savez(path, **payload)
@@ -66,9 +72,13 @@ def load_table_npz(
             current = "row_ids"
             row_ids = archive["row_ids"]
             raw = {}
+            lengths = {}
             for name in names:
                 current = f"col_{name}"
                 raw[name] = archive[current]
+                if f"len_{name}" in archive.files:
+                    current = f"len_{name}"
+                    lengths[name] = archive[current]
     except FileNotFoundError:
         raise
     except (zipfile.BadZipFile, KeyError, EOFError, OSError, ValueError) as error:
@@ -82,7 +92,13 @@ def load_table_npz(
     columns: dict[str, object] = {}
     for name, col_type in schema:
         if col_type is ColumnType.STRING:
-            columns[name] = [str(v) for v in raw[name]]
+            values = [str(v) for v in raw[name]]
+            if name in lengths:
+                values = [
+                    v.ljust(int(n), "\x00")
+                    for v, n in zip(values, lengths[name])
+                ]
+            columns[name] = values
         else:
             columns[name] = raw[name]
     table = Table.from_columns(columns, schema=schema, pool=the_pool)

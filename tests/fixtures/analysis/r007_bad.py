@@ -1,0 +1,10 @@
+"""R007 fixture: lambda kernel at a dispatch site (flagged)."""
+
+
+def spread(dispatcher, csr, share):
+    return dispatcher.run_kernel(
+        csr,
+        lambda arrays, lo, hi: arrays["in_indices"][lo:hi] * share,
+        arrays=("in_indptr", "in_indices"),
+        total=csr.num_nodes,
+    )

@@ -1,0 +1,15 @@
+"""R007 fixture: module-level kernel passed by name, state via extra= (clean)."""
+
+
+def _spread_partition(arrays, lo, hi, share):
+    return arrays["in_indices"][lo:hi] * share
+
+
+def spread(dispatcher, csr, share):
+    return dispatcher.run_kernel(
+        csr,
+        _spread_partition,
+        arrays=("in_indptr", "in_indices"),
+        total=csr.num_nodes,
+        extra=(share,),
+    )

@@ -23,6 +23,7 @@ RULE_FIXTURES = {
         FIXTURES / "algorithms" / "r005_ok.py",
     ),
     "R006": (FIXTURES / "r006_bad.py", FIXTURES / "r006_ok.py"),
+    "R007": (FIXTURES / "r007_bad.py", FIXTURES / "r007_ok.py"),
 }
 
 
@@ -135,9 +136,11 @@ class TestRuleSelection:
         bad, _ = RULE_FIXTURES["R002"]
         assert lint.lint_paths([str(bad)], ["R001"]) == []
 
-    def test_all_six_rules_registered(self):
+    def test_all_rules_registered(self):
         codes = [rule.code for rule in lint.active_rules()]
-        assert codes == ["R001", "R002", "R003", "R004", "R005", "R006"]
+        assert codes == [
+            "R001", "R002", "R003", "R004", "R005", "R006", "R007",
+        ]
 
 
 class TestCli:

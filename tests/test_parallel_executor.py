@@ -21,7 +21,24 @@ class TestEffectiveWorkerCount:
 
     def test_env_variable_respected(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "7")
-        assert effective_worker_count() == 7
+        # Env defaults are capped at the machine's usable core count
+        # (an explicit argument stays uncapped).
+        expected = min(7, executor.machine_cpu_count())
+        assert effective_worker_count() == expected
+
+    def test_env_value_capped_at_machine_cores(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "100000")
+        assert effective_worker_count() == executor.machine_cpu_count()
+
+    def test_explicit_argument_not_capped(self):
+        assert effective_worker_count(100000) == 100000
+
+    def test_default_capped_at_machine_cores(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert effective_worker_count() == executor.machine_cpu_count()
+
+    def test_machine_cpu_count_positive(self):
+        assert executor.machine_cpu_count() >= 1
 
     def test_default_at_least_one(self, monkeypatch):
         monkeypatch.delenv("REPRO_WORKERS", raising=False)

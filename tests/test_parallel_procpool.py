@@ -1,0 +1,387 @@
+"""Tests for repro.parallel.procpool and the kernel dispatcher.
+
+The process backend must honour the thread pool's whole contract —
+deadlines, first-error cancellation, transient retries — plus the
+process-only hazards: worker death, degradation, and backend fallback.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    ExecutionError,
+    PoolClosedError,
+    RingoError,
+    TransientError,
+    WorkerCrashedError,
+    WorkerTimeoutError,
+)
+from repro.faults import inject_faults
+from repro.graphs.snapshot import csr_snapshot
+from repro.parallel.executor import (
+    AdaptiveCrossover,
+    KernelDispatcher,
+    resolve_backend,
+)
+from repro.parallel.procpool import ProcessPool, build_arrays
+from repro.parallel.resilience import RetryPolicy
+from repro.parallel.shm import leaked_segments, shm_registry
+from tests.helpers import build_directed, random_directed
+
+EDGES = [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]
+
+
+# ----------------------------------------------------------------------
+# Module-level kernels (R007: the process backend pickles by reference)
+# ----------------------------------------------------------------------
+
+
+def _span_sum(arrays, lo, hi):
+    return int(arrays["out_indptr"][lo:hi].sum())
+
+
+def _scaled_degrees(arrays, lo, hi, factor):
+    return np.diff(arrays["out_indptr"][lo:hi + 1]) * factor
+
+
+def _sleepy(arrays, lo, hi, seconds):
+    time.sleep(seconds)
+    return lo
+
+
+def _explode_on_first_span(arrays, lo, hi):
+    if lo == 0:
+        raise ValueError("kernel exploded")
+    time.sleep(0.05)
+    return lo
+
+
+def _transient_once_per_span(arrays, lo, hi, marker_dir):
+    marker = os.path.join(marker_dir, f"span-{lo}")
+    if not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        raise TransientError("flaky first attempt")
+    return lo
+
+
+@pytest.fixture
+def leased():
+    """A descriptor over a small snapshot, released (and leak-checked)."""
+    csr = csr_snapshot(build_directed(EDGES))
+    registry = shm_registry()
+    export, descriptor = registry.lease(
+        csr, build_arrays(csr, ("out_indptr", "out_indices"))
+    )
+    yield csr, descriptor
+    registry.release(export)
+    registry.drop_all()
+    assert leaked_segments() == []
+
+
+class TestResolveBackend:
+    def test_argument_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "threads")
+        assert resolve_backend("processes") == "processes"
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "processes")
+        assert resolve_backend(None) == "processes"
+
+    def test_default_auto(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert resolve_backend(None) == "auto"
+
+    def test_invalid_name_raises_typed_error(self):
+        with pytest.raises(RingoError, match="backend"):
+            resolve_backend("gpu")
+
+    def test_invalid_env_raises_typed_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "gpu")
+        with pytest.raises(RingoError, match="REPRO_BACKEND"):
+            resolve_backend(None)
+
+
+class TestProcessPoolRun:
+    def test_results_arrive_in_span_order(self, leased):
+        csr, descriptor = leased
+        pool = ProcessPool(workers=2)
+        try:
+            spans = [(0, 2), (2, 4), (4, csr.num_nodes)]
+            results, kernel_seconds = pool.run(_span_sum, descriptor, spans)
+            expected = [
+                int(csr.out_indptr[lo:hi].sum()) for lo, hi in spans
+            ]
+            assert results == expected
+            assert kernel_seconds >= 0.0
+        finally:
+            pool.close()
+
+    def test_extra_arguments_reach_the_kernel(self, leased):
+        csr, descriptor = leased
+        pool = ProcessPool(workers=2)
+        try:
+            results, _ = pool.run(
+                _scaled_degrees, descriptor, [(0, csr.num_nodes)], extra=(3,)
+            )
+            assert np.array_equal(results[0], csr.out_degrees() * 3)
+        finally:
+            pool.close()
+
+    def test_deadline_raises_worker_timeout(self, leased):
+        csr, descriptor = leased
+        pool = ProcessPool(workers=2)
+        try:
+            with pytest.raises(WorkerTimeoutError):
+                pool.run(
+                    _sleepy,
+                    descriptor,
+                    [(0, 2), (2, 4)],
+                    extra=(5.0,),
+                    timeout=0.2,
+                )
+            assert pool.stats.snapshot()["timeouts"] == 1
+        finally:
+            pool.close()
+
+    def test_first_error_propagates_and_counts_failure(self, leased):
+        csr, descriptor = leased
+        pool = ProcessPool(workers=1)
+        try:
+            with pytest.raises(ValueError, match="kernel exploded"):
+                pool.run(
+                    _explode_on_first_span,
+                    descriptor,
+                    [(0, 2), (2, 4), (4, csr.num_nodes)],
+                )
+            assert pool.stats.snapshot()["failures"] == 1
+        finally:
+            pool.close()
+
+    def test_worker_side_transient_retries(self, leased, tmp_path):
+        csr, descriptor = leased
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0)
+        pool = ProcessPool(workers=1, retry_policy=policy)
+        try:
+            results, _ = pool.run(
+                _transient_once_per_span,
+                descriptor,
+                [(0, 2), (2, csr.num_nodes)],
+                extra=(str(tmp_path),),
+            )
+            assert results == [0, 2]
+            assert pool.stats.snapshot()["retries"] == 2
+        finally:
+            pool.close()
+
+    def test_transient_without_policy_propagates(self, leased, tmp_path):
+        csr, descriptor = leased
+        pool = ProcessPool(workers=1)
+        try:
+            with pytest.raises(TransientError):
+                pool.run(
+                    _transient_once_per_span,
+                    descriptor,
+                    [(0, csr.num_nodes)],
+                    extra=(str(tmp_path),),
+                )
+        finally:
+            pool.close()
+
+    def test_closed_pool_raises_typed_error(self, leased):
+        csr, descriptor = leased
+        pool = ProcessPool(workers=1)
+        pool.close()
+        with pytest.raises(PoolClosedError):
+            pool.run(_span_sum, descriptor, [(0, csr.num_nodes)])
+
+
+class TestWorkerCrash:
+    def test_sigkilled_worker_raises_worker_crashed(self, leased):
+        csr, descriptor = leased
+        pool = ProcessPool(workers=1)
+        try:
+            with inject_faults(
+                {"parallel.proc.worker_crash": {"rate": 1.0, "max_triggers": 1}}
+            ):
+                with pytest.raises(WorkerCrashedError):
+                    pool.run(_span_sum, descriptor, [(0, csr.num_nodes)])
+            assert pool.crashes == 1
+            assert not pool.degraded
+            # The pool rebuilds its executor and keeps serving.
+            results, _ = pool.run(_span_sum, descriptor, [(0, csr.num_nodes)])
+            assert results == [int(csr.out_indptr[: csr.num_nodes].sum())]
+        finally:
+            pool.close()
+
+    def test_repeated_crashes_degrade_the_pool(self, leased):
+        csr, descriptor = leased
+        pool = ProcessPool(workers=1, degrade_after=2)
+        try:
+            with inject_faults({"parallel.proc.worker_crash": 1.0}):
+                for _ in range(2):
+                    with pytest.raises(WorkerCrashedError):
+                        pool.run(_span_sum, descriptor, [(0, csr.num_nodes)])
+            assert pool.degraded
+        finally:
+            pool.close()
+
+
+class TestKernelDispatcher:
+    def test_explicit_threads_never_touches_processes(self):
+        dispatcher = KernelDispatcher(backend="threads")
+        assert dispatcher.decide(10**9) == "threads"
+        assert dispatcher.snapshot()["process_pool"] is None
+
+    def test_explicit_processes_decides_processes(self):
+        dispatcher = KernelDispatcher(backend="processes", process_workers=2)
+        try:
+            assert dispatcher.decide(1) == "processes"
+        finally:
+            dispatcher.shutdown()
+
+    def test_auto_small_graph_stays_on_threads(self):
+        dispatcher = KernelDispatcher(backend="auto", process_workers=2)
+        assert dispatcher.decide(10) == "threads"
+
+    def test_degraded_pool_routes_to_threads(self):
+        dispatcher = KernelDispatcher(backend="processes", process_workers=2)
+        try:
+            dispatcher.process_pool().stats.mark_degraded()
+            assert dispatcher.decide(10**9) == "threads"
+        finally:
+            dispatcher.shutdown()
+
+    def test_run_kernel_processes_matches_threads(self):
+        csr = csr_snapshot(random_directed(200, 800, seed=7))
+        dispatcher = KernelDispatcher(process_workers=2)
+        try:
+            via_threads = dispatcher.run_kernel(
+                csr,
+                _scaled_degrees,
+                arrays=("out_indptr",),
+                total=csr.num_nodes,
+                extra=(2,),
+                backend="threads",
+            )
+            via_processes = dispatcher.run_kernel(
+                csr,
+                _scaled_degrees,
+                arrays=("out_indptr",),
+                total=csr.num_nodes,
+                extra=(2,),
+                backend="processes",
+            )
+            assert np.array_equal(
+                np.concatenate(via_threads), np.concatenate(via_processes)
+            )
+        finally:
+            dispatcher.shutdown()
+            shm_registry().drop_all()
+            assert leaked_segments() == []
+
+    def test_export_fault_degrades_to_threads(self):
+        csr = csr_snapshot(build_directed(EDGES))
+        dispatcher = KernelDispatcher(process_workers=2)
+        try:
+            with inject_faults({"parallel.shm.export": 1.0}):
+                results = dispatcher.run_kernel(
+                    csr,
+                    _span_sum,
+                    arrays=("out_indptr",),
+                    total=csr.num_nodes,
+                    backend="processes",
+                )
+            assert sum(results) == int(csr.out_indptr[: csr.num_nodes].sum())
+            assert dispatcher.snapshot()["fallbacks"] == 1
+        finally:
+            dispatcher.shutdown()
+
+    def test_dispatch_fault_degrades_to_threads(self):
+        csr = csr_snapshot(build_directed(EDGES))
+        dispatcher = KernelDispatcher(process_workers=2)
+        try:
+            with inject_faults({"parallel.proc.dispatch": 1.0}):
+                results = dispatcher.run_kernel(
+                    csr,
+                    _span_sum,
+                    arrays=("out_indptr",),
+                    total=csr.num_nodes,
+                    backend="processes",
+                )
+            assert len(results) >= 1
+            assert dispatcher.snapshot()["fallbacks"] == 1
+        finally:
+            dispatcher.shutdown()
+            shm_registry().drop_all()
+
+    def test_unknown_array_name_is_typed_error(self):
+        csr = csr_snapshot(build_directed(EDGES))
+        dispatcher = KernelDispatcher()
+        with pytest.raises(ExecutionError, match="unknown kernel array"):
+            dispatcher.run_kernel(
+                csr,
+                _span_sum,
+                arrays=("no_such_array",),
+                total=csr.num_nodes,
+                backend="threads",
+            )
+
+    def test_configure_new_width_retires_live_pool(self):
+        dispatcher = KernelDispatcher(backend="processes", process_workers=2)
+        try:
+            first = dispatcher.process_pool()
+            dispatcher.configure(process_workers=1)
+            assert first.closed
+            assert dispatcher.process_pool() is not first
+        finally:
+            dispatcher.shutdown()
+
+    def test_snapshot_shape(self):
+        dispatcher = KernelDispatcher()
+        state = dispatcher.snapshot()
+        assert set(state) >= {
+            "backend", "decisions", "fallbacks", "crossover",
+            "process_pool", "shm",
+        }
+
+
+class TestAdaptiveCrossover:
+    def test_unobserved_model_uses_static_threshold(self):
+        model = AdaptiveCrossover(50_000)
+        assert model.choose(49_999) == "threads"
+        assert model.choose(50_000) == "processes"
+
+    def test_observations_move_the_threshold(self):
+        model = AdaptiveCrossover(50_000)
+        # Threads: 1M edges/s of wall. Processes: 4M edges/s of kernel
+        # across workers, 0.1s fixed overhead -> crossover well below
+        # the static threshold.
+        for _ in range(5):
+            model.observe("threads", 1_000_000, wall_seconds=1.0,
+                          kernel_seconds=1.0, workers=4)
+            model.observe("processes", 1_000_000, wall_seconds=0.35,
+                          kernel_seconds=1.0, workers=4)
+        learned = model.threshold()
+        assert learned != 50_000
+        assert model.choose(learned + 1) == "processes"
+        assert model.choose(learned - 1) == "threads"
+
+    def test_processes_never_preferred_when_slower(self):
+        model = AdaptiveCrossover(50_000)
+        for _ in range(5):
+            model.observe("threads", 1_000_000, wall_seconds=1.0,
+                          kernel_seconds=1.0, workers=1)
+            model.observe("processes", 1_000_000, wall_seconds=3.0,
+                          kernel_seconds=2.8, workers=1)
+        assert model.choose(10**7) == "threads"
+
+    def test_snapshot_reports_model_state(self):
+        model = AdaptiveCrossover(None)
+        state = model.snapshot()
+        assert "static_threshold" in state
+        assert "effective_threshold" in state
+        assert state["observations"] == 0
