@@ -2,13 +2,21 @@
 
 Exit codes: 0 — no gating findings (advisory, suppressed, and baselined
 findings are reported but accepted); 1 — at least one unsuppressed,
-unbaselined error finding; 2 — usage error.
+unbaselined error finding, or (under ``--strict-baseline``) a stale
+baseline entry; 2 — usage error.
+
+Report formats: ``text`` (default), ``json``, and ``sarif`` (SARIF
+2.1.0, for code-scanning upload). ``--list-rules`` prints the rule
+catalog; with ``--format markdown`` it emits the table embedded in
+``docs/static-analysis.md`` (see the docs-sync test).
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
+import re
 import sys
 
 from repro.analysis import lint
@@ -16,12 +24,18 @@ from repro.exceptions import AnalysisError
 
 DEFAULT_BASELINE = ".ringo-lint-baseline"
 
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
 
 def build_parser() -> argparse.ArgumentParser:
     """The lint CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
         prog="repro.analysis",
-        description="ringo-lint: project-specific static analysis (rules R001-R006)",
+        description="ringo-lint: project-specific static analysis (rules R001-R012)",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"],
@@ -44,8 +58,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="hide advisory findings from the report",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="report format",
+        "--format", choices=("text", "json", "sarif", "markdown"), default="text",
+        help="report format (markdown is only valid with --list-rules)",
+    )
+    parser.add_argument(
+        "--strict-baseline", action="store_true",
+        help="also fail (exit 1) when the baseline holds stale entries "
+             "that match no current finding",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -54,9 +73,36 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _list_rules() -> int:
-    for rule in lint.active_rules():
-        print(f"{rule.code}  [{rule.severity:<8}]  {rule.name}: {rule.description}")
+def rule_summary(rule) -> str:
+    """One-line summary of a rule, taken from its class docstring.
+
+    The first paragraph is collapsed to a single line and the leading
+    ``RXXX:`` / ``RXXX (advisory):`` prefix is stripped (the code gets
+    its own column). Falls back to ``rule.description``.
+    """
+    doc = inspect.getdoc(type(rule)) or ""
+    paragraph = doc.split("\n\n", 1)[0]
+    summary = " ".join(paragraph.split())
+    summary = re.sub(r"^R\d+\s*(\(advisory\))?\s*:\s*", "", summary)
+    sentence_end = summary.find(". ")
+    if sentence_end != -1:
+        summary = summary[: sentence_end + 1]
+    return summary or rule.description
+
+
+def _list_rules(fmt: str) -> int:
+    rules = lint.active_rules()
+    if fmt == "markdown":
+        print("| Code | Severity | Rule | Summary |")
+        print("| --- | --- | --- | --- |")
+        for rule in rules:
+            print(
+                f"| {rule.code} | {rule.severity} | `{rule.name}` "
+                f"| {rule_summary(rule)} |"
+            )
+    else:
+        for rule in rules:
+            print(f"{rule.code}  [{rule.severity:<8}]  {rule.name}: {rule.description}")
     return 0
 
 
@@ -73,7 +119,13 @@ def _report_text(findings, show_advisory: bool) -> None:
         print(finding.format() + suffix)
         shown += 1
     gating = lint.gating_findings(findings)
-    advisory = sum(1 for f in findings if f.severity == lint.SEVERITY_ADVISORY)
+    advisory = sum(
+        1
+        for f in findings
+        if f.severity == lint.SEVERITY_ADVISORY
+        and not f.suppressed
+        and not f.baselined
+    )
     suppressed = sum(1 for f in findings if f.suppressed)
     baselined = sum(1 for f in findings if f.baselined and not f.suppressed)
     print(
@@ -101,12 +153,120 @@ def _report_json(findings) -> None:
     print()
 
 
+_SYNTHETIC_RULES = {
+    lint.CODE_PARSE_ERROR: (
+        "parse-error",
+        "the file does not parse; no rule ran over it",
+        lint.SEVERITY_ERROR,
+    ),
+    lint.CODE_UNUSED_SUPPRESSION: (
+        "unused-suppression",
+        "a 'ringo-lint: disable=' comment suppresses no finding",
+        lint.SEVERITY_ADVISORY,
+    ),
+}
+
+
+def sarif_report(findings) -> dict:
+    """The findings as a SARIF 2.1.0 ``log`` dict (exposed for testing).
+
+    Suppressed and baselined findings are included with a populated
+    ``suppressions`` array so code-scanning UIs show them as resolved
+    rather than dropping them from history.
+    """
+    descriptors = []
+    for rule in lint.active_rules():
+        descriptors.append(
+            {
+                "id": rule.code,
+                "name": rule.name,
+                "shortDescription": {"text": rule.description},
+                "fullDescription": {"text": rule_summary(rule)},
+                "defaultConfiguration": {
+                    "level": "error"
+                    if rule.severity == lint.SEVERITY_ERROR
+                    else "note",
+                },
+            }
+        )
+    for code, (name, text, severity) in sorted(_SYNTHETIC_RULES.items()):
+        descriptors.append(
+            {
+                "id": code,
+                "name": name,
+                "shortDescription": {"text": text},
+                "defaultConfiguration": {
+                    "level": "error" if severity == lint.SEVERITY_ERROR else "note",
+                },
+            }
+        )
+    results = []
+    for f in findings:
+        suppressions = []
+        if f.suppressed:
+            suppressions.append(
+                {"kind": "inSource", "justification": "ringo-lint: disable comment"}
+            )
+        if f.baselined:
+            suppressions.append(
+                {"kind": "external", "justification": "baseline entry"}
+            )
+        results.append(
+            {
+                "ruleId": f.code,
+                "level": "error" if f.severity == lint.SEVERITY_ERROR else "note",
+                "message": {"text": f.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": f.path},
+                            "region": {
+                                "startLine": max(f.line, 1),
+                                "startColumn": f.col + 1,
+                            },
+                        },
+                        "logicalLocations": (
+                            [{"fullyQualifiedName": f.symbol}] if f.symbol else []
+                        ),
+                    }
+                ],
+                "suppressions": suppressions,
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "ringo-lint",
+                        "rules": descriptors,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def _report_sarif(findings) -> None:
+    json.dump(sarif_report(findings), sys.stdout, indent=2)
+    print()
+
+
 def main(argv: "list[str] | None" = None) -> int:
     """Run the linter; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list_rules:
-        return _list_rules()
+        return _list_rules(args.format)
+    if args.format == "markdown":
+        print(
+            "repro.analysis: error: --format markdown requires --list-rules",
+            file=sys.stderr,
+        )
+        return 2
     codes = (
         [code.strip() for code in args.rules.split(",") if code.strip()]
         if args.rules
@@ -118,15 +278,27 @@ def main(argv: "list[str] | None" = None) -> int:
             count = lint.write_baseline(args.baseline, findings)
             print(f"ringo-lint: wrote {count} finding(s) to {args.baseline}")
             return 0
-        lint.apply_baseline(findings, lint.load_baseline(args.baseline))
+        baseline = lint.load_baseline(args.baseline)
+        lint.apply_baseline(findings, baseline)
     except (AnalysisError, OSError) as error:
         print(f"repro.analysis: error: {error}", file=sys.stderr)
         return 2
     if args.format == "json":
         _report_json(findings)
+    elif args.format == "sarif":
+        _report_sarif(findings)
     else:
         _report_text(findings, show_advisory=not args.no_advisory)
-    return 1 if lint.gating_findings(findings) else 0
+    failed = bool(lint.gating_findings(findings))
+    if args.strict_baseline:
+        stale = lint.stale_baseline_keys(findings, baseline)
+        for key in stale:
+            print(
+                f"ringo-lint: stale baseline entry (no matching finding): {key}",
+                file=sys.stderr,
+            )
+        failed = failed or bool(stale)
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

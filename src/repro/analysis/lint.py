@@ -10,13 +10,22 @@ module is the enforcement framework:
 
 * **rules** — each check is a :class:`LintRule` with a stable ``RXXX``
   code, registered in :data:`RULES` (see :mod:`repro.analysis.rules`
-  for the project rules R001–R006);
+  for the single-module rules R001–R007 and
+  :mod:`repro.analysis.flow_rules` for the interprocedural rules
+  R008–R012, which subclass :class:`FlowRule` and see the whole
+  :class:`Project` — call graph and CFGs included — at once);
 * **suppressions** — a ``# ringo-lint: disable=RXXX`` comment on (or
   immediately above) a line silences matching findings there, so a
-  deliberate exception is visible and justified in the source;
+  deliberate exception is visible and justified in the source. A
+  suppression that silences nothing is itself reported (advisory
+  ``W001``) so the inventory cannot rot;
 * **baseline** — a checked-in file of known findings lets the lint gate
   fail only on *new* violations while legacy ones are burned down. The
-  shipped baseline is empty and CI keeps it that way.
+  shipped baseline is empty and CI keeps it that way
+  (:func:`stale_baseline_keys` reports entries no finding matches);
+* **parse failures** — an unparseable file is reported as a synthetic
+  ``E000`` error finding at the parse-error location instead of
+  crashing the whole run.
 
 Run it as ``python -m repro.analysis src/`` or ``repro lint src/``.
 """
@@ -35,6 +44,10 @@ from repro.exceptions import AnalysisError
 
 SEVERITY_ERROR = "error"
 SEVERITY_ADVISORY = "advisory"
+
+#: Synthetic finding codes emitted by the framework itself (not rules).
+CODE_PARSE_ERROR = "E000"
+CODE_UNUSED_SUPPRESSION = "W001"
 
 _DISABLE_RE = re.compile(r"ringo-lint:\s*disable=([A-Za-z0-9_,\s]+|all)")
 
@@ -80,6 +93,9 @@ class ModuleUnit:
         except SyntaxError as err:
             raise AnalysisError(f"cannot parse {path}: {err}") from err
         self.suppressions = _parse_suppressions(source)
+        # (line, code) pairs whose suppression actually silenced a
+        # finding — the complement feeds the W001 unused report.
+        self.used_suppressions: set[tuple[int, str]] = set()
         self._parents: dict[ast.AST, ast.AST] = {}
         for parent in ast.walk(self.tree):
             for child in ast.iter_child_nodes(parent):
@@ -113,8 +129,21 @@ class ModuleUnit:
                 # A comment on the preceding line only applies if that
                 # line holds nothing but the comment.
                 if candidate == line or self._comment_only(candidate):
+                    matched = "all" if "all" in codes and code not in codes else code
+                    self.used_suppressions.add((candidate, matched))
                     return True
         return False
+
+    def unused_suppressions(self) -> "list[tuple[int, str]]":
+        """``(line, code)`` pairs whose ``disable=`` silenced nothing."""
+        unused: list[tuple[int, str]] = []
+        for line, codes in sorted(self.suppressions.items()):
+            if ("all" in codes and (line, "all") in self.used_suppressions):
+                continue
+            for code in sorted(codes):
+                if (line, code) not in self.used_suppressions:
+                    unused.append((line, code))
+        return unused
 
     def _comment_only(self, line: int) -> bool:
         lines = self.source.splitlines()
@@ -190,8 +219,67 @@ class LintRule:
         )
 
 
+class Project:
+    """Every parsed module of one lint run, plus its lazy call graph.
+
+    Handed to :class:`FlowRule` subclasses, which need to see across
+    module boundaries. The call graph (and through it every per-function
+    CFG) is built once on first use and shared by all flow rules.
+    """
+
+    def __init__(self, units: "Iterable[ModuleUnit]") -> None:
+        self.units = list(units)
+        self._by_path = {unit.path: unit for unit in self.units}
+        self._callgraph = None
+
+    @property
+    def callgraph(self):
+        """The shared :class:`repro.analysis.callgraph.CallGraph`."""
+        if self._callgraph is None:
+            from repro.analysis.callgraph import build_callgraph
+
+            self._callgraph = build_callgraph(self.units)
+        return self._callgraph
+
+    def unit_for(self, path: str) -> "ModuleUnit | None":
+        return self._by_path.get(path)
+
+
+class FlowRule(LintRule):
+    """Base class for interprocedural rules: sees the whole project.
+
+    A ``FlowRule`` implements :meth:`check_project` instead of
+    :meth:`check`; the driver runs it once per lint invocation over a
+    :class:`Project` built from every file in scope, then applies
+    per-file suppressions to whatever it yields.
+    """
+
+    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        """Yield findings for the whole project; implemented by subclasses."""
+        raise NotImplementedError
+
+    def project_finding(
+        self, project: Project, path: str, node: ast.AST, message: str
+    ) -> Finding:
+        """Build a finding anchored at ``node`` in the file at ``path``."""
+        unit = project.unit_for(path)
+        return Finding(
+            code=self.code,
+            message=message,
+            path=path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            symbol=unit.qualname_at(node) if unit is not None else "<module>",
+            severity=self.severity,
+        )
+
+
 #: The rule registry: code -> rule instance. Populated by
-#: :func:`register` (repro.analysis.rules registers R001–R006 on import).
+#: :func:`register` (repro.analysis.rules registers R001–R007 and
+#: repro.analysis.flow_rules registers R008–R012 on import).
 RULES: dict[str, LintRule] = {}
 
 
@@ -219,8 +307,62 @@ def active_rules(codes: "Sequence[str] | None" = None) -> list[LintRule]:
 
 
 def _ensure_rules_loaded() -> None:
-    # Importing the rules module populates RULES via @register.
+    # Importing the rule modules populates RULES via @register.
+    from repro.analysis import flow_rules as _flow_rules  # noqa: F401
     from repro.analysis import rules as _rules  # noqa: F401
+
+
+def _run_rules(
+    units: "list[ModuleUnit]", codes: "Sequence[str] | None"
+) -> list[Finding]:
+    """Run module rules per unit and flow rules over the whole project."""
+    rules = active_rules(codes)
+    findings: list[Finding] = []
+    flow_rules = [rule for rule in rules if isinstance(rule, FlowRule)]
+    module_rules = [rule for rule in rules if not isinstance(rule, FlowRule)]
+    for unit in units:
+        for rule in module_rules:
+            for finding in rule.check(unit):
+                finding.suppressed = unit.is_suppressed(finding.code, finding.line)
+                findings.append(finding)
+    if flow_rules:
+        project = Project(units)
+        units_by_path = {unit.path: unit for unit in units}
+        for rule in flow_rules:
+            for finding in rule.check_project(project):
+                unit = units_by_path.get(finding.path)
+                if unit is not None:
+                    finding.suppressed = unit.is_suppressed(
+                        finding.code, finding.line
+                    )
+                findings.append(finding)
+    if codes is None:
+        # Only meaningful when every rule ran: with a filtered rule set
+        # a suppression for an unrun rule would look spuriously unused.
+        for unit in units:
+            for line, code in unit.unused_suppressions():
+                findings.append(
+                    Finding(
+                        code=CODE_UNUSED_SUPPRESSION,
+                        message=(
+                            f"suppression 'ringo-lint: disable={code}' "
+                            "silences no finding on this line"
+                        ),
+                        path=unit.path,
+                        line=line,
+                        symbol=unit.qualname_at(_line_anchor(line)),
+                        severity=SEVERITY_ADVISORY,
+                    )
+                )
+    findings.sort(key=lambda f: (f.path, f.line, f.code))
+    return findings
+
+
+class _line_anchor:
+    """A minimal node-like anchor carrying only a line number."""
+
+    def __init__(self, line: int) -> None:
+        self.lineno = line
 
 
 def lint_source(
@@ -228,13 +370,7 @@ def lint_source(
 ) -> list[Finding]:
     """Lint one in-memory module; suppressed findings are marked, not dropped."""
     unit = ModuleUnit(path, source)
-    findings: list[Finding] = []
-    for rule in active_rules(codes):
-        for finding in rule.check(unit):
-            finding.suppressed = unit.is_suppressed(finding.code, finding.line)
-            findings.append(finding)
-    findings.sort(key=lambda f: (f.path, f.line, f.code))
-    return findings
+    return _run_rules([unit], codes)
 
 
 def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
@@ -254,11 +390,34 @@ def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
 def lint_paths(
     paths: Iterable[str], codes: "Sequence[str] | None" = None
 ) -> list[Finding]:
-    """Lint every .py file under ``paths``; returns all findings."""
+    """Lint every .py file under ``paths``; returns all findings.
+
+    A file that fails to parse yields a synthetic :data:`E000
+    <CODE_PARSE_ERROR>` error finding at the parse-error location
+    instead of aborting the whole run.
+    """
+    units: list[ModuleUnit] = []
     findings: list[Finding] = []
     for path in iter_python_files(paths):
         source = path.read_text(encoding="utf-8")
-        findings.extend(lint_source(source, str(path), codes))
+        try:
+            units.append(ModuleUnit(str(path), source))
+        except AnalysisError as err:
+            cause = err.__cause__
+            line = getattr(cause, "lineno", None) or 1
+            col = getattr(cause, "offset", None) or 1
+            detail = getattr(cause, "msg", None) or str(err)
+            findings.append(
+                Finding(
+                    code=CODE_PARSE_ERROR,
+                    message=f"file does not parse: {detail}",
+                    path=str(path),
+                    line=line,
+                    col=max(col - 1, 0),
+                )
+            )
+    findings.extend(_run_rules(units, codes))
+    findings.sort(key=lambda f: (f.path, f.line, f.code))
     return findings
 
 
@@ -306,6 +465,19 @@ def apply_baseline(findings: Iterable[Finding], baseline: set[str]) -> None:
     for finding in findings:
         if finding.key in baseline:
             finding.baselined = True
+
+
+def stale_baseline_keys(
+    findings: Iterable[Finding], baseline: set[str]
+) -> list[str]:
+    """Baseline entries matching no current finding (sorted).
+
+    A stale key means the violation it grandfathered was fixed — the
+    entry should be deleted so the baseline reflects reality. The CI
+    gate runs with ``--strict-baseline`` to enforce exactly that.
+    """
+    live = {finding.key for finding in findings}
+    return sorted(key for key in baseline if key not in live)
 
 
 def gating_findings(findings: Iterable[Finding]) -> list[Finding]:

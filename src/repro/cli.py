@@ -156,6 +156,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         forwarded.append("--no-advisory")
     if args.list_rules:
         forwarded.append("--list-rules")
+    if args.format is not None:
+        forwarded += ["--format", args.format]
+    if args.strict_baseline:
+        forwarded.append("--strict-baseline")
     return lint_main(forwarded)
 
 
@@ -276,7 +280,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.set_defaults(func=_cmd_report)
 
     lint = sub.add_parser(
-        "lint", help="run ringo-lint (project rules R001-R006) over source paths"
+        "lint", help="run ringo-lint (project rules R001-R012) over source paths"
     )
     lint.add_argument("paths", nargs="*", default=["src"])
     lint.add_argument("--baseline", default=None)
@@ -284,6 +288,10 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--write-baseline", action="store_true")
     lint.add_argument("--no-advisory", action="store_true")
     lint.add_argument("--list-rules", action="store_true")
+    lint.add_argument(
+        "--format", default=None, choices=("text", "json", "sarif", "markdown")
+    )
+    lint.add_argument("--strict-baseline", action="store_true")
     lint.set_defaults(func=_cmd_lint)
 
     trace = sub.add_parser(

@@ -38,7 +38,8 @@ Durability sites (:mod:`repro.recovery`):
 ``recovery.wal.torn_write``     writes only a prefix of the frame before
                                 raising — a crash mid-``write(2)``
 ``recovery.checkpoint.write``   per object serialised into a checkpoint
-                                (abort leaves an uncommitted temp dir)
+                                (abort removes the temp dir, commits
+                                nothing)
 ``recovery.checkpoint.bit_flip`` flips one byte of the just-written
                                 artifact *silently* (disk rot: the
                                 checkpoint still commits, verification

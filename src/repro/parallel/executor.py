@@ -43,6 +43,7 @@ from repro.faults import fault_point
 from repro.obs.metrics import registry as _metrics_registry
 from repro.obs.spans import current_span_id
 from repro.obs.spans import enabled as _tracing_enabled
+from repro.obs.spans import event as _obs_event
 from repro.obs.spans import trace
 from repro.parallel.partition import split_range
 from repro.parallel.resilience import PoolStats, RetryPolicy, run_with_retry
@@ -672,9 +673,14 @@ class KernelDispatcher:
         registry = shm_registry()
         try:
             export, descriptor = registry.lease(csr, build_arrays(csr, arrays))
-        except ExecutionError:
+        except ExecutionError as error:
             # A failed export (including an injected parallel.shm.export
-            # fault) costs one fallback, never a user-visible error.
+            # fault) costs one fallback, never a user-visible error. The
+            # reason is recorded so a fleet of silent degrades still
+            # shows up in the span log.
+            if _tracing_enabled():
+                _metrics_registry().counter("pool.shm_degrades_total").inc()
+                _obs_event("pool.degrade", backend="processes", error=str(error))
             return None
         try:
             spans = split_range(total, procs.workers)

@@ -351,6 +351,8 @@ def _untrack(shm: shared_memory.SharedMemory) -> None:
         from multiprocessing import resource_tracker
 
         resource_tracker.unregister(shm._name, "shared_memory")
+    # Tracker internals are CPython-private; a failure here must never
+    # break attach.  # ringo-lint: disable=R011
     except Exception:  # pragma: no cover - tracker internals moved
         pass
 

@@ -137,7 +137,8 @@ def write_checkpoint(session, directory: "str | os.PathLike[str]") -> dict:
     Serialises every published object with per-array digests, writes the
     self-checksummed manifest, then commits the whole directory with one
     rename. Fault sites: ``recovery.checkpoint.write`` fires per object
-    (an abort leaves only an uncommitted ``.tmp-*`` directory);
+    (an abort removes the partial ``.tmp-*`` directory before the
+    exception propagates, so nothing uncommitted survives);
     ``recovery.checkpoint.bit_flip`` silently corrupts a just-written
     artifact so recovery-time verification can be exercised.
     """
@@ -152,29 +153,36 @@ def write_checkpoint(session, directory: "str | os.PathLike[str]") -> dict:
         if tmp_dir.exists():
             _remove_tree(tmp_dir)
         objects_dir.mkdir(parents=True)
-        entries: dict[str, dict] = {}
-        for name in session.Objects():
-            obj = session.GetObject(name)
-            fault_point("recovery.checkpoint.write")
-            entry = _write_object(objects_dir, name, obj)
-            if entry is not None:
-                entries[name] = entry
-        wal = getattr(session, "_durability", None)
-        manifest = {
-            "format": MANIFEST_FORMAT,
-            "checkpoint": sequence,
-            "wal_lsn": 0 if wal is None else wal.wal.last_lsn,
-            "publish_counter": session._publish_counter,
-            "objects": entries,
-        }
-        manifest["manifest_crc"] = zlib.crc32(_canonical(manifest))
-        manifest_tmp = tmp_dir / (MANIFEST_NAME + ".tmp")
-        with open(manifest_tmp, "w", encoding="utf-8") as handle:
-            json.dump(manifest, handle, sort_keys=True, indent=1)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(manifest_tmp, tmp_dir / MANIFEST_NAME)
-        os.replace(tmp_dir, final_dir)
+        try:
+            entries: dict[str, dict] = {}
+            for name in session.Objects():
+                obj = session.GetObject(name)
+                fault_point("recovery.checkpoint.write")
+                entry = _write_object(objects_dir, name, obj)
+                if entry is not None:
+                    entries[name] = entry
+            wal = getattr(session, "_durability", None)
+            manifest = {
+                "format": MANIFEST_FORMAT,
+                "checkpoint": sequence,
+                "wal_lsn": 0 if wal is None else wal.wal.last_lsn,
+                "publish_counter": session._publish_counter,
+                "objects": entries,
+            }
+            manifest["manifest_crc"] = zlib.crc32(_canonical(manifest))
+            manifest_tmp = tmp_dir / (MANIFEST_NAME + ".tmp")
+            with open(manifest_tmp, "w", encoding="utf-8") as handle:
+                json.dump(manifest, handle, sort_keys=True, indent=1)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(manifest_tmp, tmp_dir / MANIFEST_NAME)
+            os.replace(tmp_dir, final_dir)
+        except BaseException:
+            # An aborted write must not strand the temp directory: the
+            # next writer would reuse the sequence number and readers
+            # could mistake stale bytes for progress.
+            _remove_tree(tmp_dir)
+            raise
         _fsync_dir(root)
     return manifest
 

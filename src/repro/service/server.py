@@ -265,7 +265,11 @@ class SessionService:
         if drain and self.manager is not None:
             report = await self.drain()
         if self.executor is not None:
-            self.executor.shutdown(wait=True, cancel_futures=True)
+            # shutdown(wait=True) joins worker threads; hop off the event
+            # loop so an in-flight engine call cannot stall other sessions.
+            await asyncio.to_thread(
+                self.executor.shutdown, wait=True, cancel_futures=True
+            )
         return report
 
     def health(self) -> dict:

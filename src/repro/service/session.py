@@ -149,7 +149,8 @@ class TenantSession:
         The ``service.evict`` fault site fires before any work: a fired
         fault aborts the eviction with the session untouched. A fault
         inside ``checkpoint()`` (``recovery.checkpoint.write``) likewise
-        leaves only an uncommitted temp directory behind.
+        commits nothing — the partial temp directory is removed before
+        the exception reaches the caller.
         """
         fault_point("service.evict")
         assert self.ringo is not None
@@ -184,6 +185,8 @@ class TenantSession:
                 # outcome) before touching the session again.
                 try:
                     await self._orphan
+                # Its outcome was already reported as a deadline error;
+                # rethrowing would double-fault.  # ringo-lint: disable=R011
                 except Exception:
                     pass
                 self._orphan = None

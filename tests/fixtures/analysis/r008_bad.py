@@ -1,0 +1,12 @@
+"""R008 fixture: async handler reaches a blocking sleep (flagged)."""
+
+import time
+
+
+def backoff(seconds):
+    time.sleep(seconds)
+
+
+async def handler(request):
+    backoff(0.5)
+    return request

@@ -1,0 +1,13 @@
+"""R008 fixture: the blocking helper is hopped via to_thread (clean)."""
+
+import asyncio
+import time
+
+
+def backoff(seconds):
+    time.sleep(seconds)
+
+
+async def handler(request):
+    await asyncio.to_thread(backoff, 0.5)
+    return request

@@ -1,0 +1,18 @@
+"""R009 fixture: two helpers take the same two locks in opposite order."""
+
+import threading
+
+LOCK_A = threading.Lock()
+LOCK_B = threading.Lock()
+
+
+def forward(items):
+    with LOCK_A:
+        with LOCK_B:
+            items.append("forward")
+
+
+def backward(items):
+    with LOCK_B:
+        with LOCK_A:
+            items.append("backward")

@@ -1,0 +1,18 @@
+"""R009 fixture: both helpers honour one global lock order (clean)."""
+
+import threading
+
+LOCK_A = threading.Lock()
+LOCK_B = threading.Lock()
+
+
+def forward(items):
+    with LOCK_A:
+        with LOCK_B:
+            items.append("forward")
+
+
+def also_forward(items):
+    with LOCK_A:
+        with LOCK_B:
+            items.append("again")

@@ -1,0 +1,8 @@
+"""R010 fixture: a leased export escapes without release on error."""
+
+
+def run(registry, csr, arrays, dispatch):
+    export, descriptor = registry.lease(csr, arrays)
+    results = dispatch(descriptor)
+    registry.release(export)
+    return results

@@ -1,0 +1,9 @@
+"""R010 fixture: the lease is released on every path (clean)."""
+
+
+def run(registry, csr, arrays, dispatch):
+    export, descriptor = registry.lease(csr, arrays)
+    try:
+        return dispatch(descriptor)
+    finally:
+        registry.release(export)

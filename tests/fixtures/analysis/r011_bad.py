@@ -1,0 +1,8 @@
+"""R011 fixture: a bare except silently eats every error (flagged)."""
+
+
+def load(path, parse):
+    try:
+        return parse(path)
+    except:  # noqa: E722 - the bare except is the point of the fixture
+        return None

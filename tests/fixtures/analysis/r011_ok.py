@@ -1,0 +1,9 @@
+"""R011 fixture: a narrow typed catch that records the error (clean)."""
+
+
+def load(path, parse, log):
+    try:
+        return parse(path)
+    except ValueError as error:
+        log(error)
+        return None

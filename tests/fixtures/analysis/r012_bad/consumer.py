@@ -1,0 +1,7 @@
+"""R012 fixture consumer: references only one of the two sites."""
+
+from faults import fault_point
+
+
+def step():
+    fault_point("parallel.kernel")

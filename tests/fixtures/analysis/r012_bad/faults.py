@@ -1,0 +1,10 @@
+"""R012 fixture registry: one entry is never referenced (flagged)."""
+
+KNOWN_SITES = (
+    "parallel.kernel",
+    "service.accept",
+)
+
+
+def fault_point(site):
+    return site

@@ -1,0 +1,11 @@
+"""R012 fixture consumer: references every registered site."""
+
+from faults import fault_point
+
+
+def step():
+    fault_point("parallel.kernel")
+
+
+def accept():
+    fault_point("service.accept")

@@ -1,0 +1,10 @@
+"""R012 fixture registry: every entry is referenced (clean)."""
+
+KNOWN_SITES = (
+    "parallel.kernel",
+    "service.accept",
+)
+
+
+def fault_point(site):
+    return site

@@ -1,0 +1,278 @@
+"""Interprocedural engine: call graph, CFG, and the R008 seeded regression."""
+
+import ast
+import textwrap
+from pathlib import Path
+
+from repro.analysis import flow, lint
+from repro.analysis.callgraph import build_callgraph, module_name_for
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src" / "repro"
+SERVER = SRC / "service" / "server.py"
+
+
+def _units(files):
+    return [lint.ModuleUnit(path, textwrap.dedent(src)) for path, src in files]
+
+
+def _graph(files):
+    return build_callgraph(_units(files))
+
+
+class TestCallGraph:
+    def test_module_name_for(self):
+        assert module_name_for("src/repro/service/server.py") == "repro.service.server"
+        assert module_name_for("src/pkg/util.py") == "pkg.util"
+        # Outside a src/ tree a file is its own flat module — this is
+        # what makes the standalone fixture files lintable.
+        assert module_name_for("pkg/util.py") == "util"
+
+    def test_cross_module_function_resolution(self):
+        graph = _graph(
+            [
+                ("src/pkg/util.py", "def helper(x):\n    return x + 1\n"),
+                (
+                    "src/pkg/main.py",
+                    "from pkg.util import helper\n"
+                    "def run(x):\n"
+                    "    return helper(x)\n",
+                ),
+            ]
+        )
+        sites = graph.calls_from("pkg.main.run")
+        assert [s.callee for s in sites] == ["pkg.util.helper"]
+        assert sites[0].kind == "internal"
+        assert graph.resolution_rate() == 1.0
+
+    def test_method_resolution_via_constructor_assignment(self):
+        graph = _graph(
+            [
+                (
+                    "src/pkg/engine.py",
+                    """
+                    class Engine:
+                        def compute(self):
+                            return 42
+
+                    def run():
+                        engine = Engine()
+                        return engine.compute()
+                    """,
+                ),
+            ]
+        )
+        sites = graph.calls_from("pkg.engine.run")
+        callees = {s.callee for s in sites if s.resolved}
+        assert "pkg.engine.Engine.compute" in callees
+
+    def test_self_attr_resolution_via_init(self):
+        graph = _graph(
+            [
+                (
+                    "src/pkg/svc.py",
+                    """
+                    class Worker:
+                        def step(self):
+                            return 1
+
+                    class Service:
+                        def __init__(self):
+                            self.worker = Worker()
+
+                        def tick(self):
+                            return self.worker.step()
+                    """,
+                ),
+            ]
+        )
+        callees = {s.callee for s in graph.calls_from("pkg.svc.Service.tick")}
+        assert "pkg.svc.Worker.step" in callees
+
+    def test_unresolved_bucket_is_honest(self):
+        graph = _graph(
+            [("src/pkg/m.py", "def run(mystery):\n    return mystery.frobnicate()\n")]
+        )
+        unresolved = graph.unresolved_sites()
+        assert len(unresolved) == 1
+        assert unresolved[0].attr == "frobnicate"
+        assert graph.resolution_rate() == 0.0
+
+    def test_builtins_count_as_resolved_external(self):
+        graph = _graph([("src/pkg/m.py", "def run(xs):\n    return len(xs)\n")])
+        (site,) = graph.all_sites()
+        assert site.resolved
+        assert site.kind == "external"
+
+
+class TestResolutionFloor:
+    def test_src_repro_resolution_rate_at_least_80_percent(self):
+        units = []
+        for path in sorted(SRC.rglob("*.py")):
+            units.append(
+                lint.ModuleUnit(str(path), path.read_text(encoding="utf-8"))
+            )
+        graph = build_callgraph(units)
+        rate = graph.resolution_rate()
+        assert rate >= 0.80, (
+            f"call resolution regressed to {rate:.1%}; inspect "
+            f"{len(graph.unresolved_sites())} unresolved sites"
+        )
+
+
+def _cfg(source):
+    tree = ast.parse(textwrap.dedent(source))
+    fn = tree.body[0]
+    return flow.build_cfg(fn), fn
+
+
+def _stmt_at(fn, lineno_offset):
+    for node in ast.walk(fn):
+        if isinstance(node, ast.stmt) and getattr(node, "lineno", None) == lineno_offset:
+            return node
+    raise AssertionError(f"no statement at line {lineno_offset}")
+
+
+class TestCFG:
+    ACQUIRE_FINALLY = """
+    def f(lock, work):
+        lock.acquire()
+        try:
+            work()
+        finally:
+            lock.release()
+    """
+
+    ACQUIRE_LEAKY = """
+    def f(lock, work):
+        lock.acquire()
+        work()
+        lock.release()
+    """
+
+    def _is_release(self, node):
+        return node.stmt is not None and "release" in (node.source or "")
+
+    def test_finally_settles_exceptional_paths(self):
+        cfg, fn = _cfg(self.ACQUIRE_FINALLY)
+        acquire = _stmt_at(fn, 3)
+        escape = cfg.find_escape(acquire, self._is_release, include_exceptional=True)
+        assert escape is None
+
+    def test_unprotected_release_escapes_on_exception(self):
+        cfg, fn = _cfg(self.ACQUIRE_LEAKY)
+        acquire = _stmt_at(fn, 3)
+        escape = cfg.find_escape(acquire, self._is_release, include_exceptional=True)
+        assert escape is not None and escape.kind == "raise-exit"
+        # ... but the normal path does release.
+        assert (
+            cfg.find_escape(acquire, self._is_release, include_exceptional=False)
+            is None
+        )
+
+    def test_catch_all_handler_settles_exceptional_paths(self):
+        cfg, fn = _cfg(
+            """
+            def f(lock, work):
+                lock.acquire()
+                try:
+                    work()
+                except Exception:
+                    lock.release()
+                    raise
+                lock.release()
+            """
+        )
+        acquire = _stmt_at(fn, 3)
+        assert cfg.find_escape(acquire, self._is_release) is None
+
+    def test_narrow_handler_still_escapes(self):
+        cfg, fn = _cfg(
+            """
+            def f(lock, work):
+                lock.acquire()
+                try:
+                    work()
+                except ValueError:
+                    lock.release()
+                    raise
+                lock.release()
+            """
+        )
+        acquire = _stmt_at(fn, 3)
+        escape = cfg.find_escape(acquire, self._is_release)
+        assert escape is not None and escape.kind == "raise-exit"
+
+    def test_reaching_definitions_merge_branches(self):
+        cfg, fn = _cfg(
+            """
+            def f(flag):
+                if flag:
+                    name = "a"
+                else:
+                    name = "b"
+                return name
+            """
+        )
+        ret = _stmt_at(fn, 7)
+        defs = cfg.definitions_at(ret, "name")
+        assert len(defs) == 2
+        assert {d.lineno for d in defs} == {4, 6}
+
+    def test_with_block_exception_edge(self):
+        cfg, fn = _cfg(
+            """
+            def f(cm, work, cleanup):
+                with cm() as handle:
+                    work(handle)
+                cleanup()
+            """
+        )
+        work = _stmt_at(fn, 4)
+        node = cfg.node_for(work)
+        assert any(edge == "exception" for _, edge in node.succs)
+
+
+class TestSeededAsyncRegression:
+    """R008 provably catches a blocking call seeded into the real server."""
+
+    def _lint_seeded(self, seed):
+        source = "import time\n" + SERVER.read_text(encoding="utf-8") + seed
+        return [
+            f
+            for f in lint.lint_source(source, str(SERVER), ["R008"])
+            if f.code == "R008"
+        ]
+
+    def test_direct_blocking_call_is_caught(self):
+        findings = self._lint_seeded(
+            "\n\nasync def _seeded_regression(raw):\n"
+            "    time.sleep(0.5)\n"
+            "    return raw\n"
+        )
+        assert any(
+            "_seeded_regression" in f.message and "time.sleep" in f.message
+            for f in findings
+        )
+
+    def test_transitive_blocking_call_is_caught(self):
+        findings = self._lint_seeded(
+            "\n\ndef _seeded_helper():\n"
+            "    time.sleep(0.5)\n"
+            "\n\nasync def _seeded_regression(raw):\n"
+            "    _seeded_helper()\n"
+            "    return raw\n"
+        )
+        assert any(
+            "_seeded_regression" in f.message and "_seeded_helper" in f.message
+            for f in findings
+        )
+
+    def test_unmodified_server_is_clean(self):
+        assert lint.lint_paths([str(SERVER)], ["R008"]) == []
+
+
+class TestFlowRulesOverSrc:
+    def test_full_rule_set_is_clean_over_src(self):
+        findings = lint.lint_paths([str(SRC)])
+        assert lint.gating_findings(findings) == []

@@ -24,6 +24,13 @@ RULE_FIXTURES = {
     ),
     "R006": (FIXTURES / "r006_bad.py", FIXTURES / "r006_ok.py"),
     "R007": (FIXTURES / "r007_bad.py", FIXTURES / "r007_ok.py"),
+    "R008": (FIXTURES / "r008_bad.py", FIXTURES / "r008_ok.py"),
+    "R009": (FIXTURES / "r009_bad.py", FIXTURES / "r009_ok.py"),
+    "R010": (FIXTURES / "r010_bad.py", FIXTURES / "r010_ok.py"),
+    "R011": (FIXTURES / "r011_bad.py", FIXTURES / "r011_ok.py"),
+    # R012 spans a registry module plus a consumer, so its fixture is a
+    # directory (precedent: R005 lives under algorithms/).
+    "R012": (FIXTURES / "r012_bad", FIXTURES / "r012_ok"),
 }
 
 
@@ -140,6 +147,7 @@ class TestRuleSelection:
         codes = [rule.code for rule in lint.active_rules()]
         assert codes == [
             "R001", "R002", "R003", "R004", "R005", "R006", "R007",
+            "R008", "R009", "R010", "R011", "R012",
         ]
 
 
@@ -169,7 +177,7 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert analysis_cli.main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        assert "R001" in out and "R006" in out
+        assert "R001" in out and "R006" in out and "R012" in out
 
     def test_write_baseline_then_clean(self, tmp_path, capsys):
         bad, _ = RULE_FIXTURES["R001"]
@@ -189,3 +197,124 @@ class TestCli:
         assert (
             repro_main(["lint", str(ok), "--baseline", str(tmp_path / "b")]) == 0
         )
+
+    def test_markdown_requires_list_rules(self, tmp_path, capsys):
+        assert analysis_cli.main([str(tmp_path), "--format", "markdown"]) == 2
+        assert "requires --list-rules" in capsys.readouterr().err
+
+
+class TestParseError:
+    BROKEN = "def half(:\n"
+
+    def test_syntax_error_becomes_e000(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text(self.BROKEN, encoding="utf-8")
+        findings = lint.lint_paths([str(broken)])
+        assert [f.code for f in findings] == [lint.CODE_PARSE_ERROR]
+        finding = findings[0]
+        assert finding.severity == lint.SEVERITY_ERROR
+        assert finding.line >= 1
+        assert "does not parse" in finding.message
+        assert lint.gating_findings(findings) == [finding]
+
+    def test_other_files_still_linted(self, tmp_path):
+        (tmp_path / "broken.py").write_text(self.BROKEN, encoding="utf-8")
+        bad_src = RULE_FIXTURES["R004"][0].read_text(encoding="utf-8")
+        (tmp_path / "manual_acquire.py").write_text(bad_src, encoding="utf-8")
+        codes = sorted(f.code for f in lint.lint_paths([str(tmp_path)]))
+        assert codes == ["E000", "R004"]
+
+
+class TestUnusedSuppression:
+    DEAD = "def noop():\n    return None  # ringo-lint: disable=R004\n"
+
+    def test_unused_suppression_reported(self):
+        findings = lint.lint_source(self.DEAD, "x.py")
+        assert [f.code for f in findings] == [lint.CODE_UNUSED_SUPPRESSION]
+        finding = findings[0]
+        assert finding.severity == lint.SEVERITY_ADVISORY
+        assert "R004" in finding.message
+        assert finding.line == 2
+        assert lint.gating_findings(findings) == []
+
+    def test_used_suppression_not_reported(self):
+        findings = lint.lint_source(TestSuppression.SOURCE, "x.py")
+        assert [f.code for f in findings] == ["R002"]
+
+    def test_not_reported_under_rule_filter(self):
+        assert lint.lint_source(self.DEAD, "x.py", ["R004"]) == []
+
+
+class TestSarif:
+    def test_sarif_document_shape(self, tmp_path, capsys):
+        bad, _ = RULE_FIXTURES["R004"]
+        code = analysis_cli.main(
+            [str(bad), "--format", "sarif", "--baseline", str(tmp_path / "b")]
+        )
+        assert code == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "ringo-lint"
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        for expected in ("R001", "R008", "R012", "E000", "W001"):
+            assert expected in rule_ids
+        result = run["results"][0]
+        assert result["ruleId"] == "R004"
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("r004_bad.py")
+        assert location["region"]["startLine"] > 0
+        assert result["suppressions"] == []
+
+    def test_advisory_maps_to_note_and_suppressions_marked(self):
+        findings = lint.lint_source(TestSuppression.SOURCE, "x.py")
+        log = analysis_cli.sarif_report(findings)
+        result = log["runs"][0]["results"][0]
+        assert result["suppressions"][0]["kind"] == "inSource"
+        advisory = lint.lint_source(TestUnusedSuppression.DEAD, "x.py")
+        log = analysis_cli.sarif_report(advisory)
+        assert log["runs"][0]["results"][0]["level"] == "note"
+
+
+class TestStrictBaseline:
+    def test_stale_entry_fails_strict(self, tmp_path, capsys):
+        _, ok = RULE_FIXTURES["R004"]
+        baseline = tmp_path / "baseline"
+        baseline.write_text("R004|gone.py|gone\n", encoding="utf-8")
+        assert analysis_cli.main([str(ok), "--baseline", str(baseline)]) == 0
+        assert (
+            analysis_cli.main(
+                [str(ok), "--baseline", str(baseline), "--strict-baseline"]
+            )
+            == 1
+        )
+        assert "stale baseline" in capsys.readouterr().err
+
+    def test_live_entries_pass_strict(self, tmp_path, capsys):
+        bad, _ = RULE_FIXTURES["R004"]
+        baseline = tmp_path / "baseline"
+        findings = lint.lint_paths([str(bad)])
+        lint.write_baseline(baseline, findings)
+        assert (
+            analysis_cli.main(
+                [str(bad), "--baseline", str(baseline), "--strict-baseline"]
+            )
+            == 0
+        )
+
+    def test_stale_keys_helper(self):
+        _, ok = RULE_FIXTURES["R004"]
+        findings = lint.lint_paths([str(ok)])
+        stale = lint.stale_baseline_keys(findings, {"R001|a.py|f", "R002|b.py|g"})
+        assert stale == ["R001|a.py|f", "R002|b.py|g"]
+
+
+class TestDocsTable:
+    def test_docs_table_matches_generator(self, capsys):
+        assert analysis_cli.main(["--list-rules", "--format", "markdown"]) == 0
+        generated = capsys.readouterr().out.strip()
+        doc = (REPO_ROOT / "docs" / "static-analysis.md").read_text(encoding="utf-8")
+        begin = doc.index("<!-- rules:begin -->") + len("<!-- rules:begin -->")
+        end = doc.index("<!-- rules:end -->")
+        assert doc[begin:end].strip() == generated
