@@ -85,6 +85,12 @@ def _wcc_labels_dispatch(csr: CSRGraph) -> np.ndarray:
 
 def weakly_connected_components(graph) -> dict[int, int]:
     """Component label per node (labels dense from 0, edges undirected)."""
+    if not isinstance(graph, CSRGraph):
+        from repro.incremental.algorithms import incremental_wcc
+
+        warm = incremental_wcc(graph)
+        if warm is not None:
+            return warm
     csr = as_csr(graph)
     labels = _wcc_labels_dispatch(csr)
     return dict(zip(csr.node_ids.tolist(), labels.tolist()))

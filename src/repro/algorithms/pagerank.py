@@ -91,6 +91,17 @@ def pagerank(
     True
     """
     check_fraction(damping, "damping")
+    if iterations is None and personalize is None:
+        from repro.incremental.algorithms import incremental_pagerank
+
+        warm = incremental_pagerank(
+            graph,
+            damping=damping,
+            max_iterations=max_iterations,
+            tolerance=tolerance,
+        )
+        if warm is not None:
+            return warm
     csr = as_csr(graph)
     if csr.num_nodes == 0:
         return {}
@@ -126,6 +137,7 @@ def pagerank_array(
     personalize_dense: np.ndarray | None = None,
     pool=None,
     backend: str | None = None,
+    start: np.ndarray | None = None,
 ) -> np.ndarray:
     """Dense-index PageRank over a CSR snapshot (the vectorised kernel).
 
@@ -135,6 +147,10 @@ def pagerank_array(
     :func:`_pagerank_spread_partition`, used when the kernel dispatcher
     routes this snapshot to the process backend (``backend=`` overrides
     the configured default).
+
+    ``start`` warm-starts the iteration from a previous rank vector
+    (the incremental path); the stopping criterion is unchanged, so the
+    converged answer satisfies the same fixed-point bound as a cold run.
     """
     count = csr.num_nodes
     if iterations is not None:
@@ -158,7 +174,11 @@ def pagerank_array(
         if personalize_dense is not None
         else np.full(count, 1.0 / count, dtype=np.float64)
     )
-    ranks = base.copy()
+    ranks = (
+        base.copy()
+        if start is None
+        else np.ascontiguousarray(start, dtype=np.float64)
+    )
     safe_deg = np.where(dangling, 1.0, out_deg)
     rounds = iterations if iterations is not None else max_iterations
     for _ in range(rounds):

@@ -86,6 +86,12 @@ def triangle_counts(graph, pool: WorkerPool | None = None) -> dict[int, int]:
     >>> triangle_counts(g)[3]
     1
     """
+    if not isinstance(graph, CSRGraph):
+        from repro.incremental.algorithms import incremental_triangle_counts
+
+        warm = incremental_triangle_counts(graph, pool=pool)
+        if warm is not None:
+            return warm
     sym = _undirected_csr(graph)
     counts = triangle_count_array(sym, pool=pool)
     return counts_to_dict(sym, counts)
@@ -127,6 +133,12 @@ def triangle_count_array(
 
 def total_triangles(graph, pool: WorkerPool | None = None) -> int:
     """Total number of distinct triangles in the graph."""
+    if not isinstance(graph, CSRGraph):
+        from repro.incremental.algorithms import incremental_triangle_counts
+
+        warm = incremental_triangle_counts(graph, pool=pool)
+        if warm is not None:
+            return sum(warm.values()) // 3
     sym = _undirected_csr(graph)
     counts = triangle_count_array(sym, pool=pool)
     return int(counts.sum()) // 3

@@ -218,3 +218,111 @@ def maybe_sanitize(csr, graph=None, expected_version: "int | None" = None) -> No
     """Run :func:`sanitize_csr` only when sanitizing is enabled."""
     if enabled():
         sanitize_csr(csr, graph=graph, expected_version=expected_version)
+
+
+def _dense_lookup(node_ids: np.ndarray, values: np.ndarray):
+    """``(positions, found_mask)`` of original ids in sorted ``node_ids``."""
+    positions = np.searchsorted(node_ids, values)
+    if len(node_ids) == 0:
+        return positions, np.zeros(len(values), dtype=bool)
+    clipped = np.minimum(positions, len(node_ids) - 1)
+    return clipped, node_ids[clipped] == values
+
+
+def _merged_membership(merged, pairs) -> tuple[np.ndarray, np.ndarray]:
+    """Per delta edge: ``(present_in_merged, both_endpoints_exist)``.
+
+    Presence is a binary search over the merged snapshot's globally
+    ascending out-edge keys ``src * n + dst`` (global ascent follows
+    from the indptr/row-sortedness invariants checked just before).
+    """
+    node_ids = merged.node_ids
+    count = merged.num_nodes
+    array = np.asarray(sorted(pairs), dtype=np.int64).reshape(-1, 2)
+    src_pos, src_ok = _dense_lookup(node_ids, array[:, 0])
+    dst_pos, dst_ok = _dense_lookup(node_ids, array[:, 1])
+    both = src_ok & dst_ok
+    present = np.zeros(len(array), dtype=bool)
+    if np.any(both) and count:
+        keys = merged.out_edge_keys()
+        query = src_pos[both] * count + dst_pos[both]
+        positions = np.searchsorted(keys, query)
+        if len(keys):
+            hit = keys[np.minimum(positions, len(keys) - 1)] == query
+            hit &= positions < len(keys)
+        else:
+            hit = np.zeros(len(query), dtype=bool)
+        present[both] = hit
+    return present, both
+
+
+def sanitize_delta_view(
+    merged, base, delta, graph=None, expected_version: "int | None" = None
+) -> dict:
+    """Validate a delta-merged snapshot against its base and overlay.
+
+    Beyond the full :func:`sanitize_csr` pass this checks the merge
+    actually honoured the overlay:
+
+    * the version watermark the cache stamped on the merged view
+      (``_delta_target_version``) matches the version it is about to be
+      cached under (the overlay-LSN coherence check);
+    * node arithmetic: ``merged nodes == base - deleted + added``;
+    * no dangling deletes: every net-deleted edge is absent from the
+      merged view (a surviving one means a stale read waiting to
+      happen);
+    * every net-added edge whose endpoints exist is present.
+
+    Raises :class:`~repro.exceptions.SanitizerError` on violation.
+    """
+    summary = sanitize_csr(merged, graph=graph, expected_version=expected_version)
+    watermark = getattr(merged, "_delta_target_version", None)
+    if expected_version is not None and watermark != expected_version:
+        _fail(
+            "delta.watermark",
+            f"merged view stamped for v{watermark} but cached at "
+            f"v{expected_version}",
+        )
+    expected_nodes = (
+        base.num_nodes - len(delta.nodes_deleted) + len(delta.nodes_added)
+    )
+    if merged.num_nodes != expected_nodes:
+        _fail(
+            "delta.node-count",
+            f"merged has {merged.num_nodes} nodes, "
+            f"base {base.num_nodes} - {len(delta.nodes_deleted)} deleted "
+            f"+ {len(delta.nodes_added)} added = {expected_nodes}",
+        )
+    if delta.edges_deleted:
+        present, _ = _merged_membership(merged, delta.edges_deleted)
+        if np.any(present):
+            _fail(
+                "delta.dangling-delete",
+                f"{int(present.sum())} net-deleted edge(s) survive in the "
+                f"merged view",
+            )
+    if delta.edges_added:
+        present, both = _merged_membership(merged, delta.edges_added)
+        if not np.all(both):
+            _fail(
+                "delta.add-endpoint",
+                "a net-added edge references a node absent from the merged view",
+            )
+        if not np.all(present):
+            _fail(
+                "delta.missing-add",
+                f"{int((~present).sum())} net-added edge(s) absent from the "
+                f"merged view",
+            )
+    summary["delta_checked"] = True
+    return summary
+
+
+def maybe_sanitize_delta(
+    merged, base, delta, graph=None, expected_version: "int | None" = None
+) -> None:
+    """Run :func:`sanitize_delta_view` only when sanitizing is enabled."""
+    if enabled():
+        sanitize_delta_view(
+            merged, base, delta, graph=graph, expected_version=expected_version
+        )

@@ -34,10 +34,13 @@ from repro.analysis import races as _races
 from repro.analysis import sanitize as _sanitize
 from repro.core.registry import FunctionRegistry, build_default_registry
 from repro.exceptions import RecoveryError
+from repro.faults import fault_point
 from repro.graphs.directed import DirectedGraph
 from repro.graphs.snapshot import csr_snapshot
 from repro.graphs.snapshot import snapshot_cache as _default_snapshot_cache
 from repro.graphs.undirected import UndirectedGraph
+from repro.incremental.engine import incremental_engine as _incremental_engine
+from repro.incremental.ingest import apply_graph_ops, validate_ops
 from repro.recovery import ops as _rops
 from repro.recovery.wal import SessionDurability
 from repro.memory.budget import (
@@ -160,6 +163,7 @@ class Ringo:
         race_check: "bool | str | None" = None,
         trace: "bool | str | None" = None,
         durability: "str | os.PathLike[str] | None" = None,
+        incremental: "bool | None" = None,
     ) -> None:
         self.pool = StringPool()
         self.workers = WorkerPool(workers, retry_policy=retry_policy)
@@ -197,6 +201,11 @@ class Ringo:
         self._snapshot_cache.configure(
             enabled=snapshot_cache, max_bytes=snapshot_cache_bytes
         )
+        # Incremental (delta) maintenance is process-wide like the
+        # snapshot cache; None leaves the RINGO_INCREMENTAL policy
+        # untouched, an explicit bool pins it for the process.
+        if incremental is not None:
+            _incremental_engine().configure(enabled=incremental)
         self._timings: dict[str, dict] = {}
         self._timings_lock = threading.Lock()
         # Race detection is process-wide like the snapshot cache; the
@@ -688,6 +697,98 @@ class Ringo:
         )
 
     @_timed
+    def ApplyOps(self, graph, ops) -> dict:
+        """Fold a mutation op stream into a dynamic graph.
+
+        ``ops`` is a JSON-safe list of ``["add_node", id]`` /
+        ``["del_node", id]`` / ``["add_edge", src, dst]`` /
+        ``["del_edge", src, dst]`` entries, applied in order through the
+        graph's public mutators — so the per-graph mutation log observes
+        every one and subsequent analytics advance by delta instead of
+        rebuilding. With durability armed the batch commits as one WAL
+        record; recovery replays it through the same code path, and
+        another session can stream it live via :meth:`TailWal`.
+
+        Returns the ingest summary (``applied`` / ``skipped`` /
+        ``version`` / ``nodes`` / ``edges``).
+        """
+        args = None
+        if self._durability is not None:
+            # Adopt the graph *before* it mutates; normalise the ops so
+            # the WAL record replays byte-identically.
+            self._prepare_inputs(graph)
+            args = {"ops": [list(op) for op in validate_ops(ops)]}
+        summary = apply_graph_ops(graph, ops)
+        self._commit("graph", "ApplyOps", graph, args, (graph,), mutated=True)
+        return summary
+
+    def apply_ops(self, graph, ops) -> dict:
+        """Lowercase alias for :meth:`ApplyOps` (streaming-style surface)."""
+        return self.ApplyOps(graph, ops)
+
+    @_timed
+    def TailWal(self, directory, cursor: int = 0) -> dict:
+        """Stream committed ``ApplyOps`` records out of another WAL.
+
+        Reads the write-ahead log under ``directory`` and applies every
+        ``ApplyOps`` record with ``lsn > cursor`` whose target graph
+        exists in *this* session's catalog (same name), through
+        :meth:`ApplyOps` — live streaming and crash replay share one
+        ingestion path. Records for unknown objects or other operations
+        are counted under ``skipped`` and passed over.
+
+        Returns ``{"applied_records", "applied_ops", "skipped",
+        "cursor", "error"}``. ``cursor`` is the last LSN fully
+        processed: on a fault (site ``incremental.wal.tail``) or apply
+        failure, ``error`` is set and the tail stops early — calling
+        again with the returned cursor resumes exactly where it left
+        off, applying nothing twice.
+        """
+        from repro.recovery.wal import WAL_FILENAME, read_wal
+
+        records, _tail = read_wal(os.path.join(os.fspath(directory), WAL_FILENAME))
+        applied_records = 0
+        applied_ops = 0
+        skipped = 0
+        position = int(cursor)
+        error = None
+        for record in records:
+            if record.lsn <= position:
+                continue
+            try:
+                fault_point("incremental.wal.tail")
+                if record.op == "ApplyOps":
+                    with self._catalog_lock:
+                        target = self._catalog.get(record.output)
+                    if isinstance(target, (DirectedGraph, UndirectedGraph)):
+                        summary = self.ApplyOps(target, record.args.get("ops") or [])
+                        applied_records += 1
+                        applied_ops += summary["applied"]
+                    else:
+                        skipped += 1
+                else:
+                    skipped += 1
+            except Exception as err:
+                # A fired fault or a diverged stream: report and stop
+                # with the last fully-processed LSN so the caller can
+                # retry from it. Nothing is applied twice or half-way
+                # misreported as success.
+                error = f"{type(err).__name__}: {err}"
+                break
+            position = record.lsn
+        return {
+            "applied_records": applied_records,
+            "applied_ops": applied_ops,
+            "skipped": skipped,
+            "cursor": position,
+            "error": error,
+        }
+
+    def tail_wal(self, directory, cursor: int = 0) -> dict:
+        """Lowercase alias for :meth:`TailWal` (streaming-style surface)."""
+        return self.TailWal(directory, cursor=cursor)
+
+    @_timed
     def GetKTruss(self, graph, k: int):
         """The k-truss subgraph (edges with >= k-2 triangle supports)."""
         self._snapshot(graph)
@@ -1072,6 +1173,7 @@ class Ringo:
             "parallel": self._dispatcher.snapshot(),
             "memory_budget": None if self.budget is None else self.budget.snapshot(),
             "snapshot_cache": self._snapshot_cache.stats(),
+            "incremental": _incremental_engine().stats(),
             "analysis": {
                 "race_detector": None if detector is None else detector.stats(),
                 "sanitizer": _sanitize.stats(),

@@ -79,6 +79,24 @@ Service sites (:mod:`repro.service` — the multi-tenant session server):
                        aborts the eviction cleanly; the session stays
                        resident and is retried on a later sweep)
 =====================  =====================================================
+
+Incremental sites (:mod:`repro.incremental` — delta snapshots and
+dynamic algorithms):
+
+===========================  ================================================
+``incremental.delta.apply``  per delta-refresh attempt in the snapshot
+                             cache, before the overlay is merged (a fired
+                             fault abandons the delta and falls back to a
+                             recorded full rebuild — never a wrong answer)
+``incremental.compact``      when an overlay run exceeds the compaction
+                             threshold, before the compacting rebuild is
+                             counted (a firing still full-rebuilds; it is
+                             recorded as a fallback instead of a compaction)
+``incremental.wal.tail``     per WAL record examined by ``Ringo.TailWal``
+                             (a firing stops the tail with the last applied
+                             cursor in the summary, so the caller retries
+                             from where it left off)
+===========================  ================================================
 """
 
 from __future__ import annotations
@@ -110,6 +128,9 @@ KNOWN_SITES = (
     "service.accept",
     "service.dispatch",
     "service.evict",
+    "incremental.delta.apply",
+    "incremental.compact",
+    "incremental.wal.tail",
 )
 
 

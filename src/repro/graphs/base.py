@@ -70,6 +70,10 @@ class GraphBase:
 
     _nodes: dict
     _version: int = 0
+    # Attached by the snapshot cache when incremental maintenance is on
+    # (see repro.incremental.delta.MutationLog); None costs one attribute
+    # load per mutation and nothing else.
+    _delta_log = None
 
     @property
     def version(self) -> int:
@@ -85,6 +89,24 @@ class GraphBase:
     def _bump_version(self) -> None:
         """Record one structural mutation (invalidates cached snapshots)."""
         self._version += 1
+
+    def _record_delta(self, kind: str, a: int = -1, b: int = -1) -> None:
+        """Append one mutation to the attached delta log, if any.
+
+        Called by the mutators *after* their version bump so the record
+        carries the version the mutation produced. Inert (one attribute
+        load, one ``None`` check) unless the snapshot cache attached a
+        log for incremental maintenance.
+        """
+        log = self._delta_log
+        if log is not None:
+            log.record(self._version, kind, a, b)
+
+    def _poison_delta(self, reason: str) -> None:
+        """Mark the attached delta log unusable (bulk-install paths)."""
+        log = self._delta_log
+        if log is not None:
+            log.poison(reason)
 
     def __len__(self) -> int:
         return len(self._nodes)

@@ -55,6 +55,7 @@ class CSRGraph:
         self._undirected: "CSRGraph | None" = None
         self._forward: "tuple[np.ndarray, np.ndarray] | None" = None
         self._forward_edge_keys: "np.ndarray | None" = None
+        self._out_edge_keys: "np.ndarray | None" = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -395,6 +396,21 @@ class CSRGraph:
             keys.flags.writeable = False
             self._forward_edge_keys = keys
         return self._forward_edge_keys
+
+    def out_edge_keys(self) -> np.ndarray:
+        """Each out edge ``(src, dst)`` as the sortable key ``src*n + dst``.
+
+        Globally ascending for a simple graph (rows are sorted and
+        grouped by ascending source), which makes whole-edge-set
+        membership a single vectorised binary search — the delta
+        sanitizer's no-dangling-delete / added-edge-present checks.
+        Cached like the other derived arrays.
+        """
+        if self._out_edge_keys is None:
+            keys = self.edge_sources() * self.num_nodes + self._out_indices
+            keys.flags.writeable = False
+            self._out_edge_keys = keys
+        return self._out_edge_keys
 
     def memory_bytes(self) -> int:
         """Bytes held by the five CSR arrays (Table 2 / A2 accounting)."""

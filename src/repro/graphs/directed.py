@@ -131,6 +131,7 @@ class DirectedGraph(GraphBase):
             return False
         self._nodes[node_id] = _NodeRecord()
         self._bump_version()
+        self._record_delta("add_node", node_id)
         return True
 
     def add_edge(self, src: int, dst: int) -> bool:
@@ -152,6 +153,7 @@ class DirectedGraph(GraphBase):
         dst_record.in_nbrs, _ = sorted_insert(dst_record.in_nbrs, src)
         self._num_edges += 1
         self._bump_version()
+        self._record_delta("add_edge", src, dst)
         return True
 
     def del_edge(self, src: int, dst: int) -> None:
@@ -167,11 +169,18 @@ class DirectedGraph(GraphBase):
         dst_record.in_nbrs, _ = sorted_remove(dst_record.in_nbrs, src)
         self._num_edges -= 1
         self._bump_version()
+        self._record_delta("del_edge", src, dst)
 
     def del_node(self, node_id: int) -> None:
         """Delete a node and every incident edge; raises if absent."""
         self._require_node(node_id)
         record = self._nodes[node_id]
+        # Captured before deletion; the delta log needs every incident
+        # edge as an explicit delete record (stamped with the single
+        # post-bump version) so a node delete never leaves an implicit
+        # cascade for the merge to reconstruct.
+        out_list = record.out_nbrs.tolist()
+        in_list = record.in_nbrs.tolist()
         for nbr in record.out_nbrs.tolist():
             if nbr != node_id:
                 nbr_record = self._nodes[nbr]
@@ -186,6 +195,12 @@ class DirectedGraph(GraphBase):
         self._num_edges -= removed_edges
         del self._nodes[node_id]
         self._bump_version()
+        for nbr in out_list:
+            self._record_delta("del_edge", node_id, nbr)
+        for nbr in in_list:
+            if nbr != node_id:  # the self-loop is already in out_list
+                self._record_delta("del_edge", nbr, node_id)
+        self._record_delta("del_node", node_id)
 
     def _set_adjacency(
         self, node_id: int, in_nbrs: np.ndarray, out_nbrs: np.ndarray
@@ -202,11 +217,13 @@ class DirectedGraph(GraphBase):
         record.in_nbrs = np.ascontiguousarray(in_nbrs, dtype=np.int64)
         record.out_nbrs = np.ascontiguousarray(out_nbrs, dtype=np.int64)
         self._bump_version()
+        self._poison_delta("bulk adjacency install")
 
     def _set_edge_count(self, count: int) -> None:
         """Set the edge count after a bulk build."""
         self._num_edges = count
         self._bump_version()
+        self._poison_delta("bulk edge-count install")
 
     # ------------------------------------------------------------------
     # Derived graphs

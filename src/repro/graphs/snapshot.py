@@ -36,12 +36,16 @@ import sys
 import threading
 import weakref
 
-from repro.analysis.sanitize import maybe_sanitize
+import numpy as np
+
+from repro.analysis.sanitize import maybe_sanitize, maybe_sanitize_delta
 from repro.exceptions import RingoError
 from repro.faults import fault_point
 from repro.graphs.csr import CSRGraph
 from repro.graphs.directed import DirectedGraph
 from repro.graphs.undirected import UndirectedGraph
+from repro.incremental.delta import DeltaError, apply_delta
+from repro.incremental.engine import incremental_engine
 from repro.obs.metrics import registry as _metrics_registry
 from repro.obs.spans import enabled as _tracing_enabled
 from repro.obs.spans import event as _obs_event
@@ -137,6 +141,7 @@ class SnapshotCache:
         key = id(graph)
         version = graph.version
         stale = False
+        stale_entry = None
         if self.enabled:
             with self._lock:
                 entry = self._entries.get(key)
@@ -147,12 +152,23 @@ class SnapshotCache:
                         _obs_event("snapshot.hit", version=version)
                         return entry.csr
                     stale = True
-        csr = self._build(graph, pool)
-        # Under RINGO_SANITIZE=1 every conversion is invariant-checked
-        # before it is served or cached; passing the pre-build version
-        # also proves the graph did not mutate mid-conversion (the
-        # cache-key coherence check).
-        maybe_sanitize(csr, graph=graph, expected_version=version)
+                    stale_entry = entry
+        csr = None
+        refreshed = False
+        if stale:
+            # Delta maintenance: merge the mutation-log overlay into the
+            # stale base instead of rebuilding from scratch. Any failure
+            # (gap, poisoned log, injected fault, merge invariant) falls
+            # through to the full build — never a wrong answer.
+            csr = self._refresh_from_delta(graph, stale_entry, version)
+            refreshed = csr is not None
+        if csr is None:
+            csr = self._build(graph, pool)
+            # Under RINGO_SANITIZE=1 every conversion is invariant-checked
+            # before it is served or cached; passing the pre-build version
+            # also proves the graph did not mutate mid-conversion (the
+            # cache-key coherence check).
+            maybe_sanitize(csr, graph=graph, expected_version=version)
         if not self.enabled:
             return csr
         nbytes = csr.memory_bytes()
@@ -188,7 +204,92 @@ class SnapshotCache:
             ref = weakref.ref(graph, self._make_cleanup(key))
             self._entries[key] = _Entry(ref, version, csr, nbytes)
             self._cached_bytes += nbytes - replaced
+        engine = incremental_engine()
+        if engine.enabled:
+            if not refreshed:
+                # A stored full build is the new delta base: make sure a
+                # usable mutation log is anchored at its version.
+                engine.ensure_log(graph, version)
+            engine.trim_log(graph, version)
         return csr
+
+    def _refresh_from_delta(self, graph, entry, version: int) -> "CSRGraph | None":
+        """Fold the mutation-log overlay into a stale base snapshot.
+
+        Returns the merged CSR — bitwise what a full rebuild would have
+        produced — or ``None`` to fall back to the full conversion,
+        recording the reason. Runs include the ``incremental.delta.apply``
+        and ``incremental.compact`` fault sites so chaos tests can prove
+        a failed merge degrades to a rebuild instead of a wrong answer.
+        """
+        engine = incremental_engine()
+        if not engine.enabled:
+            return None
+        try:
+            fault_point("incremental.delta.apply")
+            pair = engine.delta_between(graph, entry.version, version)
+            if pair is None:
+                log = graph._delta_log
+                reason = (
+                    "no mutation log"
+                    if log is None
+                    else (log.poison_reason or "log window unavailable")
+                )
+                engine.record_fallback(reason)
+                _count("incremental.fallback_full")
+                return None
+            delta, op_count = pair
+            if op_count > engine.compact_threshold(entry.csr.num_edges):
+                # The overlay outgrew the configured fraction of the
+                # base: compact it into a fresh full conversion.
+                fault_point("incremental.compact")
+                engine.record_compaction()
+                _count("incremental.compactions")
+                _obs_event(
+                    "snapshot.compact", base=entry.version, ops=op_count
+                )
+                return None
+            if delta.empty():
+                # The run cancelled out (e.g. add then delete): restamp
+                # the existing arrays under the new version. The shm
+                # export is keyed by the old stamp, so drop it first.
+                merged = entry.csr
+                _drop_shm_export(merged)
+            else:
+                merged = apply_delta(entry.csr, delta, graph.is_directed)
+                self._verify_refresh(merged, graph)
+            merged._delta_base_version = entry.version
+            merged._delta_target_version = version
+            maybe_sanitize_delta(
+                merged, entry.csr, delta, graph=graph, expected_version=version
+            )
+            engine.record_delta_applied()
+            _count("incremental.delta_applied")
+            _obs_event(
+                "snapshot.delta_refresh",
+                base=entry.version, target=version, ops=op_count,
+            )
+            return merged
+        except Exception as err:  # noqa: BLE001 — any failure must degrade
+            engine.record_fallback(f"{type(err).__name__}: {err}")
+            _count("incremental.fallback_full")
+            _obs_event("snapshot.delta_fallback", error=type(err).__name__)
+            return None
+
+    @staticmethod
+    def _verify_refresh(merged: CSRGraph, graph) -> None:
+        """Always-on cheap guards on a merged view (vs the live graph)."""
+        if not np.array_equal(merged.node_ids, np.sort(graph.node_array())):
+            raise DeltaError("merged node set disagrees with the graph")
+        if graph.is_directed:
+            expected = graph.num_edges
+        else:
+            # Symmetric storage: each edge twice, self-loops once.
+            expected = 2 * graph.num_edges - merged.num_self_loops()
+        if merged.num_edges != expected:
+            raise DeltaError(
+                f"merged edge count {merged.num_edges} != expected {expected}"
+            )
 
     def _build(self, graph, pool) -> CSRGraph:
         with _obs_trace(

@@ -95,6 +95,7 @@ class UndirectedGraph(GraphBase):
             return False
         self._nodes[node_id] = EMPTY_ADJACENCY
         self._bump_version()
+        self._record_delta("add_node", node_id)
         return True
 
     def add_edge(self, u: int, v: int) -> bool:
@@ -114,6 +115,7 @@ class UndirectedGraph(GraphBase):
             self._nodes[v], _ = sorted_insert(self._nodes[v], u)
         self._num_edges += 1
         self._bump_version()
+        self._record_delta("add_edge", u, v)
         return True
 
     def del_edge(self, u: int, v: int) -> None:
@@ -129,28 +131,37 @@ class UndirectedGraph(GraphBase):
             self._nodes[v], _ = sorted_remove(self._nodes[v], u)
         self._num_edges -= 1
         self._bump_version()
+        self._record_delta("del_edge", u, v)
 
     def del_node(self, node_id: int) -> None:
         """Delete a node and its incident edges; raises if absent."""
         self._require_node(node_id)
         nbrs = self._nodes[node_id]
+        # Captured before deletion: the delta log records each incident
+        # edge as an explicit delete stamped with the post-bump version.
+        nbr_list = nbrs.tolist()
         for nbr in nbrs.tolist():
             if nbr != node_id:
                 self._nodes[nbr], _ = sorted_remove(self._nodes[nbr], node_id)
         self._num_edges -= len(nbrs)
         del self._nodes[node_id]
         self._bump_version()
+        for nbr in nbr_list:
+            self._record_delta("del_edge", node_id, nbr)
+        self._record_delta("del_node", node_id)
 
     def _set_adjacency(self, node_id: int, nbrs: np.ndarray) -> None:
         """Install a pre-sorted adjacency vector — bulk construction only."""
         self.add_node(node_id)
         self._nodes[node_id] = np.ascontiguousarray(nbrs, dtype=np.int64)
         self._bump_version()
+        self._poison_delta("bulk adjacency install")
 
     def _set_edge_count(self, count: int) -> None:
         """Set the edge count after a bulk build."""
         self._num_edges = count
         self._bump_version()
+        self._poison_delta("bulk edge-count install")
 
     def copy(self) -> "UndirectedGraph":
         """Deep copy."""

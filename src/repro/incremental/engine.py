@@ -1,0 +1,278 @@
+"""Process-wide incremental-maintenance policy, counters, and warm states.
+
+One :class:`IncrementalEngine` per process, mirroring the snapshot
+cache's deployment model (one interactive session per process). It owns:
+
+* **enablement** — on by default, disabled with ``RINGO_INCREMENTAL=0``
+  or ``Ringo(incremental=False)``;
+* **compaction policy** — a delta run longer than
+  ``max(min_compact_ops, compact_fraction * base_edges)`` is cheaper to
+  rebuild than to merge, so the cache compacts (full-rebuilds) instead;
+* **counters** — ``delta_applied`` / ``compactions`` / ``fallback_full``
+  plus per-algorithm warm/seed tallies, surfaced through
+  ``Ringo.health()["incremental"]`` and mirrored to the obs metrics
+  registry as ``incremental.*`` when tracing is armed;
+* **warm algorithm states** — per-graph (weakref-keyed) PageRank rank
+  vectors, WCC labels, and triangle counts that the dynamic variants in
+  :mod:`repro.incremental.algorithms` advance by delta instead of
+  recomputing from scratch.
+
+The module deliberately imports neither :mod:`repro.algorithms` nor
+:mod:`repro.graphs.snapshot` at module scope — both import *us* (the
+cache for the delta path, the algorithms for dispatch), so the engine
+stays at the bottom of the import graph.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import weakref
+
+from repro.incremental.delta import EdgeDelta, MutationLog, consolidate
+
+_ENV_VAR = "RINGO_INCREMENTAL"
+
+#: PageRank stops when the L1 step change drops below ``tolerance``;
+#: the standard power-iteration bound then caps the distance to the
+#: fixed point at ``damping / (1 - damping) * tolerance``. Incremental
+#: and batch runs each sit inside that ball, so they differ by at most
+#: twice it — the ε the differential harness asserts.
+PAGERANK_EPSILON_FACTOR = 2.0
+
+
+def pagerank_epsilon(damping: float, tolerance: float) -> float:
+    """The documented incremental-vs-batch PageRank L1 bound.
+
+    >>> round(pagerank_epsilon(0.85, 1e-9) / 1e-8, 3)
+    1.133
+    """
+    return PAGERANK_EPSILON_FACTOR * damping / (1.0 - damping) * tolerance
+
+
+def _env_enabled() -> bool:
+    value = os.environ.get(_ENV_VAR, "").strip().lower()
+    return value not in ("0", "false", "off", "no")
+
+
+_DEFAULT_COMPACT_FRACTION = 0.1
+_DEFAULT_MIN_COMPACT_OPS = 64
+
+
+class _GraphState:
+    """Warm per-graph algorithm states (versions + dense results)."""
+
+    __slots__ = ("pagerank", "wcc", "triangles")
+
+    def __init__(self) -> None:
+        # pagerank: (params_key, version, node_ids, ranks)
+        self.pagerank: "tuple | None" = None
+        # wcc: (version, node_ids, labels)
+        self.wcc: "tuple | None" = None
+        # triangles: (version, node_ids, counts, sym_projection)
+        self.triangles: "tuple | None" = None
+
+    def versions(self) -> "list[int]":
+        versions = []
+        if self.pagerank is not None:
+            versions.append(self.pagerank[1])
+        if self.wcc is not None:
+            versions.append(self.wcc[0])
+        if self.triangles is not None:
+            versions.append(self.triangles[0])
+        return versions
+
+
+class IncrementalEngine:
+    """Enablement, compaction policy, counters, and warm states.
+
+    >>> engine = IncrementalEngine()
+    >>> engine.compact_threshold(10_000)
+    1000
+    >>> engine.record_fallback("demo")
+    >>> engine.stats()["fallback_full"], engine.stats()["last_fallback_reason"]
+    (1, 'demo')
+    """
+
+    def __init__(
+        self,
+        compact_fraction: float = _DEFAULT_COMPACT_FRACTION,
+        min_compact_ops: int = _DEFAULT_MIN_COMPACT_OPS,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._forced: "bool | None" = None
+        self.compact_fraction = float(compact_fraction)
+        self.min_compact_ops = int(min_compact_ops)
+        self._states: dict[int, _GraphState] = {}
+        self._refs: dict[int, weakref.ref] = {}
+        self._delta_applied = 0
+        self._compactions = 0
+        self._fallback_full = 0
+        self._last_fallback_reason: "str | None" = None
+        self._algo: dict[str, dict[str, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        """Whether delta maintenance is active (override beats env)."""
+        forced = self._forced
+        if forced is not None:
+            return forced
+        return _env_enabled()
+
+    def configure(
+        self,
+        enabled: "bool | None" = None,
+        compact_fraction: "float | None" = None,
+        min_compact_ops: "int | None" = None,
+    ) -> None:
+        """Adjust the toggle and compaction policy in place."""
+        with self._lock:
+            if enabled is not None:
+                self._forced = bool(enabled)
+            if compact_fraction is not None:
+                self.compact_fraction = float(compact_fraction)
+            if min_compact_ops is not None:
+                self.min_compact_ops = int(min_compact_ops)
+
+    def reset(self) -> None:
+        """Drop warm states and counters, return every knob to defaults."""
+        with self._lock:
+            self._forced = None
+            self.compact_fraction = _DEFAULT_COMPACT_FRACTION
+            self.min_compact_ops = _DEFAULT_MIN_COMPACT_OPS
+            self._states.clear()
+            self._refs.clear()
+            self._delta_applied = 0
+            self._compactions = 0
+            self._fallback_full = 0
+            self._last_fallback_reason = None
+            self._algo.clear()
+
+    def compact_threshold(self, base_edges: int) -> int:
+        """Op-run length beyond which rebuilding beats merging."""
+        return max(self.min_compact_ops, int(self.compact_fraction * base_edges))
+
+    # ------------------------------------------------------------------
+    # Counters
+    # ------------------------------------------------------------------
+
+    def record_delta_applied(self) -> None:
+        """Count one stale snapshot refreshed by delta merge."""
+        with self._lock:
+            self._delta_applied += 1
+
+    def record_compaction(self) -> None:
+        """Count one overlay compacted into a fresh full build."""
+        with self._lock:
+            self._compactions += 1
+
+    def record_fallback(self, reason: str) -> None:
+        """Count one delta path abandoned for a full rebuild."""
+        with self._lock:
+            self._fallback_full += 1
+            self._last_fallback_reason = reason
+
+    def record_algo(self, name: str, mode: str) -> None:
+        """Tally one dynamic-algorithm outcome (``warm`` / ``seed``)."""
+        with self._lock:
+            entry = self._algo.setdefault(name, {})
+            entry[mode] = entry.get(mode, 0) + 1
+
+    def stats(self) -> dict:
+        """Counter snapshot for ``Ringo.health()["incremental"]``."""
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "compact_fraction": self.compact_fraction,
+                "min_compact_ops": self.min_compact_ops,
+                "delta_applied": self._delta_applied,
+                "compactions": self._compactions,
+                "fallback_full": self._fallback_full,
+                "last_fallback_reason": self._last_fallback_reason,
+                "graph_states": len(self._states),
+                "algorithms": {
+                    name: dict(entry) for name, entry in self._algo.items()
+                },
+            }
+
+    # ------------------------------------------------------------------
+    # Mutation-log lifecycle (called by the snapshot cache)
+    # ------------------------------------------------------------------
+
+    def ensure_log(self, graph, version: int) -> None:
+        """Anchor a mutation log at ``version`` if none can serve it.
+
+        A healthy log that has observed every mutation up to ``version``
+        is kept as-is — re-anchoring would discard history other
+        consumers (warm algorithm states, a second cache) still need.
+        """
+        log = graph._delta_log
+        if log is None or not log.usable_at(version):
+            graph._delta_log = MutationLog(version)
+
+    def trim_log(self, graph, base_version: int) -> None:
+        """Drop ops no consumer can still ask for.
+
+        The floor is the oldest version any consumer is anchored at:
+        the cache's freshly stored base and every warm algorithm state.
+        """
+        log = graph._delta_log
+        if log is None:
+            return
+        floor = base_version
+        state = self._states.get(id(graph))
+        if state is not None:
+            for version in state.versions():
+                floor = min(floor, version)
+        log.drop_before(floor)
+
+    def delta_between(
+        self, graph, v0: int, v1: int
+    ) -> "tuple[EdgeDelta, int] | None":
+        """The consolidated net delta over ``(v0, v1]``, or ``None``.
+
+        Returns ``(delta, op_count)``; ``None`` means the log cannot
+        prove completeness over the window.
+        """
+        log = graph._delta_log
+        if log is None:
+            return None
+        ops = log.slice(v0, v1)
+        if ops is None:
+            return None
+        return consolidate(ops, graph.is_directed), len(ops)
+
+    # ------------------------------------------------------------------
+    # Warm algorithm states
+    # ------------------------------------------------------------------
+
+    def state_for(self, graph) -> _GraphState:
+        """The warm-state slot for ``graph`` (created on first use)."""
+        key = id(graph)
+        with self._lock:
+            state = self._states.get(key)
+            if state is None:
+                state = _GraphState()
+                self._states[key] = state
+                self._refs[key] = weakref.ref(graph, self._make_cleanup(key))
+            return state
+
+    def _make_cleanup(self, key: int):
+        def cleanup(_ref) -> None:
+            with self._lock:
+                self._states.pop(key, None)
+                self._refs.pop(key, None)
+
+        return cleanup
+
+
+_DEFAULT_ENGINE = IncrementalEngine()
+
+
+def incremental_engine() -> IncrementalEngine:
+    """The process-wide incremental engine."""
+    return _DEFAULT_ENGINE

@@ -354,6 +354,20 @@ def _replay_rewire(session, args, inputs, lsn):
     )
 
 
+def _replay_apply_ops(session, args, inputs, lsn):
+    """Re-fold an op stream into the already-reconstructed graph.
+
+    Crash replay and live streaming (``Ringo.TailWal``) share
+    :func:`repro.incremental.ingest.apply_graph_ops`, so a recovered
+    graph's mutation log advances exactly as the original session's did.
+    """
+    from repro.incremental.ingest import apply_graph_ops
+
+    graph = _one(inputs, lsn, "ApplyOps")
+    apply_graph_ops(graph, args["ops"])
+    return graph
+
+
 def _replay_adopt_table(session, args, inputs, lsn):
     """Rebuild an adopted (externally built) table from its snapshot."""
     return decode_table_payload(args["payload"], session.pool)
@@ -396,6 +410,7 @@ REPLAY = {
     "GenPlantedPartition": _replay_gen_planted_partition,
     "GenConfigurationModel": _replay_gen_configuration_model,
     "Rewire": _replay_rewire,
+    "ApplyOps": _replay_apply_ops,
     "__adopt_table__": _replay_adopt_table,
     "__adopt_graph__": _replay_adopt_graph,
 }

@@ -16,3 +16,9 @@ def service_step():
     fault_point("service.accept")
     fault_point("service.dispatch")
     fault_point("service.evict")
+
+
+def incremental_step():
+    fault_point("incremental.delta.apply")
+    fault_point("incremental.compact")
+    fault_point("incremental.wal.tail")

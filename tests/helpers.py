@@ -48,3 +48,39 @@ def random_undirected(num_nodes: int, num_edges: int, seed: int) -> UndirectedGr
     src = rng.integers(0, num_nodes, size=num_edges)
     dst = rng.integers(0, num_nodes, size=num_edges)
     return graph_from_edge_arrays(src, dst, directed=False)
+
+
+def apply_random_mutations(graph, rng, count: int, universe: int) -> list:
+    """Apply ``count`` random valid mutations to ``graph`` in place.
+
+    The workload mix the incremental differential harness replays:
+    edge adds (~45%, including self-loops and brand-new endpoints),
+    edge deletes (~25%, drawn from the live edge set), node deletes
+    (~15%, cascading through incident edges), and isolated node adds.
+    Returns the ops as JSON-safe ``[kind, ...]`` lists — the exact
+    format ``Ringo.ApplyOps`` ingests — so a trace can be replayed
+    against a mirror graph or through the WAL.
+    """
+    ops: list = []
+    for _ in range(count):
+        roll = rng.random()
+        if roll < 0.25 and graph.num_edges:
+            edges = sorted(graph.edges())
+            u, v = edges[rng.randrange(len(edges))]
+            graph.del_edge(u, v)
+            ops.append(["del_edge", u, v])
+        elif roll < 0.40 and graph.num_nodes:
+            nodes = sorted(graph.nodes())
+            node = nodes[rng.randrange(len(nodes))]
+            graph.del_node(node)
+            ops.append(["del_node", node])
+        elif roll < 0.55:
+            node = rng.randrange(universe + 20)
+            graph.add_node(node)
+            ops.append(["add_node", node])
+        else:
+            u = rng.randrange(universe)
+            v = rng.randrange(universe)
+            graph.add_edge(u, v)
+            ops.append(["add_edge", u, v])
+    return ops

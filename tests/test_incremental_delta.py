@@ -1,0 +1,341 @@
+"""Units for the delta layer: mutation log, consolidation, merge, sanitizer.
+
+The focused counterpart to the trace-differential harness — each
+invariant the delta path depends on is pinned down in isolation: log
+contiguity and self-poisoning, add/delete cancellation, the keyed CSR
+merge (including the delete-path regressions: overlay-only edges,
+self-loops, node deletes that cascade), the merged-view sanitizer's
+failure branches, and the op-stream validators.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sanitize import sanitize_delta_view
+from repro.exceptions import GraphError, SanitizerError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.directed import DirectedGraph
+from repro.graphs.snapshot import csr_snapshot
+from repro.graphs.undirected import UndirectedGraph
+from repro.incremental.delta import (
+    DeltaError,
+    EdgeDelta,
+    MutationLog,
+    apply_delta,
+    consolidate,
+)
+from repro.incremental.engine import incremental_engine
+from repro.incremental.ingest import apply_graph_ops, validate_ops
+from tests.helpers import build_directed, build_undirected
+
+
+@pytest.fixture(autouse=True)
+def _fresh_engine():
+    engine = incremental_engine()
+    engine.reset()
+    yield engine
+    engine.reset()
+
+
+class TestMutationLog:
+    def test_contiguous_recording_and_slice(self):
+        log = MutationLog(10)
+        log.record(11, "add_edge", 1, 2)
+        log.record(11, "add_edge", 2, 3)  # several records per bump is fine
+        log.record(12, "del_edge", 1, 2)
+        assert log.usable_at(12)
+        assert log.slice(10, 12) == [
+            ("add_edge", 1, 2), ("add_edge", 2, 3), ("del_edge", 1, 2),
+        ]
+        assert log.slice(11, 12) == [("del_edge", 1, 2)]
+
+    def test_version_gap_poisons(self):
+        log = MutationLog(10)
+        log.record(11, "add_edge", 1, 2)
+        log.record(13, "add_edge", 2, 3)  # skipped v12: a mutation escaped
+        assert log.poison_reason is not None
+        assert "gap" in log.poison_reason
+        assert log.slice(10, 13) is None
+        assert not log.usable_at(13)
+
+    def test_overflow_poisons(self, monkeypatch):
+        monkeypatch.setattr("repro.incremental.delta.MAX_LOG_OPS", 5)
+        log = MutationLog(0)
+        for version in range(1, 8):
+            log.record(version, "add_node", version, 0)
+        assert log.poison_reason is not None
+        assert "overflow" in log.poison_reason
+        assert log.slice(0, 3) is None
+
+    def test_slice_outside_window_is_none(self):
+        log = MutationLog(10)
+        log.record(11, "add_edge", 1, 2)
+        assert log.slice(9, 11) is None  # anchored after v9
+        assert log.slice(10, 12) is None  # not yet caught up to v12
+        assert log.slice(10, 11) is not None
+
+    def test_drop_before_narrows_the_window(self):
+        log = MutationLog(0)
+        for version in range(1, 6):
+            log.record(version, "add_node", version, 0)
+        log.drop_before(3)
+        assert log.slice(0, 5) is None  # floor moved past v0
+        assert log.slice(3, 5) == [("add_node", 4, 0), ("add_node", 5, 0)]
+        assert len(log) == 2
+
+    def test_explicit_poison_clears_ops(self):
+        log = MutationLog(0)
+        log.record(1, "add_edge", 1, 2)
+        log.poison("bulk adjacency install")
+        assert len(log) == 0
+        assert log.slice(0, 1) is None
+
+
+class TestConsolidate:
+    def test_add_then_delete_cancels(self):
+        delta = consolidate(
+            [("add_edge", 1, 2), ("del_edge", 1, 2)], directed=True
+        )
+        assert delta.empty()
+
+    def test_delete_then_readd_cancels(self):
+        delta = consolidate(
+            [("del_edge", 1, 2), ("add_edge", 1, 2)], directed=True
+        )
+        assert delta.empty()
+
+    def test_node_add_then_delete_cancels(self):
+        delta = consolidate(
+            [("add_node", 7, 0), ("del_node", 7, 0)], directed=True
+        )
+        assert delta.empty()
+
+    def test_undirected_keys_normalise(self):
+        delta = consolidate(
+            [("add_edge", 5, 2), ("del_edge", 2, 5)], directed=False
+        )
+        assert delta.empty()
+        delta = consolidate([("add_edge", 5, 2)], directed=False)
+        assert delta.edges_added == {(2, 5)}
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(DeltaError, match="unknown mutation kind"):
+            consolidate([("rename_edge", 1, 2)], directed=True)
+
+    def test_size_counts_all_sets(self):
+        delta = consolidate(
+            [("add_node", 9, 0), ("del_edge", 1, 2), ("add_edge", 3, 4)],
+            directed=True,
+        )
+        assert delta.size() == 3
+
+
+class TestApplyDelta:
+    def test_matches_from_graph_directed(self):
+        graph = build_directed([(1, 2), (2, 3), (3, 1)])
+        base = CSRGraph.from_graph(graph)
+        graph.add_edge(3, 4)
+        graph.del_edge(1, 2)
+        delta = consolidate(
+            [("add_edge", 3, 4), ("del_edge", 1, 2)], directed=True
+        )
+        delta.nodes_added.add(4)
+        merged = apply_delta(base, delta, directed=True)
+        expected = CSRGraph.from_graph(graph)
+        assert np.array_equal(merged.node_ids, expected.node_ids)
+        assert np.array_equal(merged.out_indptr, expected.out_indptr)
+        assert np.array_equal(merged.out_indices, expected.out_indices)
+        assert np.array_equal(merged.in_indptr, expected.in_indptr)
+        assert np.array_equal(merged.in_indices, expected.in_indices)
+
+    def test_undirected_merge_shares_orientations(self):
+        graph = build_undirected([(1, 2), (2, 3)])
+        base = CSRGraph.from_graph(graph)
+        delta = EdgeDelta()
+        delta.edges_added.add((1, 3))
+        merged = apply_delta(base, delta, directed=False)
+        # from_graph's undirected representation detail is preserved:
+        # both orientations carry the same symmetric adjacency.
+        assert np.array_equal(merged.out_indptr, merged.in_indptr)
+        assert np.array_equal(merged.out_indices, merged.in_indices)
+        graph.add_edge(1, 3)
+        expected = CSRGraph.from_graph(graph)
+        assert np.array_equal(merged.out_indices, expected.out_indices)
+
+    def test_dangling_edge_delete_raises(self):
+        base = CSRGraph.from_edges([1, 2], [2, 3])
+        delta = EdgeDelta()
+        delta.edges_deleted.add((1, 3))
+        with pytest.raises(DeltaError, match="dangling"):
+            apply_delta(base, delta, directed=True)
+
+    def test_duplicate_node_add_raises(self):
+        base = CSRGraph.from_edges([1], [2])
+        delta = EdgeDelta()
+        delta.nodes_added.add(2)
+        with pytest.raises(DeltaError, match="already present"):
+            apply_delta(base, delta, directed=True)
+
+    def test_deleted_node_with_retained_edges_raises(self):
+        base = CSRGraph.from_edges([1, 2], [2, 3])
+        delta = EdgeDelta()
+        delta.nodes_deleted.add(2)  # node delete without its edge deletes
+        with pytest.raises(DeltaError):
+            apply_delta(base, delta, directed=True)
+
+
+def _assert_snapshot_matches(graph):
+    got = csr_snapshot(graph)
+    expected = CSRGraph.from_graph(graph)
+    assert np.array_equal(got.node_ids, expected.node_ids)
+    assert np.array_equal(got.out_indptr, expected.out_indptr)
+    assert np.array_equal(got.out_indices, expected.out_indices)
+    assert np.array_equal(got.in_indptr, expected.in_indptr)
+    assert np.array_equal(got.in_indices, expected.in_indices)
+    return got
+
+
+class TestDeletePathRegressions:
+    """Invalidation corners on the live cache path (both graph kinds)."""
+
+    @pytest.mark.parametrize("build", [build_directed, build_undirected])
+    def test_overlay_only_edge_delete_restamps(self, build, _fresh_engine):
+        graph = build([(1, 2), (2, 3)])
+        base = csr_snapshot(graph)
+        graph.add_edge(5, 6)
+        graph.del_edge(5, 6)
+        graph.add_node(5)
+        graph.del_node(5)
+        graph.add_node(6)
+        graph.del_node(6)
+        # The run cancelled to a structural no-op: the cache restamps
+        # the existing arrays instead of rebuilding or merging.
+        assert _assert_snapshot_matches(graph) is base
+        assert _fresh_engine.stats()["delta_applied"] == 1
+
+    @pytest.mark.parametrize("build", [build_directed, build_undirected])
+    def test_self_loop_add_and_delete(self, build, _fresh_engine):
+        graph = build([(1, 2), (2, 3)])
+        csr_snapshot(graph)
+        graph.add_edge(2, 2)
+        got = _assert_snapshot_matches(graph)
+        assert got.num_self_loops() == 1
+        graph.del_edge(2, 2)
+        _assert_snapshot_matches(graph)
+        assert _fresh_engine.stats()["delta_applied"] == 2
+        assert _fresh_engine.stats()["fallback_full"] == 0
+
+    @pytest.mark.parametrize("build", [build_directed, build_undirected])
+    def test_del_node_with_self_loop(self, build, _fresh_engine):
+        graph = build([(1, 2), (2, 3), (3, 1)])
+        graph.add_edge(2, 2)
+        csr_snapshot(graph)
+        graph.del_node(2)  # cascades the loop and both incident edges
+        _assert_snapshot_matches(graph)
+        assert _fresh_engine.stats()["delta_applied"] == 1
+        assert _fresh_engine.stats()["fallback_full"] == 0
+
+    def test_multi_edge_churn_on_one_pair(self, _fresh_engine):
+        graph = build_directed([(1, 2), (2, 1), (2, 3)])
+        csr_snapshot(graph)
+        for _ in range(3):  # repeated del/re-add of the same pair
+            graph.del_edge(1, 2)
+            graph.add_edge(1, 2)
+        graph.del_edge(2, 1)
+        _assert_snapshot_matches(graph)
+        assert _fresh_engine.stats()["fallback_full"] == 0
+
+
+class TestSanitizeDeltaView:
+    def _merged(self):
+        graph = build_directed([(1, 2), (2, 3)])
+        base = CSRGraph.from_graph(graph)
+        delta = EdgeDelta()
+        delta.edges_added.add((3, 1))
+        merged = apply_delta(base, delta, directed=True)
+        merged._delta_base_version = graph.version
+        merged._delta_target_version = graph.version + 1
+        return merged, base, delta
+
+    def test_valid_merge_passes(self):
+        merged, base, delta = self._merged()
+        summary = sanitize_delta_view(
+            merged, base, delta, expected_version=merged._delta_target_version
+        )
+        assert summary["delta_checked"]
+
+    def test_watermark_mismatch_fails(self):
+        merged, base, delta = self._merged()
+        with pytest.raises(SanitizerError, match="delta.watermark"):
+            sanitize_delta_view(
+                merged, base, delta,
+                expected_version=merged._delta_target_version + 1,
+            )
+
+    def test_node_count_mismatch_fails(self):
+        merged, base, delta = self._merged()
+        delta.nodes_added.add(99)  # claims a node the merge never added
+        with pytest.raises(SanitizerError, match="delta.node-count"):
+            sanitize_delta_view(merged, base, delta)
+
+    def test_dangling_delete_fails(self):
+        merged, base, delta = self._merged()
+        delta.edges_deleted.add((1, 2))  # still present in the merged view
+        with pytest.raises(SanitizerError, match="delta.dangling-delete"):
+            sanitize_delta_view(merged, base, delta)
+
+    def test_missing_add_fails(self):
+        merged, base, delta = self._merged()
+        delta.edges_added.add((2, 1))  # endpoints exist, edge absent
+        with pytest.raises(SanitizerError, match="delta.missing-add"):
+            sanitize_delta_view(merged, base, delta)
+
+    def test_add_endpoint_missing_fails(self):
+        merged, base, delta = self._merged()
+        delta.edges_added.add((1, 42))  # node 42 not in the merged view
+        with pytest.raises(SanitizerError, match="delta.add-endpoint"):
+            sanitize_delta_view(merged, base, delta)
+
+
+class TestIngestValidation:
+    def test_valid_stream_normalises(self):
+        assert validate_ops([["add_edge", 1, 2], ("del_node", 7)]) == [
+            ("add_edge", 1, 2), ("del_node", 7),
+        ]
+
+    @pytest.mark.parametrize("bad", [
+        [["grow_edge", 1, 2]],        # unknown kind
+        [["add_edge", 1]],            # wrong arity
+        [["add_node", 1, 2]],         # wrong arity
+        [["add_edge", 1, "x"]],       # non-integer operand
+        ["add_edge"],                 # op is not a sequence
+        [42],
+    ])
+    def test_malformed_streams_raise(self, bad):
+        with pytest.raises(GraphError):
+            validate_ops(bad)
+
+    def test_idempotent_adds_are_skipped(self):
+        graph = DirectedGraph()
+        summary = apply_graph_ops(
+            graph, [["add_edge", 1, 2], ["add_edge", 1, 2], ["add_node", 1]]
+        )
+        assert summary["applied"] == 1
+        assert summary["skipped"] == 2
+        assert summary["edges"] == 1
+
+    def test_deleting_missing_edge_raises(self):
+        graph = UndirectedGraph()
+        graph.add_edge(1, 2)
+        with pytest.raises(GraphError):
+            apply_graph_ops(graph, [["del_edge", 1, 3]])
+
+
+class TestOutEdgeKeys:
+    def test_keys_are_global_ascending_and_cached(self):
+        csr = CSRGraph.from_edges([0, 0, 1, 2], [1, 2, 2, 0])
+        keys = csr.out_edge_keys()
+        expected = csr.edge_sources() * csr.num_nodes + csr.out_indices
+        assert np.array_equal(keys, expected)
+        assert np.all(np.diff(keys) > 0)  # simple graph: strictly ascending
+        assert csr.out_edge_keys() is keys  # cached
