@@ -25,12 +25,16 @@ from repro.exceptions import (
     AnalysisError,
     CorruptInputError,
     CorruptionError,
+    DivergenceError,
     ExecutionError,
+    FencedError,
     MemoryBudgetError,
     PoolClosedError,
     RaceDetected,
     RecoveryError,
     ReplayError,
+    ReplicaLagError,
+    ReplicationError,
     RetryExhaustedError,
     RingoError,
     SanitizerError,
@@ -53,13 +57,17 @@ __all__ = [
     "CorruptInputError",
     "CorruptionError",
     "DirectedGraph",
+    "DivergenceError",
     "ExecutionError",
+    "FencedError",
     "MemoryBudget",
     "MemoryBudgetError",
     "PoolClosedError",
     "RaceDetected",
     "RecoveryError",
     "ReplayError",
+    "ReplicaLagError",
+    "ReplicationError",
     "RetryExhaustedError",
     "RetryPolicy",
     "Ringo",

@@ -12,6 +12,11 @@ Commands:
   print the span-tree profile (optionally writing a JSONL trace).
 * ``serve --spool DIR`` — run the multi-tenant session service until
   SIGTERM/SIGINT, then drain (checkpoint all dirty sessions) and exit.
+  ``--role replica`` runs a hot standby; ``--replica HOST:PORT`` on a
+  primary ships its WAL there continuously.
+* ``promote HOST:PORT`` — promote a replica service to primary: drain
+  the ship stream to the WAL tip, bump the epoch, fence the old
+  primary's spool, start accepting writes.
 """
 
 from __future__ import annotations
@@ -217,10 +222,48 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         idle_evict_s=args.idle_evict_s,
         session_workers=args.session_workers,
         executor_threads=args.threads,
+        role=args.role,
+        replica_address=args.replica,
+        ship_interval_s=args.ship_interval_s,
+        ship_batch_records=args.ship_batch,
+        digest_every_batches=args.digest_every,
+        lag_degrade_records=args.lag_degrade,
     )
     asyncio.run(
         serve_forever(config, signals=(signal.SIGTERM, signal.SIGINT))
     )
+    return 0
+
+
+def _parse_address(value: str) -> "tuple[str, int]":
+    host, _, port = value.rpartition(":")
+    if not host or not port.isdigit():
+        raise RingoError(f"address {value!r} is not HOST:PORT")
+    return host, int(port)
+
+
+def _cmd_promote(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+
+    host, port = _parse_address(args.address)
+    with ServiceClient(host, port, tenant="__admin__", timeout=args.timeout) as client:
+        call_args: dict = {}
+        if args.new_epoch is not None:
+            call_args["new_epoch"] = args.new_epoch
+        if args.fence_spool is not None:
+            call_args["fence_spool"] = args.fence_spool
+        report = client.call("promote", **call_args)
+    print(
+        f"promoted to epoch {report['epoch']}; "
+        f"drained {report['drained_records']} record(s) from the old "
+        f"primary's WAL tails; adopted {len(report.get('adopted', []))} "
+        f"live session(s)"
+    )
+    for tenant, state in sorted(report.get("tenants", {}).items()):
+        print(f"  {tenant:<24} applied_lsn={state['applied_lsn']} "
+              f"epoch={state['epoch']}")
+    if report.get("fenced_spool"):
+        print(f"fenced old primary spool: {report['fenced_spool']}")
     return 0
 
 
@@ -359,7 +402,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--threads", type=int, default=8,
         help="shared executor threads running engine calls",
     )
+    serve.add_argument(
+        "--role", choices=("primary", "replica"), default="primary",
+        help="primary serves writes; replica follows a ship stream "
+             "and serves (lag-gated) reads until promoted",
+    )
+    serve.add_argument(
+        "--replica", default=None, metavar="HOST:PORT",
+        help="replica address a primary ships its WAL to (enables "
+             "continuous replication)",
+    )
+    serve.add_argument(
+        "--ship-interval-s", type=float, default=0.05,
+        help="WAL shipper polling interval on the primary",
+    )
+    serve.add_argument(
+        "--ship-batch", type=int, default=64,
+        help="max WAL records per shipped batch",
+    )
+    serve.add_argument(
+        "--digest-every", type=int, default=4,
+        help="exchange a consistency digest every N shipped batches",
+    )
+    serve.add_argument(
+        "--lag-degrade", type=int, default=1024,
+        help="replica read degradation threshold, in WAL records behind",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    promote = sub.add_parser(
+        "promote", help="promote a replica service to primary (fenced failover)"
+    )
+    promote.add_argument("address", metavar="HOST:PORT",
+                         help="the replica service to promote")
+    promote.add_argument(
+        "--fence-spool", default=None, metavar="DIR",
+        help="the deposed primary's spool root: drain its WAL tails and "
+             "fence its tenant directories at the new epoch",
+    )
+    promote.add_argument(
+        "--new-epoch", type=int, default=None,
+        help="explicit new epoch (defaults to highest observed + 1)",
+    )
+    promote.add_argument("--timeout", type=float, default=60.0)
+    promote.set_defaults(func=_cmd_promote)
     return parser
 
 

@@ -50,7 +50,7 @@ from repro.memory.budget import (
     estimate_join_bytes,
 )
 from repro.parallel.executor import WorkerPool, kernel_dispatcher, resolve_backend
-from repro.parallel.resilience import RetryPolicy
+from repro.parallel.resilience import RetryPolicy, run_with_retry
 from repro.tables.schema import Schema
 from repro.tables.strings import StringPool
 from repro.tables.table import Table
@@ -727,7 +727,12 @@ class Ringo:
         return self.ApplyOps(graph, ops)
 
     @_timed
-    def TailWal(self, directory, cursor: int = 0) -> dict:
+    def TailWal(
+        self,
+        directory,
+        cursor: int = 0,
+        retry_policy: "RetryPolicy | None" = None,
+    ) -> dict:
         """Stream committed ``ApplyOps`` records out of another WAL.
 
         Reads the write-ahead log under ``directory`` and applies every
@@ -743,6 +748,14 @@ class Ringo:
         failure, ``error`` is set and the tail stops early — calling
         again with the returned cursor resumes exactly where it left
         off, applying nothing twice.
+
+        ``retry_policy`` hardens a long-lived tailer (the replication
+        follower): transient per-record failures — an injected
+        ``incremental.wal.tail`` fault, a torn read mid-rotation — are
+        absorbed in place with jittered backoff instead of surfacing as
+        a stopped tail; only exhaustion (or a non-transient error)
+        stops with the resumable cursor. ``None`` keeps the strict
+        stop-on-first-error semantics.
         """
         from repro.recovery.wal import WAL_FILENAME, read_wal
 
@@ -755,19 +768,29 @@ class Ringo:
         for record in records:
             if record.lsn <= position:
                 continue
-            try:
+
+            def step(record=record):
                 fault_point("incremental.wal.tail")
-                if record.op == "ApplyOps":
-                    with self._catalog_lock:
-                        target = self._catalog.get(record.output)
-                    if isinstance(target, (DirectedGraph, UndirectedGraph)):
-                        summary = self.ApplyOps(target, record.args.get("ops") or [])
-                        applied_records += 1
-                        applied_ops += summary["applied"]
-                    else:
-                        skipped += 1
+                if record.op != "ApplyOps":
+                    return None
+                with self._catalog_lock:
+                    target = self._catalog.get(record.output)
+                if isinstance(target, (DirectedGraph, UndirectedGraph)):
+                    return self.ApplyOps(target, record.args.get("ops") or [])
+                return None
+
+            try:
+                if retry_policy is None:
+                    summary = step()
                 else:
+                    summary = run_with_retry(
+                        step, retry_policy, metric_prefix="incremental.wal.tail"
+                    )
+                if summary is None:
                     skipped += 1
+                else:
+                    applied_records += 1
+                    applied_ops += summary["applied"]
             except Exception as err:
                 # A fired fault or a diverged stream: report and stop
                 # with the last fully-processed LSN so the caller can
@@ -784,9 +807,14 @@ class Ringo:
             "error": error,
         }
 
-    def tail_wal(self, directory, cursor: int = 0) -> dict:
+    def tail_wal(
+        self,
+        directory,
+        cursor: int = 0,
+        retry_policy: "RetryPolicy | None" = None,
+    ) -> dict:
         """Lowercase alias for :meth:`TailWal` (streaming-style surface)."""
-        return self.TailWal(directory, cursor=cursor)
+        return self.TailWal(directory, cursor=cursor, retry_policy=retry_policy)
 
     @_timed
     def GetKTruss(self, graph, k: int):

@@ -294,6 +294,77 @@ class DeadlineExceededError(ServiceError):
         )
 
 
+class ReplicationError(RingoError):
+    """The hot-standby replication layer refused or failed an operation.
+
+    Base class for the typed failures :mod:`repro.replication` raises
+    instead of silently serving wrong answers: fenced writers, detected
+    divergence, and stale replicas all derive from it.
+    """
+
+
+class FencedError(ReplicationError):
+    """A deposed writer tried to append at a superseded epoch.
+
+    Epoch fencing is the split-brain guard: promotion bumps a monotonic
+    term stamped into every WAL frame and checkpoint manifest, and
+    writes the new term (with a fence marker) into the old primary's
+    durability directory. A revived or still-running old primary sees
+    the fence on its next append and gets this error instead of
+    committing a record the promoted service will never see.
+    """
+
+    def __init__(self, path: str, writer_epoch: int, current_epoch: int):
+        self.path = str(path)
+        self.writer_epoch = writer_epoch
+        self.current_epoch = current_epoch
+        super().__init__(
+            f"writer at epoch {writer_epoch} is fenced: {path} has been "
+            f"promoted to epoch {current_epoch}; this session must not "
+            f"commit further writes"
+        )
+
+
+class DivergenceError(ReplicationError):
+    """A replica's catalog digest stopped matching its primary's.
+
+    Raised when the periodic digest exchange at a ship watermark finds a
+    mismatch (or the shipped op stream can no longer be applied). The
+    replica quarantines its state and waits for a re-seed from the
+    primary's latest checkpoint — it never keeps serving answers it
+    knows to be wrong.
+    """
+
+    def __init__(self, tenant: str, lsn: int, reason: str):
+        self.tenant = tenant
+        self.lsn = lsn
+        self.reason = reason
+        super().__init__(
+            f"replica state for tenant {tenant!r} diverged at LSN {lsn}: "
+            f"{reason}"
+        )
+
+
+class ReplicaLagError(ReplicationError, TransientError):
+    """A replica refused a read because it has fallen too far behind.
+
+    Transient by design: replication catches up (or a promotion makes
+    the replica authoritative), so clients — and the shared
+    :class:`RetryPolicy` machinery — may back off and retry rather than
+    accept a stale answer past the configured lag threshold.
+    """
+
+    def __init__(self, tenant: str, lag_records: int, threshold: int):
+        self.tenant = tenant
+        self.lag_records = lag_records
+        self.threshold = threshold
+        super().__init__(
+            f"replica is {lag_records} record(s) behind for tenant "
+            f"{tenant!r} (degrade threshold {threshold}); retry after it "
+            f"catches up"
+        )
+
+
 class ConversionError(RingoError):
     """A table/graph conversion was requested with invalid inputs."""
 

@@ -97,6 +97,24 @@ dynamic algorithms):
                              cursor in the summary, so the caller retries
                              from where it left off)
 ===========================  ================================================
+
+Replication sites (:mod:`repro.replication` — WAL shipping to a hot
+standby):
+
+=========================  ==================================================
+``replication.ship``       per batch on the primary side, before frames are
+                           sent to the replica (a firing is transient: the
+                           shipper's :class:`RetryPolicy` backs off and
+                           resends from the shipped-LSN cursor — the
+                           backpressure path)
+``replication.apply``      per batch on the replica side, before any frame
+                           is applied (reported to the shipper as a
+                           retryable envelope; the resend is idempotent
+                           because apply skips LSNs at or below the cursor)
+``replication.promote``    at the start of a promotion (a firing aborts the
+                           promotion cleanly: no epoch is bumped, nothing is
+                           fenced, and the replica keeps following)
+=========================  ==================================================
 """
 
 from __future__ import annotations
@@ -131,6 +149,9 @@ KNOWN_SITES = (
     "incremental.delta.apply",
     "incremental.compact",
     "incremental.wal.tail",
+    "replication.ship",
+    "replication.apply",
+    "replication.promote",
 )
 
 

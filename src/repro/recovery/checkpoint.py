@@ -166,6 +166,7 @@ def write_checkpoint(session, directory: "str | os.PathLike[str]") -> dict:
                 "format": MANIFEST_FORMAT,
                 "checkpoint": sequence,
                 "wal_lsn": 0 if wal is None else wal.wal.last_lsn,
+                "epoch": 0 if wal is None else wal.wal.epoch,
                 "publish_counter": session._publish_counter,
                 "objects": entries,
             }

@@ -1,0 +1,105 @@
+"""Epoch fencing state for one durability directory.
+
+Replication (:mod:`repro.replication`) needs a way to depose a primary
+that can no longer be trusted to stop writing on its own — the classic
+split-brain hazard after a failover. The mechanism is a monotonic
+*epoch* (a Raft-style term) persisted next to the WAL as a small
+atomic ``EPOCH.json``::
+
+    {"epoch": 3, "fenced": false}
+
+* Sessions read the epoch when they arm durability and stamp it into
+  every WAL frame (and checkpoint manifest) they commit.
+* Promotion bumps the epoch in the promoted replica's directory and
+  writes ``{"epoch": N+1, "fenced": true}`` into the old primary's.
+* :class:`~repro.recovery.wal.WriteAheadLog` re-checks this file on
+  every append; a fenced directory — or a file whose epoch has moved
+  past the writer's — raises a typed
+  :class:`~repro.exceptions.FencedError` instead of committing.
+
+A directory with no ``EPOCH.json`` is epoch 0 and unfenced, which keeps
+plain (never-replicated) durable sessions entirely unaffected: the
+per-append check is a single ``stat`` that fails fast.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.exceptions import RecoveryError
+
+EPOCH_FILENAME = "EPOCH.json"
+
+
+@dataclass(frozen=True)
+class EpochState:
+    """The fencing state of one durability directory."""
+
+    epoch: int = 0
+    fenced: bool = False
+
+
+def epoch_path(directory: "str | os.PathLike[str]") -> Path:
+    """Where a durability directory keeps its epoch file."""
+    return Path(directory) / EPOCH_FILENAME
+
+
+def read_epoch(directory: "str | os.PathLike[str]") -> EpochState:
+    """The directory's current epoch state (absent file = epoch 0).
+
+    A present-but-unreadable file is treated as *fenced*: an operator
+    half-wrote it or the disk is lying, and the safe reading of either
+    is "do not let this writer commit".
+    """
+    path = epoch_path(directory)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        return EpochState(
+            epoch=int(payload["epoch"]), fenced=bool(payload.get("fenced", False))
+        )
+    except FileNotFoundError:
+        return EpochState()
+    except (OSError, ValueError, KeyError, TypeError):
+        return EpochState(epoch=0, fenced=True)
+
+
+def write_epoch(
+    directory: "str | os.PathLike[str]", epoch: int, fenced: bool = False
+) -> EpochState:
+    """Atomically persist an epoch state (tmp file + ``os.replace``).
+
+    Refuses to move the epoch backwards — the term is monotonic by
+    construction, and a rollback would un-fence a deposed writer.
+    """
+    if epoch < 0:
+        raise RecoveryError(f"epoch must be non-negative, got {epoch}")
+    current = read_epoch(directory)
+    if epoch < current.epoch:
+        raise RecoveryError(
+            f"epoch for {directory} cannot move backwards "
+            f"({current.epoch} -> {epoch})"
+        )
+    path = epoch_path(directory)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump({"epoch": int(epoch), "fenced": bool(fenced)}, handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return EpochState(epoch=int(epoch), fenced=bool(fenced))
+
+
+def fence(directory: "str | os.PathLike[str]", epoch: int) -> EpochState:
+    """Fence a directory at ``epoch`` (never lowering an existing term).
+
+    Used by promotion against the *old primary's* durability directory:
+    any session still holding (or later reopening) that WAL fails its
+    next append with :class:`~repro.exceptions.FencedError`.
+    """
+    current = read_epoch(directory)
+    return write_epoch(directory, max(int(epoch), current.epoch), fenced=True)

@@ -57,6 +57,7 @@ def recover_session(
     ringo_cls,
     directory: "str | os.PathLike[str]",
     strict: bool = False,
+    arm: bool = True,
     **session_kwargs,
 ):
     """Reconstruct a session from ``directory``; returns a new armed session.
@@ -65,6 +66,12 @@ def recover_session(
     ``strict=True`` any object that can be neither checksum-verified
     nor re-derived from the WAL raises; the default records it under
     ``health()["recovery"]["last_recovery"]["unrecovered"]`` instead.
+
+    ``arm=False`` reconstructs the catalog but leaves the session
+    *unarmed* — it holds no WAL handle and commits nothing. Replication
+    followers use this: the replica applies shipped records to the
+    on-disk WAL itself and keeps the in-memory session as a read-only
+    mirror, arming it only at promotion.
     """
     directory = Path(directory)
     if not directory.is_dir():
@@ -83,7 +90,7 @@ def recover_session(
     }
     with _obs_trace("recovery.recover", directory=str(directory)):
         try:
-            _recover_into(session, directory, report, strict=strict)
+            _recover_into(session, directory, report, strict=strict, arm=arm)
         except BaseException:
             session.close()
             raise
@@ -91,7 +98,9 @@ def recover_session(
     return session
 
 
-def _recover_into(session, directory: Path, report: dict, strict: bool) -> None:
+def _recover_into(
+    session, directory: Path, report: dict, strict: bool, arm: bool = True
+) -> None:
     manifest = None
     chosen: "Path | None" = None
     from_checkpoint: set[str] = set()
@@ -204,4 +213,5 @@ def _recover_into(session, directory: Path, report: dict, strict: bool) -> None:
             f"strict recovery: {len(report['unrecovered'])} object(s) unrecovered",
         )
 
-    session._arm_durability(directory, resume=True)
+    if arm:
+        session._arm_durability(directory, resume=True)

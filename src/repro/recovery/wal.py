@@ -30,8 +30,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable
 
-from repro.exceptions import InjectedFaultError, RecoveryError
+from repro.exceptions import FencedError, InjectedFaultError, RecoveryError
 from repro.faults import fault_point
+from repro.recovery.epoch import EpochState, epoch_path, read_epoch
 from repro.obs.metrics import registry as _metrics_registry
 from repro.obs.spans import enabled as _tracing_enabled
 
@@ -69,6 +70,10 @@ class WalRecord:
     args: dict
     inputs: tuple[str, ...]
     output: str
+    #: Replication term the writer committed this record under. Plain
+    #: (never-replicated) sessions stay at epoch 0 and omit the field
+    #: from their frames, so pre-replication logs read back unchanged.
+    epoch: int = 0
 
     @property
     def mutates(self) -> bool:
@@ -111,6 +116,7 @@ def decode_line(line: bytes, expected_lsn: int) -> WalRecord:
         args=obj.get("args") or {},
         inputs=tuple(obj.get("inputs") or ()),
         output=str(obj["output"]),
+        epoch=int(obj.get("epoch", 0)),
     )
 
 
@@ -165,6 +171,14 @@ class WriteAheadLog:
         self.path = Path(path)
         self.fsync = fsync
         self._lock = threading.Lock()
+        # The writer's replication term is fixed at open: the epoch the
+        # directory held when this session armed. Promotion advances the
+        # on-disk epoch (or fences it outright); ``append`` notices via
+        # a cheap stat and refuses to commit at a superseded term.
+        state = read_epoch(self.path.parent)
+        self.epoch = state.epoch
+        self._epoch_state = state
+        self._epoch_stat: "tuple[int, int] | None" = None
         records, tail = read_wal(self.path)
         self._last_lsn = len(records)
         self.recovered_torn_tail = tail.torn
@@ -181,6 +195,30 @@ class WriteAheadLog:
         """LSN of the newest committed record (0 for an empty log)."""
         return self._last_lsn
 
+    def _check_fence(self) -> None:
+        """Refuse to append once this directory's epoch has moved on.
+
+        A missing ``EPOCH.json`` (the never-replicated common case) is
+        one failed ``stat`` — the file's contents are only re-read when
+        its stat signature changes.
+        """
+        path = epoch_path(self.path.parent)
+        try:
+            stat = os.stat(path)
+        except FileNotFoundError:
+            if self.epoch > 0:
+                # The epoch file vanished out from under an epoch>0
+                # writer — treat as unreadable state, not as epoch 0.
+                raise FencedError(str(self.path), self.epoch, self.epoch)
+            return
+        signature = (stat.st_mtime_ns, stat.st_size)
+        if signature != self._epoch_stat:
+            self._epoch_state = read_epoch(self.path.parent)
+            self._epoch_stat = signature
+        state: EpochState = self._epoch_state
+        if state.fenced or state.epoch > self.epoch:
+            raise FencedError(str(self.path), self.epoch, state.epoch)
+
     def append(self, op: str, args: dict, inputs: Iterable[str], output: str) -> int:
         """Commit one operation record; returns its LSN.
 
@@ -194,6 +232,7 @@ class WriteAheadLog:
         if self._handle.closed:
             raise RecoveryError(f"write-ahead log {self.path} was used after close()")
         with self._lock:
+            self._check_fence()
             fault_point("recovery.wal.append")
             lsn = self._last_lsn + 1
             payload = {
@@ -203,6 +242,8 @@ class WriteAheadLog:
                 "inputs": list(inputs),
                 "output": output,
             }
+            if self.epoch > 0:
+                payload["epoch"] = self.epoch
             data = frame_record(payload)
             try:
                 fault_point("recovery.wal.torn_write")
@@ -233,6 +274,7 @@ class WriteAheadLog:
             "appends": self.appends,
             "last_lsn": self._last_lsn,
             "recovered_torn_tail": self.recovered_torn_tail,
+            "epoch": self.epoch,
         }
 
 

@@ -1,0 +1,55 @@
+"""Hot-standby replication: WAL shipping, fenced failover, divergence detection.
+
+The single-big-memory-machine bet (PAPER.md §1) makes the running
+process the availability blast radius. This package closes that gap
+with the lineage-replay idea already powering recovery: the primary
+session service continuously ships its committed provenance-WAL records
+to a warm standby that replays them through the same operator registry,
+so the replica's catalogs — and its incremental engine state — track
+the primary live instead of being rebuilt after a disaster.
+
+Three correctness mechanisms (see ``docs/replication.md``):
+
+* **epoch fencing** (:mod:`repro.recovery.epoch`) — a monotonic term
+  stamped into WAL frames and checkpoint manifests; a deposed primary's
+  appends raise :class:`~repro.exceptions.FencedError`.
+* **promotion** (:meth:`ReplicaApplier.promote`, the ``promote`` wire
+  verb, ``repro promote``) — drain the ship stream to the WAL tip, bump
+  the epoch, fence the old primary, start accepting writes.
+* **divergence detection** (:meth:`ReplicaTenant.check_digest`) —
+  periodic ``catalog_digest`` exchange at ship watermarks; a mismatch
+  raises :class:`~repro.exceptions.DivergenceError`, quarantines the
+  replica state, and triggers automatic re-seed from the primary's
+  latest checkpoint.
+
+Lag is first-class: ``health()["replication"]`` exposes shipped/applied
+LSN, lag bytes/records, and epoch; a replica past its lag threshold
+degrades reads with the retryable
+:class:`~repro.exceptions.ReplicaLagError` instead of serving stale
+answers.
+"""
+
+from repro.exceptions import (
+    DivergenceError,
+    FencedError,
+    ReplicaLagError,
+    ReplicationError,
+)
+from repro.recovery.epoch import EpochState, fence, read_epoch, write_epoch
+from repro.replication.apply import ReplicaApplier, ReplicaTenant
+from repro.replication.ship import ShipCursor, WalShipper
+
+__all__ = [
+    "DivergenceError",
+    "EpochState",
+    "FencedError",
+    "ReplicaApplier",
+    "ReplicaLagError",
+    "ReplicaTenant",
+    "ReplicationError",
+    "ShipCursor",
+    "WalShipper",
+    "fence",
+    "read_epoch",
+    "write_epoch",
+]

@@ -13,13 +13,18 @@ each holding an interactive session. This package turns the in-process
 * :mod:`repro.service.admission` — the global resident-memory ledger.
 * :mod:`repro.service.queueing` — bounded deadline-aware FIFO queues.
 * :mod:`repro.service.protocol` — the line-delimited JSON wire format.
-* :mod:`repro.service.client` — a blocking TCP client.
+* :mod:`repro.service.client` — a blocking TCP client with ordered
+  address-list failover (:class:`EndpointFailure` is the typed,
+  retryable signal that a call moved to the next endpoint).
 
-See ``docs/service.md`` for the protocol and the QoS contract.
+Hot-standby replication — ``role="replica"`` services, WAL shipping,
+fenced promotion — lives in :mod:`repro.replication` and plugs in
+through :class:`ServiceConfig`. See ``docs/service.md`` for the
+protocol and the QoS contract, ``docs/replication.md`` for failover.
 """
 
 from repro.service.admission import MemoryLedger
-from repro.service.client import ServiceClient
+from repro.service.client import EndpointFailure, ServiceClient
 from repro.service.protocol import (
     ProtocolError,
     RemoteError,
@@ -38,6 +43,7 @@ from repro.service.session import SessionManager, TenantSession
 
 __all__ = [
     "DeadlineQueue",
+    "EndpointFailure",
     "MemoryLedger",
     "ProtocolError",
     "RemoteError",

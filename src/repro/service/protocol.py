@@ -46,7 +46,22 @@ from repro.tables.table import Table
 REF_KEY = "$ref"
 
 #: Service-level ops handled by the server itself, not a tenant engine.
-SERVICE_OPS = ("ping", "open", "health", "objects", "digest")
+#: ``digest_at`` and ``checkpoint`` run inside the tenant's serialized
+#: dispatcher (a consistent WAL watermark); ``replicate`` /
+#: ``replicate_seed`` / ``promote`` are the replication verbs a replica
+#: service answers (see :mod:`repro.replication`).
+SERVICE_OPS = (
+    "ping",
+    "open",
+    "health",
+    "objects",
+    "digest",
+    "digest_at",
+    "checkpoint",
+    "replicate",
+    "replicate_seed",
+    "promote",
+)
 
 #: Engine lifecycle/introspection surface a remote tenant must not drive
 #: directly — the service owns checkpointing, recovery, and shutdown.

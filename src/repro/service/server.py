@@ -63,6 +63,15 @@ class ServiceConfig:
 
     ``spool_dir`` is the root under which each tenant's durable state
     (WAL + checkpoints) lives, one subdirectory per tenant.
+
+    Replication (see :mod:`repro.replication`): ``role`` is ``"primary"``
+    or ``"replica"``. A primary with a ``replica_address``
+    (``"host:port"`` or a ``(host, port)`` tuple) starts a
+    :class:`~repro.replication.WalShipper` next to its accept loop; a
+    replica answers the ``replicate`` / ``replicate_seed`` / ``promote``
+    verbs, serves reads from its followers (degrading past
+    ``lag_degrade_records`` with a retryable typed error), and refuses
+    writes until promoted.
     """
 
     spool_dir: str
@@ -78,12 +87,43 @@ class ServiceConfig:
     executor_threads: int = 8
     retry_policy: "RetryPolicy | None" = None
     drain_timeout_s: float = 30.0
+    role: str = "primary"
+    replica_address: "object | None" = None
+    ship_interval_s: float = 0.05
+    ship_batch_records: int = 64
+    digest_every_batches: int = 4
+    lag_degrade_records: int = 1024
 
     def __post_init__(self) -> None:
         if self.retry_policy is None:
             self.retry_policy = RetryPolicy(max_attempts=4, base_delay=0.005)
         if self.tick_s <= 0 or self.default_deadline_s <= 0:
             raise RingoError("tick_s and default_deadline_s must be positive")
+        if self.role not in ("primary", "replica"):
+            raise RingoError(f"role must be 'primary' or 'replica', got {self.role!r}")
+
+    def replica_addresses(self) -> "list[tuple[str, int]]":
+        """``replica_address`` normalised to an ordered address list."""
+        value = self.replica_address
+        if value is None:
+            return []
+        if isinstance(value, str):
+            value = [value]
+        if isinstance(value, tuple) and len(value) == 2 and isinstance(value[1], int):
+            value = [value]
+        addresses = []
+        for entry in value:
+            if isinstance(entry, str):
+                host, _, port = entry.rpartition(":")
+                if not host or not port.isdigit():
+                    raise RingoError(
+                        f"replica address {entry!r} must look like 'host:port'"
+                    )
+                addresses.append((host, int(port)))
+            else:
+                host, port = entry
+                addresses.append((str(host), int(port)))
+        return addresses
 
 
 class SessionService:
@@ -95,6 +135,9 @@ class SessionService:
         self.executor: "ThreadPoolExecutor | None" = None
         self.manager: "SessionManager | None" = None
         self.port: "int | None" = None
+        self.role = config.role
+        self.applier = None  # ReplicaApplier when role == "replica"
+        self.shipper = None  # WalShipper when primary ships to a replica
         self._server: "asyncio.base_events.Server | None" = None
         self._tick_task: "asyncio.Task | None" = None
         self._started_at = 0.0
@@ -126,6 +169,27 @@ class SessionService:
         self._tick_task = self.loop.create_task(
             self._tick_loop(), name="repro-service-tick"
         )
+        if self.role == "replica":
+            from repro.replication.apply import ReplicaApplier
+
+            self.applier = ReplicaApplier(
+                self.config.spool_dir,
+                lag_degrade_records=self.config.lag_degrade_records,
+                session_workers=self.config.session_workers,
+            )
+        addresses = self.config.replica_addresses()
+        if self.role == "primary" and addresses:
+            from repro.replication.ship import WalShipper
+
+            self.shipper = WalShipper(
+                self.config.spool_dir,
+                addresses,
+                service=self,
+                interval_s=self.config.ship_interval_s,
+                batch_records=self.config.ship_batch_records,
+                digest_every_batches=self.config.digest_every_batches,
+            )
+            self.shipper.start()
 
     async def _tick_loop(self) -> None:
         """The scheduler tick: expire queued deadlines, evict idle."""
@@ -164,6 +228,10 @@ class SessionService:
                 return error_response(
                     request_id, RequestRejected(request_id, "draining")
                 )
+            if op in ("replicate", "replicate_seed", "promote"):
+                return await self._replication_op(request_id, tenant_name, op, args)
+            if self.role == "replica":
+                return await self._replica_read(request_id, tenant_name, op, args)
             if op == "open":
                 return self._open_tenant(request_id, tenant_name, args)
             record = self.manager.tenant(tenant_name)
@@ -181,6 +249,114 @@ class SessionService:
         except Exception as error:
             return error_response(request_id, error)
         return await request.future
+
+    # -- the replica face ------------------------------------------------
+
+    async def _replication_op(
+        self, request_id: object, tenant_name: str, op: str, args: dict
+    ) -> dict:
+        """Answer one replication verb (replica role only).
+
+        ``replicate`` applies a shipped batch, ``replicate_seed``
+        restores a tenant from a shipped checkpoint + WAL, and
+        ``promote`` turns this replica into the new primary: drain the
+        deposed primary's WAL tails, bump the epoch, fence it, adopt
+        the warm follower sessions, and flip the role — every later
+        request dispatches through the ordinary tenant machinery.
+        """
+        if self.applier is None:
+            return error_response(
+                request_id,
+                ServiceError(
+                    f"op {op!r} requires a replica service (this one's role "
+                    f"is {self.role!r})"
+                ),
+            )
+        applier = self.applier
+        tenant = str(args.pop("tenant", "") or tenant_name)
+        try:
+            if op == "replicate":
+                result = await self.loop.run_in_executor(
+                    self.executor, lambda: applier.apply_batch(tenant, **args)
+                )
+            elif op == "replicate_seed":
+                result = await self.loop.run_in_executor(
+                    self.executor, lambda: applier.apply_seed(tenant, **args)
+                )
+            else:  # promote
+                new_epoch = args.get("new_epoch")
+                fence_spool = args.get("fence_spool")
+                report, sessions = await self.loop.run_in_executor(
+                    self.executor,
+                    lambda: applier.promote(
+                        new_epoch=new_epoch, fence_spool=fence_spool
+                    ),
+                )
+                adopted = []
+                adopt_failures = {}
+                for name, session in sessions.items():
+                    try:
+                        await self.manager.adopt(name, session)
+                        adopted.append(name)
+                    except RingoError as adopt_error:
+                        # The tenant falls back to cold lazy revival
+                        # from its (fully drained) durability directory.
+                        adopt_failures[name] = str(adopt_error)
+                report["adopted"] = adopted
+                if adopt_failures:
+                    report["adopt_failures"] = adopt_failures
+                self.role = "primary"
+                self.applier = None
+                result = report
+        except Exception as error:
+            return error_response(request_id, error)
+        return ok_response(request_id, result)
+
+    async def _replica_read(
+        self, request_id: object, tenant_name: str, op: str, args: dict
+    ) -> dict:
+        """Serve a read from a follower; refuse writes until promotion.
+
+        Reads are gated by :meth:`ReplicaApplier.ensure_readable`: a
+        quarantined tenant fails with :class:`DivergenceError` and a
+        lagging one with the *retryable* :class:`ReplicaLagError` — a
+        stale answer is never served silently.
+        """
+        applier = self.applier
+        if not (op in ("objects", "digest", "digest_at") or op.startswith("Get")):
+            return error_response(
+                request_id,
+                ServiceError(
+                    f"replica is read-only: op {op!r} must go to the primary "
+                    f"(or wait for a promotion)"
+                ),
+            )
+
+        def read() -> object:
+            from repro.recovery.digest import catalog_digest
+            from repro.service.protocol import decode_args, encode_result
+
+            record = applier.ensure_readable(tenant_name)
+            with record.lock:
+                session = record.session
+                if op == "objects":
+                    return session.Objects()
+                if op == "digest":
+                    return catalog_digest(session)
+                if op == "digest_at":
+                    return {
+                        "lsn": record.applied_lsn,
+                        "epoch": record.epoch,
+                        "digest": catalog_digest(session),
+                    }
+                kwargs = decode_args(session, args)
+                return encode_result(session, getattr(session, op)(**kwargs))
+
+        try:
+            result = await self.loop.run_in_executor(self.executor, read)
+        except Exception as error:
+            return error_response(request_id, error)
+        return ok_response(request_id, result)
 
     def _open_tenant(self, request_id: object, tenant_name: str, args: dict) -> dict:
         """The ``open`` service op: declare (or read back) a tenant budget."""
@@ -262,8 +438,13 @@ class SessionService:
     async def stop(self, drain: bool = True) -> dict:
         """Drain (optionally) and release the executor; returns the report."""
         report: dict = {}
+        if self.shipper is not None:
+            # Stop shipping before the drain checkpoint churns the WALs.
+            await asyncio.to_thread(self.shipper.stop)
         if drain and self.manager is not None:
             report = await self.drain()
+        if self.applier is not None:
+            await asyncio.to_thread(self.applier.close)
         if self.executor is not None:
             # shutdown(wait=True) joins worker threads; hop off the event
             # loop so an in-flight engine call cannot stall other sessions.
@@ -275,6 +456,12 @@ class SessionService:
     def health(self) -> dict:
         """The service health report (also the ``health`` op's payload)."""
         assert self.manager is not None and self.loop is not None
+        if self.shipper is not None:
+            replication = self.shipper.health()
+        elif self.applier is not None:
+            replication = self.applier.health()
+        else:
+            replication = {"role": self.role, "configured": False}
         return {
             "service": self.manager.health(),
             "server": {
@@ -283,6 +470,7 @@ class SessionService:
                 "requests_accepted": self._requests_accepted,
                 "tick_s": self.config.tick_s,
             },
+            "replication": replication,
         }
 
 

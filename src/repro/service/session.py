@@ -162,6 +162,10 @@ class TenantSession:
         durability = self.ringo._durability if self.ringo is not None else None
         return 0 if durability is None else durability.wal.last_lsn
 
+    def _wal_epoch(self) -> int:
+        durability = self.ringo._durability if self.ringo is not None else None
+        return 0 if durability is None else durability.wal.epoch
+
     # -- the dispatcher ------------------------------------------------
 
     async def run(self) -> None:
@@ -293,6 +297,18 @@ class TenantSession:
                 return session.Objects()
             if request.op == "digest":
                 return catalog_digest(session)
+            if request.op == "digest_at":
+                # The dispatcher serializes engine calls, so nothing can
+                # commit between reading the watermark and digesting —
+                # this is the consistent (LSN, digest) pair the
+                # replication shipper exchanges with the replica.
+                return {
+                    "lsn": self._wal_lsn(),
+                    "epoch": self._wal_epoch(),
+                    "digest": catalog_digest(session),
+                }
+            if request.op == "checkpoint":
+                return session.checkpoint()
             kwargs = decode_args(session, request.args)
             return getattr(session, request.op)(**kwargs)
 
@@ -433,6 +449,32 @@ class SessionManager:
             if self.ledger.would_fit(needed):
                 return
             await self.evict(candidate)
+
+    async def adopt(self, name: str, ringo: Ringo) -> TenantSession:
+        """Install an already-open engine as a tenant's resident session.
+
+        The promotion path: a replica's just-armed follower sessions are
+        adopted wholesale so the first post-failover request hits a warm
+        engine instead of a cold revival. If the ledger cannot admit the
+        session it is closed and the tenant reverts to lazy revival from
+        its (fully current) durability directory — slower, never wrong.
+        """
+        record = self.tenant(name)
+        async with record.state_lock:
+            if record.resident:
+                raise ServiceError(
+                    f"tenant {name!r} is already resident; cannot adopt over it"
+                )
+            try:
+                self.ledger.charge(name, record.budget_bytes)
+            except AdmissionRejected:
+                await self.loop.run_in_executor(self.executor, ringo.close)
+                raise
+            record.ringo = ringo
+            record.dirty = True  # unknown checkpoint state: drain must checkpoint
+            record.last_active = self.loop.time()
+            record.stats.record("opens")
+        return record
 
     async def evict(self, session: TenantSession) -> bool:
         """Evict one idle resident session to its checkpoint.

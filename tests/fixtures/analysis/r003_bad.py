@@ -4,4 +4,4 @@ from repro.faults import fault_point
 
 
 def risky_step():
-    fault_point("paralel.kernl")  # typo'd site: armed tests never fire
+    fault_point("replication.shipp")  # typo'd site: failover drills never fire

@@ -22,3 +22,9 @@ def incremental_step():
     fault_point("incremental.delta.apply")
     fault_point("incremental.compact")
     fault_point("incremental.wal.tail")
+
+
+def replication_step():
+    fault_point("replication.ship")
+    fault_point("replication.apply")
+    fault_point("replication.promote")

@@ -1,0 +1,222 @@
+"""The failover drill: SIGKILL the primary, promote, lose nothing.
+
+A real ``repro serve`` child process acts as the primary, shipping its
+WAL to an in-process replica :class:`ServiceHandle` — the same topology
+an operator runs, crossed with the chaos the ISSUE demands:
+
+1. the child primary runs with seeded ``recovery.wal.append`` faults
+   (its own WAL commit path fires transiently) while our side arms
+   ``replication.apply`` faults against the ship stream;
+2. a tenant commits real work over TCP through a failover-aware
+   :class:`ServiceClient` whose retry policy absorbs those faults;
+3. SIGKILL the primary mid-stream — no drain, no checkpoint, exactly
+   the crash promotion exists for;
+4. promote the replica (the first attempt is made to fail with a seeded
+   ``replication.promote`` fault and must abort cleanly; the retry
+   succeeds), draining the dead primary's committed WAL suffix;
+5. assert **zero committed loss**: the promoted service's catalog
+   digest equals a direct recovery of the dead primary's spool
+   (``read_wal``'s valid prefix — the committed records);
+6. assert **fencing**: the revived old primary's next append raises
+   :class:`FencedError`, and a restarted old-primary *server* refuses
+   the same way over the wire.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.engine import Ringo
+from repro.exceptions import FencedError, InjectedFaultError
+from repro.faults import inject_faults
+from repro.parallel.resilience import RetryPolicy
+from repro.recovery.digest import catalog_digest
+from repro.recovery.wal import WAL_FILENAME, read_wal
+from repro.service.client import ServiceClient
+from repro.service.protocol import RemoteError
+from repro.service.server import ServiceConfig, ServiceHandle
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+
+# The child's WAL-append fault arming: transient, bounded, seeded. The
+# driving client's retry policy must absorb every firing — each `call`
+# that returns successfully is a *committed* record by definition.
+PRIMARY_SCRIPT = """
+import asyncio, sys
+from repro.faults import inject_faults
+from repro.service.server import ServiceConfig, serve_forever
+
+config = ServiceConfig(
+    spool_dir=sys.argv[1],
+    replica_address=sys.argv[2],
+    ship_interval_s=0.02,
+    digest_every_batches=3,
+    tick_s=0.02,
+)
+plan = {"recovery.wal.append": {"rate": 0.2, "max_triggers": 3}}
+with inject_faults(plan, seed=7):
+    asyncio.run(serve_forever(config))
+"""
+
+
+def _spawn_primary(spool: Path, replica_address: str):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    process = subprocess.Popen(
+        [sys.executable, "-u", "-c", PRIMARY_SCRIPT, str(spool),
+         replica_address],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    line = process.stdout.readline()
+    assert "listening on" in line, f"unexpected startup line: {line!r}"
+    port = int(line.split("listening on")[1].split()[0].rsplit(":", 1)[1])
+    return process, port
+
+
+def wait_until(predicate, timeout=30.0, message="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.02)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+def test_sigkill_failover_drill(tmp_path):
+    primary_spool = tmp_path / "primary"
+    replica_spool = tmp_path / "replica"
+    replica = ServiceHandle(
+        ServiceConfig(
+            spool_dir=str(replica_spool), role="replica", tick_s=0.02
+        )
+    ).start()
+    rhost, rport = replica.address
+    process, primary_port = _spawn_primary(primary_spool, f"{rhost}:{rport}")
+    client = None
+    try:
+        # -- commit real work through the faulted primary ---------------
+        # Writes get a single-address client on purpose: a retryable
+        # envelope must re-land on the primary (a standby would refuse
+        # the write), and every absorbed fault stays a committed record.
+        client = ServiceClient(
+            "127.0.0.1",
+            primary_port,
+            tenant="alice",
+            retry_policy=RetryPolicy(max_attempts=6, base_delay=0.01),
+        )
+        with inject_faults(
+            {"replication.apply": {"rate": 1.0, "max_triggers": 2}}, seed=5
+        ):
+            table = client.call(
+                "TableFromColumns", data={"a": [1, 2, 3], "b": [2, 3, 4]}
+            )
+            graph = client.call(
+                "ToGraph", table={"$ref": table["$ref"]},
+                src_col="a", dst_col="b",
+            )
+            for i in range(8):
+                client.call(
+                    "ApplyOps", graph={"$ref": graph["$ref"]},
+                    ops=[["add_edge", 100 + i, 101 + i]],
+                )
+
+            # Let the stream catch up part-way (not necessarily fully:
+            # the drain covers the rest), then kill without ceremony.
+            def some_progress():
+                state = replica.health()["replication"]["tenants"].get("alice")
+                return state is not None and state["applied_lsn"] >= 2
+            wait_until(some_progress, message="partial ship progress")
+        process.send_signal(signal.SIGKILL)
+        process.wait(timeout=30)
+        assert process.returncode == -signal.SIGKILL
+
+        # Every successful call() above was acknowledged after its WAL
+        # commit: that on-disk valid prefix is the committed state the
+        # drill must not lose.
+        committed, _tail = read_wal(primary_spool / "alice" / WAL_FILENAME)
+        assert len(committed) == 10  # table + graph + 8 ApplyOps
+        reference = Ringo.recover(
+            primary_spool / "alice", arm=False, workers=1
+        )
+        reference_digest = catalog_digest(reference)
+        reference.close()
+
+        # -- promote: first attempt faulted, retry succeeds -------------
+        with inject_faults(
+            {"replication.promote": {"rate": 1.0, "max_triggers": 1}}, seed=3
+        ):
+            with pytest.raises(RemoteError) as excinfo:
+                replica.call(
+                    "alice", "promote", fence_spool=str(primary_spool)
+                )
+            assert excinfo.value.error_type == "InjectedFaultError"
+            report = replica.call(
+                "alice", "promote", fence_spool=str(primary_spool)
+            )
+        assert report["epoch"] == 1
+        assert "alice" in report["adopted"]
+        assert report["tenants"]["alice"]["applied_lsn"] == 10
+
+        # -- zero committed loss ----------------------------------------
+        assert replica.call("alice", "digest") == reference_digest
+
+        # -- the promoted service serves writes -------------------------
+        result = replica.call(
+            "alice", "TableFromColumns", data={"x": [5, 6, 7]}
+        )
+        assert result["rows"] == 3
+
+        # -- fencing: the deposed primary can never commit again --------
+        revived = Ringo.recover(primary_spool / "alice", workers=1)
+        with revived:
+            with pytest.raises(FencedError) as fenced:
+                revived.TableFromColumns({"zombie": [1]})
+            assert fenced.value.current_epoch == 1
+        # ... including through a restarted old-primary *server*.
+        zombie, zombie_port = _spawn_primary(
+            primary_spool, f"{rhost}:{rport}"
+        )
+        try:
+            with ServiceClient(
+                "127.0.0.1", zombie_port, tenant="alice"
+            ) as zc:
+                with pytest.raises(RemoteError) as remote:
+                    zc.call("TableFromColumns", data={"q": [1]})
+                assert remote.value.error_type == "FencedError"
+        finally:
+            zombie.send_signal(signal.SIGTERM)
+            zombie.wait(timeout=30)
+    finally:
+        if client is not None:
+            client.close()
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10)
+        replica.stop()
+
+
+def test_promote_fault_site_leaves_replica_promotable(tmp_path):
+    """An injected promote fault must abort with nothing half-fenced."""
+    replica = ServiceHandle(
+        ServiceConfig(
+            spool_dir=str(tmp_path / "replica"), role="replica", tick_s=0.02
+        )
+    ).start()
+    try:
+        with inject_faults({"replication.promote": 1.0}, seed=1):
+            with pytest.raises((RemoteError, InjectedFaultError)):
+                replica.call("alice", "promote")
+        assert replica.health()["replication"]["role"] == "replica"
+        report = replica.call("alice", "promote")
+        assert report["epoch"] >= 1
+        assert replica.health()["replication"]["role"] == "primary"
+    finally:
+        replica.stop()

@@ -47,7 +47,8 @@ def test_parse_request_deadline_optional():
     {"tenant": "t"},                                  # no op
     {"tenant": "", "op": "ping"},                     # empty tenant
     {"tenant": "t", "op": "NoSuchOp"},                # unknown op
-    {"tenant": "t", "op": "checkpoint"},              # lifecycle op denied
+    {"tenant": "t", "op": "recover"},                 # lifecycle op denied
+    {"tenant": "t", "op": "close"},                   # lifecycle op denied
     {"tenant": "t", "op": "ping", "args": [1, 2]},    # args not an object
     {"tenant": "t", "op": "ping", "deadline_ms": 0},  # non-positive deadline
     {"tenant": "t", "op": "ping", "deadline_ms": "soon"},
