@@ -14,8 +14,9 @@ Three correctness mechanisms (see ``docs/replication.md``):
   stamped into WAL frames and checkpoint manifests; a deposed primary's
   appends raise :class:`~repro.exceptions.FencedError`.
 * **promotion** (:meth:`ReplicaApplier.promote`, the ``promote`` wire
-  verb, ``repro promote``) — drain the ship stream to the WAL tip, bump
-  the epoch, fence the old primary, start accepting writes.
+  verb, ``repro promote``) — fence the old primary at the new epoch,
+  drain its committed WAL tail, bump the replica's epoch, start
+  accepting writes.
 * **divergence detection** (:meth:`ReplicaTenant.check_digest`) —
   periodic ``catalog_digest`` exchange at ship watermarks; a mismatch
   raises :class:`~repro.exceptions.DivergenceError`, quarantines the

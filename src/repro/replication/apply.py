@@ -27,10 +27,15 @@ fail typed, applies fail typed, and only a re-seed
 aside and restores from the primary's shipped checkpoint + WAL) clears
 it. A diverged replica never silently serves answers.
 
-Promotion (:meth:`ReplicaApplier.promote`) drains the deposed primary's
-on-disk WAL tails, bumps the epoch in the replica's directories, fences
-the primary's, and arms the follower sessions for writes — returning
-them so the hosting service can adopt them as live tenants.
+Promotion (:meth:`ReplicaApplier.promote`) fences the deposed primary's
+directories at the new epoch *first*, then drains their on-disk WAL
+tails, bumps the epoch in the replica's directories, and arms the
+follower sessions for writes — returning them so the hosting service
+can adopt them as live tenants. Fence-before-drain is the ordering that
+makes "zero committed-state loss" true: once the fence lands, a
+still-alive old primary's next append raises
+:class:`~repro.exceptions.FencedError` instead of committing a record
+the drain already missed.
 """
 
 from __future__ import annotations
@@ -74,6 +79,29 @@ def _name_suffix(name: str) -> int:
         return int(name.rsplit("-", 1)[1])
     except (IndexError, ValueError):
         return 0
+
+
+def validate_tenant_name(name: str) -> str:
+    """Refuse tenant names that are not plain directory names.
+
+    Replication verbs receive the tenant name off the wire and use it
+    as a path component under the replica's spool; anything path-like
+    (separators, ``..``, absolute paths) would let a malicious or buggy
+    shipper create directories — and, via ``replicate_seed``, write
+    arbitrary file content — outside the spool.
+    """
+    if (
+        not name
+        or name in (".", "..")
+        or "\x00" in name
+        or "\\" in name
+        or name != Path(name).name
+    ):
+        raise ReplicationError(
+            f"invalid tenant name {name!r}: tenant names must be plain "
+            f"directory names (no separators, traversal, or NUL bytes)"
+        )
+    return name
 
 
 def frame_payload(frame: dict) -> dict:
@@ -187,10 +215,21 @@ class ReplicaTenant:
             raise DivergenceError(self.tenant, lsn, self.quarantined)
         # Replay succeeded: commit the byte-identical frame to the
         # replica's own log, so the follower can itself be recovered
-        # (or promoted) from disk at any point.
-        self._wal_handle.write(frame_record(payload))
-        self._wal_handle.flush()
-        os.fsync(self._wal_handle.fileno())
+        # (or promoted) from disk at any point. A persist failure here
+        # must quarantine too: the in-memory catalog already holds the
+        # mutation, so letting the shipper's resend through would
+        # replay it a second time.
+        try:
+            self._wal_handle.write(frame_record(payload))
+            self._wal_handle.flush()
+            os.fsync(self._wal_handle.fileno())
+        except Exception as error:
+            self.quarantined = (
+                f"persisting shipped LSN {lsn} ({record.op}) failed after "
+                f"replay: {type(error).__name__}: {error}"
+            )
+            _count("replication.divergence_total")
+            raise DivergenceError(self.tenant, lsn, self.quarantined)
         self.applied_lsn = lsn
         self.applied_records += 1
         return True
@@ -246,6 +285,7 @@ class ReplicaApplier:
         self._tenants_lock = threading.Lock()
 
     def tenant(self, name: str) -> ReplicaTenant:
+        validate_tenant_name(name)
         with self._tenants_lock:
             record = self._tenants.get(name)
             if record is None:
@@ -385,14 +425,18 @@ class ReplicaApplier:
         new_epoch: "int | None" = None,
         fence_spool: "str | None" = None,
     ) -> "tuple[dict, dict[str, Ringo]]":
-        """Promote this replica: drain, bump epoch, fence, arm.
+        """Promote this replica: fence, drain, bump epoch, arm.
 
-        ``fence_spool`` is the deposed primary's spool root. Its
-        tenants' WAL tails are drained directly from disk first (the
-        committed suffix the ship stream had not delivered yet — this is
-        the zero-committed-state-loss step), then each primary directory
-        is fenced at the new epoch so a revived primary's next append
-        raises :class:`~repro.exceptions.FencedError`.
+        ``fence_spool`` is the deposed primary's spool root. Each of its
+        tenant directories is fenced at the new epoch *before* anything
+        else, so an old primary that is alive but wrongly declared dead
+        stops committing (its per-append fence check raises
+        :class:`~repro.exceptions.FencedError`) — only then are the
+        tenants' WAL tails drained directly from disk (the committed
+        suffix the ship stream had not delivered yet). Fence-then-drain
+        is the zero-committed-state-loss ordering: drain-then-fence
+        would let the old primary acknowledge records after the drain
+        read its WAL, records the fence then silently discards.
 
         Returns ``(report, sessions)`` where ``sessions`` maps tenant
         names to armed, writable :class:`Ringo` sessions ready for the
@@ -416,11 +460,6 @@ class ReplicaApplier:
                             f"cannot promote a quarantined replica "
                             f"({record.quarantined}); re-seed first",
                         )
-                drained = 0
-                if fence_spool is not None:
-                    for record in records:
-                        drained += self._drain_tail(record, Path(fence_spool))
-                report["drained_records"] = drained
                 if new_epoch is None:
                     highest = max((r.epoch for r in records), default=0)
                     if fence_spool is not None:
@@ -431,13 +470,25 @@ class ReplicaApplier:
                             )
                     new_epoch = highest + 1
                 new_epoch = int(new_epoch)
+                drained = 0
+                if fence_spool is not None:
+                    # Fence FIRST, drain SECOND. The primary's WAL
+                    # re-checks the epoch file on every append, so once
+                    # these fences land a not-actually-dead primary can
+                    # commit at most one already-in-flight record; the
+                    # drain that follows reads everything it managed to
+                    # acknowledge. The reverse order would leave the
+                    # whole promote duration as a window in which the
+                    # old primary acks records the drain never saw.
+                    for name in sorted(tenant_names):
+                        fence(Path(fence_spool) / name, new_epoch)
+                    for record in records:
+                        drained += self._drain_tail(record, Path(fence_spool))
+                report["drained_records"] = drained
                 sessions: dict[str, Ringo] = {}
                 for record in records:
                     write_epoch(record.directory, new_epoch)
                     record.epoch = new_epoch
-                if fence_spool is not None:
-                    for name in sorted(tenant_names):
-                        fence(Path(fence_spool) / name, new_epoch)
                 for record in records:
                     # Hand the *live* follower over instead of
                     # re-recovering from disk: its snapshot caches and

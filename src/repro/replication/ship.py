@@ -2,8 +2,9 @@
 
 :class:`WalShipper` is a daemon thread the primary service starts next
 to its accept loop. Each cycle it scans the spool for tenants with a
-WAL, reads each log's committed prefix past the shipped-LSN cursor, and
-sends the new frames — batched, CRC-framed, LSN-watermarked — to the
+WAL, tails each log from the byte offset its cursor already decoded
+(O(new records) per cycle, not O(total WAL size)), and sends the new
+frames — batched, CRC-framed, LSN-watermarked — to the
 replica over the ordinary line-delimited-JSON wire protocol (the
 ``replicate`` verb), through a :class:`~repro.service.client.ServiceClient`
 with the shared :class:`~repro.parallel.resilience.RetryPolicy`.
@@ -31,6 +32,7 @@ import asyncio
 import threading
 import zlib
 from base64 import b64encode
+from collections import deque
 from pathlib import Path
 
 from repro import obs
@@ -39,7 +41,7 @@ from repro.faults import fault_point
 from repro.parallel.resilience import RetryPolicy, run_with_retry
 from repro.recovery.checkpoint import CHECKPOINT_SUBDIR, find_checkpoints
 from repro.recovery.epoch import read_epoch
-from repro.recovery.wal import WAL_FILENAME, _canonical, read_wal
+from repro.recovery.wal import WAL_FILENAME, _canonical, decode_line, read_wal
 from repro.service.client import ServiceClient
 from repro.service.protocol import RemoteError
 
@@ -70,25 +72,17 @@ def record_frame(record) -> dict:
     return frame
 
 
-def _record_bytes(record) -> int:
-    """The on-disk line length of one decoded record (framing is
-    deterministic, so re-framing reproduces the byte count exactly)."""
-    payload = {
-        "lsn": record.lsn,
-        "op": record.op,
-        "args": record.args,
-        "inputs": list(record.inputs),
-        "output": record.output,
-    }
-    if record.epoch:
-        payload["epoch"] = record.epoch
-    from repro.recovery.wal import frame_record
-
-    return len(frame_record(payload))
-
-
 class ShipCursor:
-    """Per-tenant shipping state: cursor, watermarks, divergence count."""
+    """Per-tenant shipping state: cursor, watermarks, divergence count.
+
+    The cursor also owns the incremental WAL scan: ``scan_offset`` is
+    the byte offset of the log's decoded-valid prefix, ``scan_next_lsn``
+    the LSN the next on-disk frame must carry, and ``unacked`` the
+    decoded records (with their on-disk line lengths) the replica has
+    not yet acknowledged as applied. Each ship cycle decodes only the
+    bytes appended since the last one — O(new records), not O(total WAL
+    size) — and ``lag_bytes`` falls out of the retained line lengths.
+    """
 
     def __init__(self, tenant: str) -> None:
         self.tenant = tenant
@@ -103,6 +97,17 @@ class ShipCursor:
         self.reseeds = 0
         self.fenced = False
         self.last_error: "str | None" = None
+        self.scan_offset = 0
+        self.scan_next_lsn = 1
+        self.unacked: "deque[tuple]" = deque()
+        self.unacked_bytes = 0
+
+    def reset_scan(self) -> None:
+        """Forget the incremental scan; the next cycle re-reads from 0."""
+        self.scan_offset = 0
+        self.scan_next_lsn = 1
+        self.unacked.clear()
+        self.unacked_bytes = 0
 
     def snapshot(self) -> dict:
         return {
@@ -198,6 +203,54 @@ class WalShipper(threading.Thread):
         self.cycles += 1
         return shipped
 
+    def _scan_new_frames(self, cursor: ShipCursor, wal_path: Path) -> None:
+        """Decode only the WAL bytes appended since the last cycle.
+
+        Seeks to the cursor's decoded-valid offset and tails forward.
+        An unterminated or undecodable final line is left for the next
+        cycle (the writer may still be mid-append); the offset never
+        advances past it, mirroring :func:`read_wal`'s valid-prefix
+        rule. The scan restarts from byte 0 only when the log shrank
+        (a torn-tail truncation at session arm) or a resync/re-seed
+        moved the ship cursor behind the retained record window.
+        """
+        try:
+            size = wal_path.stat().st_size
+        except OSError:
+            size = 0
+        retained_floor = (
+            cursor.unacked[0][0].lsn if cursor.unacked else cursor.scan_next_lsn
+        )
+        if size < cursor.scan_offset or cursor.shipped_lsn + 1 < retained_floor:
+            cursor.reset_scan()
+        if size <= cursor.scan_offset:
+            return
+        with open(wal_path, "rb") as handle:
+            handle.seek(cursor.scan_offset)
+            for raw in handle:
+                if raw[-1:] != b"\n":
+                    break
+                line = raw.rstrip(b"\n")
+                if not line:
+                    cursor.scan_offset += len(raw)
+                    continue
+                try:
+                    record = decode_line(line, expected_lsn=cursor.scan_next_lsn)
+                except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+                    break
+                cursor.unacked.append((record, len(raw)))
+                cursor.unacked_bytes += len(raw)
+                cursor.scan_offset += len(raw)
+                cursor.scan_next_lsn += 1
+
+    @staticmethod
+    def _prune_acked(cursor: ShipCursor) -> None:
+        """Drop replica-acknowledged records; lag is what remains."""
+        while cursor.unacked and cursor.unacked[0][0].lsn <= cursor.applied_lsn:
+            _record, nbytes = cursor.unacked.popleft()
+            cursor.unacked_bytes -= nbytes
+        cursor.lag_bytes = cursor.unacked_bytes
+
     def _ship_tenant(self, cursor: ShipCursor) -> int:
         directory = self.spool_dir / cursor.tenant
         state = read_epoch(directory)
@@ -206,9 +259,9 @@ class WalShipper(threading.Thread):
             _count("replication.fenced_total")
             return 0
         cursor.epoch = max(cursor.epoch, state.epoch)
-        records, _tail = read_wal(directory / WAL_FILENAME)
-        cursor.tip_lsn = records[-1].lsn if records else 0
-        pending = [r for r in records if r.lsn > cursor.shipped_lsn]
+        self._scan_new_frames(cursor, directory / WAL_FILENAME)
+        cursor.tip_lsn = cursor.scan_next_lsn - 1
+        pending = [r for r, _bytes in cursor.unacked if r.lsn > cursor.shipped_lsn]
         sent = 0
         digest_due = (
             self.service is not None
@@ -242,9 +295,7 @@ class WalShipper(threading.Thread):
                 break
             sent += len(batch)
             pending = [r for r in pending if r.lsn > cursor.shipped_lsn]
-        cursor.lag_bytes = sum(
-            _record_bytes(r) for r in records if r.lsn > cursor.applied_lsn
-        )
+        self._prune_acked(cursor)
         return sent
 
     def _send_batch(self, cursor: ShipCursor, batch, digest) -> None:

@@ -174,13 +174,26 @@ class ServiceClient:
         return request_id
 
     def wait(self, request_id: int) -> dict:
-        """Block for the response envelope with ``id == request_id``."""
+        """Block for the response envelope with ``id == request_id``.
+
+        A dead connection — including one a *previous* ``wait`` already
+        failed and rotated away from, losing this pipelined request with
+        it — raises the typed, retryable :class:`EndpointFailure`, never
+        a bare attribute error.
+        """
         while True:
             with self._lock:
                 if request_id in self._received:
                     envelope = self._received.pop(request_id)
                     self.last_endpoint = (self.host, self.port)
                     return envelope
+                if self._file is None:
+                    raise EndpointFailure(
+                        (self.host, self.port),
+                        f"no open connection; the response to pipelined "
+                        f"request {request_id} was lost with the previous "
+                        f"endpoint",
+                    )
                 try:
                     line = self._file.readline()
                 except OSError as error:

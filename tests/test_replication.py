@@ -284,6 +284,71 @@ class TestReplicaApplier:
             applier.promote(fence_spool=str(tmp_path / "p"))
         applier.close()
 
+    def test_promote_fences_the_primary_before_draining(self, tmp_path, monkeypatch):
+        # The zero-committed-state-loss ordering: if the drain ran
+        # first, a primary that is alive but wrongly declared dead
+        # could acknowledge commits after the drain read its WAL and
+        # before the fence landed — records then lost forever.
+        records, _ = _primary_records(tmp_path / "p" / "alice")
+        applier = ReplicaApplier(tmp_path / "r")
+        applier.apply_batch("alice", frames=[record_frame(records[0])])
+        fenced_when_drained = {}
+        original = ReplicaApplier._drain_tail
+
+        def checked(self, record, primary_spool):
+            fenced_when_drained[record.tenant] = read_epoch(
+                primary_spool / record.tenant
+            ).fenced
+            return original(self, record, primary_spool)
+
+        monkeypatch.setattr(ReplicaApplier, "_drain_tail", checked)
+        report, sessions = applier.promote(fence_spool=str(tmp_path / "p"))
+        assert fenced_when_drained == {"alice": True}
+        assert report["drained_records"] == len(records) - 1
+        for session in sessions.values():
+            session.close()
+
+    def test_persist_failure_quarantines_instead_of_double_apply(
+        self, tmp_path, monkeypatch
+    ):
+        # A disk error while persisting an already-replayed frame must
+        # quarantine: the in-memory catalog holds the mutation, so
+        # accepting the shipper's resend would apply it twice.
+        import repro.replication.apply as apply_mod
+
+        records, _ = _primary_records(tmp_path / "p" / "alice")
+        applier = ReplicaApplier(tmp_path / "r")
+        frames = [record_frame(r) for r in records]
+        applier.apply_batch("alice", frames=frames[:1])
+
+        def failing_fsync(fd):
+            raise OSError("injected disk failure")
+
+        monkeypatch.setattr(apply_mod.os, "fsync", failing_fsync)
+        with pytest.raises(DivergenceError):
+            applier.apply_batch("alice", frames=frames[1:2])
+        monkeypatch.undo()
+        tenant = applier.tenant("alice")
+        assert tenant.quarantined is not None
+        assert tenant.applied_lsn == records[0].lsn
+        # The resend is refused typed, not silently replayed again.
+        with pytest.raises(DivergenceError):
+            applier.apply_batch("alice", frames=frames[1:2])
+        applier.close()
+
+    def test_path_like_tenant_names_are_rejected(self, tmp_path):
+        # Tenant names arrive off the wire and become path components
+        # under the spool; anything path-like must be refused before it
+        # touches the filesystem.
+        applier = ReplicaApplier(tmp_path / "r")
+        for name in ("", ".", "..", "a/b", "../../other", "a\\b", "a\x00b"):
+            with pytest.raises(ReplicationError):
+                applier.apply_batch(name, frames=[])
+            with pytest.raises(ReplicationError):
+                applier.apply_seed(name, files={})
+        assert not (tmp_path / "r").exists()  # nothing was ever created
+        applier.close()
+
 
 class TestTailWalRetry:
     def _stream(self, tmp_path):
@@ -378,6 +443,68 @@ class TestClientFailover:
         assert excinfo.value.endpoint == ("127.0.0.1", 1)
         # Transient by design: a retry policy would have failed over.
         assert isinstance(excinfo.value, TransientError)
+
+    def test_wait_on_dead_connection_is_typed(self):
+        # After a failure drops the connection (or before any connect),
+        # wait() for a pipelined in-flight request must raise the typed
+        # retryable EndpointFailure, never AttributeError on a None file.
+        client = ServiceClient(
+            "127.0.0.1", 1, tenant="alice",
+            addresses=[("127.0.0.1", 1), ("127.0.0.1", 2)],
+        )
+        with pytest.raises(EndpointFailure) as excinfo:
+            client.wait(7)
+        assert isinstance(excinfo.value, TransientError)
+
+
+class _StubReplicaClient:
+    """Acks every shipped batch in-process, no network involved."""
+
+    def __init__(self):
+        self.applied_lsn = 0
+        self.addresses = [("stub", 0)]
+
+    def call(self, op, **args):
+        frames = args.get("frames") or []
+        if frames:
+            self.applied_lsn = frames[-1]["lsn"]
+        return {"applied_lsn": self.applied_lsn, "epoch": args.get("epoch", 0)}
+
+    def close(self):
+        pass
+
+
+class TestShipperIncrementalTail:
+    def test_cycles_tail_from_the_stored_offset(self, tmp_path, monkeypatch):
+        # Each ship cycle must decode only bytes appended since the
+        # last one — idle cycles decode nothing, and new commits are
+        # picked up from the cursor's offset, never a full rescan.
+        import repro.replication.ship as ship_mod
+
+        records, _ = _primary_records(tmp_path / "spool" / "alice")
+        decoded = []
+        real_decode = ship_mod.decode_line
+
+        def counting_decode(line, expected_lsn):
+            decoded.append(expected_lsn)
+            return real_decode(line, expected_lsn)
+
+        monkeypatch.setattr(ship_mod, "decode_line", counting_decode)
+        shipper = WalShipper(tmp_path / "spool", [("127.0.0.1", 1)])
+        shipper.client = _StubReplicaClient()
+        shipper.ship_once()
+        cursor = shipper.cursors["alice"]
+        assert cursor.applied_lsn == records[-1].lsn
+        assert cursor.lag_bytes == 0
+        assert decoded == [r.lsn for r in records]
+        for _ in range(3):
+            shipper.ship_once()
+        assert len(decoded) == len(records)  # idle cycles re-read nothing
+        with Ringo.recover(tmp_path / "spool" / "alice", workers=1) as session:
+            session.TableFromColumns({"x": [1]})
+        shipper.ship_once()
+        assert decoded[len(records):] == [records[-1].lsn + 1]
+        assert shipper.cursors["alice"].applied_lsn == records[-1].lsn + 1
 
 
 def _service_pair(tmp_path, **primary_overrides):
